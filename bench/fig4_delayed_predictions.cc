@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Regenerates Figure 4: SOL's non-blocking Actuator under model delays.
+ *
+ * A 30-second stall is injected into the Model loop exactly when the
+ * Synthetic workload finishes a batch — the worst case, because the last
+ * prediction said "overclock" and the workload just went idle. The
+ * blocking actuator keeps the cores overclocked for the entire stall;
+ * the non-blocking SOL actuator waits at most 5 s for a fresh prediction
+ * and then restores the nominal frequency.
+ *
+ * Expected shape (paper): blocking wastes ~36% extra power during idle,
+ * non-blocking only ~3%.
+ */
+#include <iostream>
+
+#include "experiments/overclock_experiments.h"
+#include "telemetry/metric_registry.h"
+
+using sol::experiments::OverclockRunConfig;
+using sol::experiments::OverclockRunResult;
+using sol::experiments::OverclockWorkload;
+using sol::experiments::RunOverclock;
+using sol::telemetry::TableWriter;
+
+int
+main()
+{
+    std::cout << "=== Figure 4: non-blocking vs blocking actuator under"
+              << " 30 s model stalls ===\n";
+    std::cout << "(Synthetic workload; power relative to the undelayed"
+              << " agent)\n\n";
+
+    OverclockRunConfig base;
+    base.workload = OverclockWorkload::kSynthetic;
+    base.duration = sol::sim::Seconds(3600);
+    base.synthetic.work_gcycles = 480;
+    // Warm up the policy for 1800 s, then inject stalls and measure
+    // power over the remaining 1800 s, so the comparison isolates the
+    // actuator design rather than learning-quality differences.
+    base.measure_from = sol::sim::Seconds(1800);
+    // Isolate the decoupled-loop design from the other safeguards.
+    base.runtime.disable_actuator_safeguard = true;
+
+    const OverclockRunResult ideal = RunOverclock(base);
+
+    TableWriter table({"actuator", "stall", "power increase %",
+                       "actuator timeouts", "expired preds"});
+    table.AddRow({"non-blocking", "none", TableWriter::Num(0.0, 1),
+                  std::to_string(ideal.stats.actuator_timeouts),
+                  std::to_string(ideal.stats.expired_predictions)});
+
+    for (const bool blocking : {false, true}) {
+        OverclockRunConfig config = base;
+        config.stall_on_batch_end = sol::sim::Seconds(30);
+        config.runtime.blocking_actuator = blocking;
+        const OverclockRunResult run = RunOverclock(config);
+        const double power_increase_pct =
+            100.0 * (run.avg_power_watts - ideal.avg_power_watts) /
+            ideal.avg_power_watts;
+        table.AddRow({blocking ? "blocking" : "non-blocking", "30s",
+                      TableWriter::Num(power_increase_pct, 1),
+                      std::to_string(run.stats.actuator_timeouts),
+                      std::to_string(run.stats.expired_predictions)});
+    }
+    table.Print(std::cout);
+    std::cout << "\nPaper reference: the blocking agent overclocks 30 s"
+              << " into each idle phase (+36% power); the non-blocking"
+              << " agent restores nominal within 5 s (+3%).\n";
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Regenerates Figure 6: the SmartHarvest safeguards.
+ *
+ * Three panels, each on the image-dnn and moses primary workloads,
+ * reporting the primary VM's P99 latency increase over a no-harvesting
+ * baseline:
+ *   left   — data validation: discard censored (full-utilization)
+ *            samples vs train on them (systematic underprediction);
+ *   middle — model safeguard: out-of-cores assessment intercepts a
+ *            broken model that severely underpredicts demand;
+ *   right  — non-blocking design: 1 s model stalls at burst starts,
+ *            blocking vs non-blocking actuator.
+ *
+ * Expected shape (paper): unguarded impact up to ~40% / 3-4x the guarded
+ * impact; guarded impact stays within the ~10% acceptable envelope.
+ */
+#include <iostream>
+
+#include "experiments/harvest_experiments.h"
+#include "telemetry/metric_registry.h"
+
+using sol::experiments::HarvestRunConfig;
+using sol::experiments::HarvestRunResult;
+using sol::experiments::HarvestWorkload;
+using sol::experiments::LatencyIncreasePct;
+using sol::experiments::RunHarvest;
+using sol::telemetry::TableWriter;
+
+int
+main()
+{
+    std::cout << "=== Figure 6: SmartHarvest safeguards ===\n";
+    std::cout << "(P99 latency increase over the no-harvesting baseline;"
+              << " harvested core-seconds show the efficiency cost)\n\n";
+
+    TableWriter table({"panel", "workload", "config", "P99 ms",
+                       "increase %", "harvested core-s"});
+
+    for (const auto wl :
+         {HarvestWorkload::kImageDnn, HarvestWorkload::kMoses}) {
+        HarvestRunConfig base;
+        base.workload = wl;
+        base.duration = sol::sim::Seconds(40);
+
+        HarvestRunConfig no_harvest = base;
+        no_harvest.harvesting = false;
+        const HarvestRunResult baseline = RunHarvest(no_harvest);
+        table.AddRow({"baseline", baseline.workload, "no harvesting",
+                      TableWriter::Num(baseline.p99_latency_ms, 1),
+                      TableWriter::Num(0.0, 1), TableWriter::Num(0.0, 0)});
+
+        // Panel 1: data validation (censored samples).
+        for (const bool validate : {true, false}) {
+            HarvestRunConfig config = base;
+            config.runtime.disable_data_validation = !validate;
+            const HarvestRunResult run = RunHarvest(config);
+            table.AddRow(
+                {"invalid-data", run.workload,
+                 validate ? "validation on" : "validation off",
+                 TableWriter::Num(run.p99_latency_ms, 1),
+                 TableWriter::Num(LatencyIncreasePct(run, baseline), 1),
+                 TableWriter::Num(run.harvested_core_seconds, 0)});
+        }
+
+        // Panel 2: model safeguard vs broken (underpredicting) model.
+        // The actuator safeguard is disabled here to isolate the model
+        // safeguard (it would otherwise mask the broken model's damage
+        // in both configurations).
+        for (const bool guarded : {true, false}) {
+            HarvestRunConfig config = base;
+            config.broken_model = true;
+            config.runtime.disable_actuator_safeguard = true;
+            config.runtime.disable_model_assessment = !guarded;
+            const HarvestRunResult run = RunHarvest(config);
+            table.AddRow(
+                {"broken-model", run.workload,
+                 guarded ? "model safeguard on" : "model safeguard off",
+                 TableWriter::Num(run.p99_latency_ms, 1),
+                 TableWriter::Num(LatencyIncreasePct(run, baseline), 1),
+                 TableWriter::Num(run.harvested_core_seconds, 0)});
+        }
+
+        // Panel 3: delayed predictions, blocking vs non-blocking.
+        for (const bool blocking : {false, true}) {
+            HarvestRunConfig config = base;
+            config.stall_on_burst = sol::sim::Seconds(1);
+            config.runtime.blocking_actuator = blocking;
+            const HarvestRunResult run = RunHarvest(config);
+            table.AddRow(
+                {"delayed-preds", run.workload,
+                 blocking ? "blocking" : "non-blocking",
+                 TableWriter::Num(run.p99_latency_ms, 1),
+                 TableWriter::Num(LatencyIncreasePct(run, baseline), 1),
+                 TableWriter::Num(run.harvested_core_seconds, 0)});
+        }
+    }
+    table.Print(std::cout);
+    std::cout << "\nPaper reference: each safeguard reduces the P99"
+              << " impact by roughly 3-4x versus its unguarded"
+              << " counterpart.\n";
+    return 0;
+}

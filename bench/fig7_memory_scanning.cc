@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Regenerates Figure 7: SmartMemory vs static access-bit scanning.
+ *
+ * For ObjectStore, SQL, and SpecJBB access patterns, compares adaptive
+ * Thompson-sampling scan scheduling against always-scanning at the
+ * maximum (300 ms) and minimum (9.6 s) frequencies, reporting:
+ *   top    — reduction in access-bit resets vs the max frequency,
+ *   middle — reduction in local (first-tier) memory size,
+ *   bottom — SLO attainment (fraction of windows with >=80% local
+ *            accesses).
+ *
+ * The static baselines run without safeguards, as in the paper.
+ *
+ * Expected shape: SmartMemory cuts access-bit resets substantially while
+ * holding the SLO; min-frequency scanning saves more scans but lacks the
+ * resolution to pick the hot set, cratering SLO attainment.
+ */
+#include <iostream>
+
+#include "experiments/memory_experiments.h"
+#include "telemetry/metric_registry.h"
+
+using sol::experiments::MemoryRunConfig;
+using sol::experiments::MemoryRunResult;
+using sol::experiments::MemoryWorkload;
+using sol::experiments::RunMemory;
+using sol::telemetry::TableWriter;
+
+int
+main()
+{
+    std::cout << "=== Figure 7: SmartMemory vs static scanning ===\n\n";
+
+    TableWriter table({"workload", "policy", "reset reduction %",
+                       "local size reduction %", "SLO attainment %",
+                       "scans", "migrations"});
+
+    for (const auto wl : {MemoryWorkload::kObjectStore,
+                          MemoryWorkload::kSql,
+                          MemoryWorkload::kSpecJbb}) {
+        MemoryRunConfig base;
+        base.workload = wl;
+        base.duration = sol::sim::Seconds(900);
+        // The paper mitigates 100 x 2 MB batches on a 384 GB node; scaled
+        // to this 256-batch simulated memory that is ~16 batches.
+        base.agent.mitigation_batches = 16;
+
+        // Static max-frequency baseline (arm 0 = 300 ms), no safeguards.
+        MemoryRunConfig max_config = base;
+        max_config.fixed_arm = 0;
+        max_config.runtime.disable_model_assessment = true;
+        max_config.runtime.disable_actuator_safeguard = true;
+        const MemoryRunResult max_run = RunMemory(max_config);
+
+        // Static min-frequency baseline (arm 5 = 9.6 s), no safeguards.
+        MemoryRunConfig min_config = base;
+        min_config.fixed_arm = 5;
+        min_config.runtime.disable_model_assessment = true;
+        min_config.runtime.disable_actuator_safeguard = true;
+        const MemoryRunResult min_run = RunMemory(min_config);
+
+        // SmartMemory with the full safeguard stack.
+        const MemoryRunResult smart = RunMemory(base);
+
+        const double all_local =
+            static_cast<double>(base.num_batches);
+        auto add_row = [&](const std::string& policy,
+                           const MemoryRunResult& run) {
+            const double reset_reduction =
+                100.0 *
+                (1.0 - static_cast<double>(run.bit_resets) /
+                           static_cast<double>(max_run.bit_resets));
+            const double local_reduction =
+                100.0 * (1.0 - run.avg_local_batches / all_local);
+            table.AddRow({run.workload, policy,
+                          TableWriter::Num(reset_reduction, 1),
+                          TableWriter::Num(local_reduction, 1),
+                          TableWriter::Num(100.0 * run.slo_attainment, 1),
+                          std::to_string(run.scans),
+                          std::to_string(run.migrations)});
+        };
+        add_row("scan-max(300ms)", max_run);
+        add_row("scan-min(9.6s)", min_run);
+        add_row("SmartMemory", smart);
+    }
+    table.Print(std::cout);
+    std::cout << "\nPaper reference: SmartMemory reduces access-bit"
+              << " resets by up to ~48% while shrinking local memory by"
+              << " 51-64%; min-frequency scanning drops SLO attainment"
+              << " as low as 9%.\n";
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks for the SOL runtime primitives and
+ * learning models: the per-operation costs that determine whether an
+ * agent fits inside its production resource budget (e.g. 1% of a core).
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/schedule.h"
+#include "ml/cost_sensitive.h"
+#include "ml/qlearning.h"
+#include "ml/thompson.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "telemetry/online_stats.h"
+#include "telemetry/window_percentile.h"
+
+namespace {
+
+void
+BM_RngNextDouble(benchmark::State& state)
+{
+    sol::sim::Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng.NextDouble());
+    }
+}
+BENCHMARK(BM_RngNextDouble);
+
+void
+BM_RngBeta(benchmark::State& state)
+{
+    sol::sim::Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng.NextBeta(3.0, 5.0));
+    }
+}
+BENCHMARK(BM_RngBeta);
+
+void
+BM_EventQueueScheduleAndRun(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sol::sim::EventQueue queue;
+        for (int i = 0; i < 1000; ++i) {
+            queue.ScheduleAt(sol::sim::Millis(i), [] {});
+        }
+        queue.RunUntil(sol::sim::Seconds(10));
+        benchmark::DoNotOptimize(queue.executed());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleAndRun);
+
+void
+BM_QLearnerUpdate(benchmark::State& state)
+{
+    sol::ml::QLearnerConfig config;
+    config.num_states = 24;
+    config.num_actions = 3;
+    sol::ml::QLearner learner(config);
+    std::size_t s = 0;
+    for (auto _ : state) {
+        learner.Update(s % 24, s % 3, 1.0, (s + 1) % 24);
+        ++s;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QLearnerUpdate);
+
+void
+BM_CostSensitivePredict(benchmark::State& state)
+{
+    sol::ml::CostSensitiveConfig config;
+    config.num_classes = 7;
+    config.num_bits = 16;
+    sol::ml::CostSensitiveClassifier clf(config);
+    sol::ml::FeatureVector x(16);
+    x.AddBias();
+    for (int i = 0; i < 8; ++i) {
+        x.Add("f" + std::to_string(i), 0.5);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(clf.Predict(x));
+    }
+}
+BENCHMARK(BM_CostSensitivePredict);
+
+void
+BM_CostSensitiveUpdate(benchmark::State& state)
+{
+    sol::ml::CostSensitiveConfig config;
+    config.num_classes = 7;
+    config.num_bits = 16;
+    sol::ml::CostSensitiveClassifier clf(config);
+    sol::ml::FeatureVector x(16);
+    x.AddBias();
+    for (int i = 0; i < 8; ++i) {
+        x.Add("f" + std::to_string(i), 0.5);
+    }
+    const std::vector<double> costs = {3, 2, 1, 0, 1, 2, 3};
+    for (auto _ : state) {
+        clf.Update(x, costs);
+    }
+}
+BENCHMARK(BM_CostSensitiveUpdate);
+
+void
+BM_ThompsonSelect(benchmark::State& state)
+{
+    sol::ml::ThompsonSampler ts(6);
+    sol::sim::Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ts.SelectArm(rng));
+    }
+}
+BENCHMARK(BM_ThompsonSelect);
+
+void
+BM_WindowPercentileAddQuery(benchmark::State& state)
+{
+    sol::telemetry::WindowPercentile wp(sol::sim::Seconds(100));
+    sol::sim::Rng rng(1);
+    std::int64_t t = 0;
+    for (auto _ : state) {
+        wp.Add(sol::sim::Seconds(t), rng.NextDouble());
+        if (t % 10 == 0) {
+            benchmark::DoNotOptimize(
+                wp.Quantile(sol::sim::Seconds(t), 0.9));
+        }
+        ++t;
+    }
+}
+BENCHMARK(BM_WindowPercentileAddQuery);
+
+void
+BM_ScheduleParse(benchmark::State& state)
+{
+    const std::string text =
+        "data_per_epoch = 10\ndata_collect_interval = 100ms\n"
+        "max_epoch_time = 1500ms\nmax_actuation_delay = 5s\n";
+    for (auto _ : state) {
+        std::istringstream in(text);
+        benchmark::DoNotOptimize(sol::core::ParseSchedule(in));
+    }
+}
+BENCHMARK(BM_ScheduleParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Regenerates Table 1: the taxonomy of production node agents in Azure,
+ * and the headline statistic that 35% of agents belong to classes that
+ * can benefit from on-node learning.
+ */
+#include <iostream>
+
+#include "characterization/taxonomy.h"
+#include "telemetry/metric_registry.h"
+
+using sol::characterization::AgentsBenefiting;
+using sol::characterization::BenefitFraction;
+using sol::characterization::Taxonomy;
+using sol::characterization::TotalAgents;
+using sol::characterization::ToString;
+using sol::telemetry::TableWriter;
+
+int
+main()
+{
+    std::cout << "=== Table 1: taxonomy of production node agents ===\n\n";
+    TableWriter table(
+        {"class", "count", "description", "examples", "benefit?"});
+    for (const auto& row : Taxonomy()) {
+        table.AddRow({ToString(row.cls), std::to_string(row.count),
+                      row.description, row.examples,
+                      row.benefits_from_ml ? "Yes" : "No"});
+    }
+    table.Print(std::cout);
+    std::cout << "\nTotal agents: " << TotalAgents()
+              << "  (paper: 77)\nAgents in classes that benefit: "
+              << AgentsBenefiting() << " ("
+              << TableWriter::Num(100.0 * BenefitFraction(), 0)
+              << "%, paper: 35%)\n";
+    return 0;
+}

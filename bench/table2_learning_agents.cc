@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regenerates Table 2: published examples of on-node learning resource
+ * control agents, including the three agents this repository implements
+ * (SmartHarvest, Overclocking, Disaggregation).
+ */
+#include <iostream>
+
+#include "characterization/taxonomy.h"
+#include "telemetry/metric_registry.h"
+
+using sol::characterization::LearningAgents;
+using sol::telemetry::TableWriter;
+
+int
+main()
+{
+    std::cout << "=== Table 2: on-node learning resource control agents"
+              << " ===\n\n";
+    TableWriter table(
+        {"agent", "goal", "action", "frequency", "inputs", "model"});
+    for (const auto& row : LearningAgents()) {
+        std::string freq;
+        if (row.frequency == sol::sim::Duration(0)) {
+            freq = "per event";
+        } else if (row.frequency >= sol::sim::Seconds(1)) {
+            freq = TableWriter::Num(sol::sim::ToSeconds(row.frequency), 0) +
+                   " s";
+        } else {
+            freq = TableWriter::Num(sol::sim::ToMillis(row.frequency), 0) +
+                   " ms";
+        }
+        table.AddRow({row.name, row.goal, row.action, freq, row.inputs,
+                      row.model});
+    }
+    table.Print(std::cout);
+    std::cout << "\nThis repository implements SmartHarvest (sec 5.2),"
+              << " Overclocking (sec 5.1), and Disaggregation/SmartMemory"
+              << " (sec 5.3) in SOL.\n";
+    return 0;
+}

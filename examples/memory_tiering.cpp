@@ -1,0 +1,84 @@
+/**
+ * @file
+ * SmartMemory on a simulated two-tier memory: the paper's section 5.3
+ * agent learning per-batch scan rates and classifying memory as
+ * hot/warm/cold.
+ *
+ * Runs the agent against the skewed ObjectStore access pattern and
+ * reports the scanning savings, the first-tier footprint, and the
+ * remote-access SLO — then shows the SRE cleanup path restoring all
+ * batches to DRAM.
+ */
+#include <iostream>
+
+#include "core/agent_registry.h"
+#include "experiments/memory_experiments.h"
+#include "node/tiered_memory.h"
+#include "telemetry/metric_registry.h"
+
+using sol::experiments::MemoryRunConfig;
+using sol::experiments::MemoryRunResult;
+using sol::experiments::MemoryWorkload;
+using sol::experiments::RunMemory;
+using sol::telemetry::TableWriter;
+
+int
+main()
+{
+    MemoryRunConfig config;
+    config.workload = MemoryWorkload::kObjectStore;
+    config.duration = sol::sim::Seconds(600);
+    config.agent.mitigation_batches = 16;
+
+    std::cout << "running SmartMemory on the ObjectStore access pattern"
+              << " (256 x 2 MB batches, 600 simulated s)...\n";
+    const MemoryRunResult smart = RunMemory(config);
+
+    MemoryRunConfig max_config = config;
+    max_config.fixed_arm = 0;  // Paper baseline: always scan at 300 ms.
+    max_config.runtime.disable_model_assessment = true;
+    max_config.runtime.disable_actuator_safeguard = true;
+    const MemoryRunResult max_run = RunMemory(max_config);
+
+    TableWriter table({"policy", "scans", "bit resets", "TLB flushes",
+                       "avg local batches", "SLO %"});
+    table.AddRow({"scan-max(300ms)", std::to_string(max_run.scans),
+                  std::to_string(max_run.bit_resets),
+                  std::to_string(max_run.tlb_flushes),
+                  TableWriter::Num(max_run.avg_local_batches, 1),
+                  TableWriter::Num(100 * max_run.slo_attainment, 1)});
+    table.AddRow({"SmartMemory", std::to_string(smart.scans),
+                  std::to_string(smart.bit_resets),
+                  std::to_string(smart.tlb_flushes),
+                  TableWriter::Num(smart.avg_local_batches, 1),
+                  TableWriter::Num(100 * smart.slo_attainment, 1)});
+    table.Print(std::cout);
+
+    std::cout << "\nSmartMemory scans "
+              << TableWriter::Num(
+                     100.0 * (1.0 - static_cast<double>(smart.bit_resets) /
+                                        static_cast<double>(
+                                            max_run.bit_resets)),
+                     1)
+              << "% fewer access-bit resets than max-frequency scanning"
+              << " while holding the >=80%-local SLO.\n";
+
+    // Demonstrate the SRE cleanup path on a live TieredMemory.
+    sol::node::TieredMemory memory(64, 64);
+    for (sol::node::BatchId b = 0; b < 20; ++b) {
+        memory.Migrate(b, sol::node::Tier::kSlow);
+    }
+    sol::core::AgentRegistry registry;
+    registry.Register("smartmemory", [&memory] {
+        for (sol::node::BatchId b = 0; b < memory.num_batches(); ++b) {
+            if (memory.TierOf(b) == sol::node::Tier::kSlow &&
+                memory.FastTierHasRoom()) {
+                memory.Migrate(b, sol::node::Tier::kFast);
+            }
+        }
+    });
+    registry.CleanUp("smartmemory");
+    std::cout << "after SRE cleanup: " << memory.fast_tier_used() << "/"
+              << memory.num_batches() << " batches back in DRAM\n";
+    return 0;
+}

@@ -1,0 +1,426 @@
+#include "agents/smartmemory/smartmemory.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sol::agents {
+
+namespace {
+
+/** Base scan period: one slot. */
+constexpr double kSlotSeconds = 0.3;
+
+/** Slots per learning epoch (128 * 300 ms = 38.4 s, 4x the slowest
+ *  scan period as in the paper). */
+constexpr int kSlotsPerEpoch = 128;
+
+/** Slots per downsampling window (9.6 s, the slowest period). */
+constexpr int kSlotsPerWindow = 32;
+
+}  // namespace
+
+core::Schedule
+SmartMemorySchedule()
+{
+    core::Schedule schedule;
+    schedule.data_per_epoch = kSlotsPerEpoch;
+    schedule.data_collect_interval = sim::Millis(300);
+    // 38.4 s nominal epochs with headroom for a few discarded rounds.
+    schedule.max_epoch_time = sim::Millis(40200);
+    schedule.assess_model_every_epochs = 1;
+    schedule.max_actuation_delay = sim::Seconds(45);
+    schedule.assess_actuator_interval = sim::Seconds(2);
+    return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// MemoryModel
+// ---------------------------------------------------------------------------
+
+MemoryModel::MemoryModel(node::TieredMemory& memory,
+                         const sim::Clock& clock,
+                         const SmartMemoryConfig& config)
+    : memory_(memory), clock_(clock), config_(config), rng_(config.seed)
+{
+    batches_.reserve(memory_.num_batches());
+    for (std::size_t b = 0; b < memory_.num_batches(); ++b) {
+        batches_.emplace_back(
+            ml::ThompsonSampler(config_.arm_period_slots.size()));
+        batches_.back().window_hit.assign(
+            static_cast<std::size_t>(kSlotsPerEpoch / kSlotsPerWindow),
+            false);
+    }
+    SelectArms();
+}
+
+void
+MemoryModel::SelectArms()
+{
+    const std::size_t slowest = config_.arm_period_slots.size() - 1;
+    for (auto& state : batches_) {
+        state.probe = false;
+        if (config_.fixed_arm >= 0) {
+            state.arm = static_cast<std::size_t>(config_.fixed_arm);
+        } else if (state.cold) {
+            // Cold batches are scanned at the slowest rate only, so a
+            // reactivated batch is still noticed.
+            state.arm = slowest;
+        } else {
+            state.arm = state.sampler.SelectArm(rng_);
+            // Ground-truth probes for the model assessment.
+            state.probe = rng_.NextBool(config_.probe_fraction);
+        }
+    }
+}
+
+ScanRound
+MemoryModel::CollectData()
+{
+    staging_.clear();
+    ScanRound round;
+    const std::uint64_t s = slot_++;
+    ++slots_this_epoch_;
+    for (std::size_t b = 0; b < batches_.size(); ++b) {
+        BatchState& state = batches_[b];
+        const int period = config_.arm_period_slots[state.arm];
+        const bool arm_due = (s % static_cast<std::uint64_t>(period)) == 0;
+        const bool do_scan = state.probe || arm_due;
+        if (!do_scan) {
+            continue;
+        }
+        bool error = false;
+        const bool bit = memory_.ScanAndReset(b, &error);
+        ++round.scanned;
+        if (error) {
+            ++round.errors;
+            continue;
+        }
+        staging_.push_back(Observation{b, bit, state.probe, arm_due});
+    }
+    return round;
+}
+
+bool
+MemoryModel::ValidateData(const ScanRound& data)
+{
+    // The scanning driver reported failures: discard the whole round.
+    return data.errors == 0;
+}
+
+void
+MemoryModel::CommitData(sim::TimePoint time, const ScanRound& /*data*/)
+{
+    const std::size_t window = std::min<std::size_t>(
+        static_cast<std::size_t>((slots_this_epoch_ - 1) /
+                                 kSlotsPerWindow),
+        batches_.empty() ? 0 : batches_[0].window_hit.size() - 1);
+    for (const Observation& obs : staging_) {
+        BatchState& state = batches_[obs.batch];
+        if (obs.is_probe_scan) {
+            ++state.probe_scans;
+            if (obs.bit) {
+                ++state.probe_hits;
+            }
+            state.interval_or = state.interval_or || obs.bit;
+            if (obs.arm_due) {
+                // Close the reconstructed arm-period interval: this is
+                // what a scan at the arm's rate would have observed.
+                ++state.scans;
+                if (state.interval_or) {
+                    ++state.hits;
+                }
+                state.interval_or = false;
+            }
+        } else {
+            ++state.scans;
+            if (obs.bit) {
+                ++state.hits;
+            }
+        }
+        if (obs.bit) {
+            state.last_set = time;
+            state.window_hit[window] = true;
+        }
+    }
+    staging_.clear();
+}
+
+double
+MemoryModel::IntensityFromRatio(double ratio, double period_secs) const
+{
+    ratio = std::clamp(ratio, 0.0, 0.98);
+    if (period_secs <= 0.0) {
+        return 0.0;
+    }
+    // Poisson inversion: P(>=1 access in T) = 1 - exp(-lambda T).
+    return -std::log(1.0 - ratio) / period_secs;
+}
+
+void
+MemoryModel::UpdateModel()
+{
+    const sim::TimePoint now = clock_.Now();
+    const std::size_t fastest = 0;
+    const std::size_t slowest = config_.arm_period_slots.size() - 1;
+
+    double probe_true_sum = 0.0;
+    double probe_est_sum = 0.0;
+
+    for (auto& state : batches_) {
+        const double period_secs =
+            kSlotSeconds *
+            static_cast<double>(config_.arm_period_slots[state.arm]);
+        const double ratio =
+            state.scans > 0
+                ? static_cast<double>(state.hits) /
+                      static_cast<double>(state.scans)
+                : 0.0;
+        state.intensity = IntensityFromRatio(ratio, period_secs);
+
+        if (state.probe && state.probe_scans > 0) {
+            const double true_ratio =
+                static_cast<double>(state.probe_hits) /
+                static_cast<double>(state.probe_scans);
+            probe_true_sum += IntensityFromRatio(true_ratio, kSlotSeconds);
+            probe_est_sum += state.intensity;
+        }
+
+        // Bandit reward: the arm sampled well if it neither oversampled
+        // (almost never saw the bit set, and could slow down) nor
+        // undersampled (saw it always set — saturated — and could speed
+        // up).
+        if (!state.cold && config_.fixed_arm < 0 && state.scans > 0) {
+            const bool oversampled =
+                ratio < config_.oversample_ratio && state.arm != slowest;
+            const bool undersampled =
+                ratio >= config_.undersample_ratio && state.arm != fastest;
+            state.sampler.Observe(state.arm,
+                                  !(oversampled || undersampled));
+        }
+
+        // Cold detection (paper: untouched for more than 3 minutes).
+        if (state.hits > 0 || state.probe_hits > 0) {
+            state.cold = false;
+        } else if (now - state.last_set > config_.cold_threshold) {
+            state.cold = true;
+        }
+
+        // Preserve the downsampled (9.6 s granularity) counts for
+        // DefaultPredict, then reset per-epoch accounting.
+        int down = 0;
+        for (const bool w : state.window_hit) {
+            down += w ? 1 : 0;
+        }
+        state.down_hits = down;
+        state.scans = 0;
+        state.hits = 0;
+        state.probe_scans = 0;
+        state.probe_hits = 0;
+        state.interval_or = false;
+        std::fill(state.window_hit.begin(), state.window_hit.end(), false);
+    }
+
+    last_missed_fraction_ =
+        probe_true_sum > 0.0
+            ? std::max(0.0, 1.0 - probe_est_sum / probe_true_sum)
+            : 0.0;
+
+    slots_this_epoch_ = 0;
+    SelectArms();
+}
+
+core::Prediction<MemoryPlan>
+MemoryModel::ModelPredict()
+{
+    // Rank non-cold batches by estimated intensity.
+    std::vector<node::BatchId> ranked;
+    ranked.reserve(batches_.size());
+    double total = 0.0;
+    for (std::size_t b = 0; b < batches_.size(); ++b) {
+        if (!batches_[b].cold) {
+            ranked.push_back(b);
+            total += batches_[b].intensity;
+        }
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [this](node::BatchId a, node::BatchId b) {
+                  return batches_[a].intensity > batches_[b].intensity;
+              });
+
+    MemoryPlan plan;
+    if (total > 0.0) {
+        double covered = 0.0;
+        std::size_t cut = 0;
+        while (cut < ranked.size() &&
+               covered < config_.hot_coverage * total) {
+            covered += batches_[ranked[cut]].intensity;
+            ++cut;
+        }
+        plan.fast.assign(ranked.begin(),
+                         ranked.begin() + static_cast<std::ptrdiff_t>(cut));
+        // Warm batches, coldest first.
+        plan.slow.assign(ranked.rbegin(),
+                         ranked.rend() - static_cast<std::ptrdiff_t>(cut));
+    }
+    // Cold batches always belong in the slow tier.
+    for (std::size_t b = 0; b < batches_.size(); ++b) {
+        if (batches_[b].cold) {
+            plan.slow.push_back(b);
+        }
+    }
+    return core::MakePrediction(std::move(plan), clock_.Now(),
+                                config_.prediction_ttl);
+}
+
+core::Prediction<MemoryPlan>
+MemoryModel::DefaultPredict()
+{
+    // Downsample every batch to the slowest frequency so hit counts are
+    // directly comparable, then keep the hottest 95% local and demote
+    // only the coldest 5% (paper 5.3).
+    std::vector<node::BatchId> ranked(batches_.size());
+    for (std::size_t b = 0; b < batches_.size(); ++b) {
+        ranked[b] = b;
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [this](node::BatchId a, node::BatchId b) {
+                  if (batches_[a].down_hits != batches_[b].down_hits) {
+                      return batches_[a].down_hits > batches_[b].down_hits;
+                  }
+                  return batches_[a].intensity > batches_[b].intensity;
+              });
+    const auto keep = static_cast<std::size_t>(
+        config_.default_local_fraction *
+        static_cast<double>(ranked.size()));
+    MemoryPlan plan;
+    plan.fast.assign(ranked.begin(),
+                     ranked.begin() + static_cast<std::ptrdiff_t>(keep));
+    plan.slow.assign(ranked.rbegin(),
+                     ranked.rend() - static_cast<std::ptrdiff_t>(keep));
+    return core::MakeDefaultPrediction(std::move(plan), clock_.Now(),
+                                       config_.prediction_ttl);
+}
+
+bool
+MemoryModel::AssessModel()
+{
+    if (config_.fixed_arm >= 0) {
+        return true;  // Static baselines have no probes to judge with.
+    }
+    assessment_ok_ =
+        last_missed_fraction_ <= config_.missed_access_threshold;
+    return assessment_ok_;
+}
+
+double
+MemoryModel::EstimatedIntensity(node::BatchId batch) const
+{
+    return batches_.at(batch).intensity;
+}
+
+bool
+MemoryModel::IsCold(node::BatchId batch) const
+{
+    return batches_.at(batch).cold;
+}
+
+// ---------------------------------------------------------------------------
+// MemoryActuator
+// ---------------------------------------------------------------------------
+
+MemoryActuator::MemoryActuator(node::TieredMemory& memory,
+                               const sim::Clock& clock,
+                               const SmartMemoryConfig& config)
+    : memory_(memory), clock_(clock), config_(config)
+{
+}
+
+void
+MemoryActuator::TakeAction(
+    std::optional<core::Prediction<MemoryPlan>> pred)
+{
+    if (!pred.has_value()) {
+        // Delayed/stale prediction: pages simply stay where they are.
+        return;
+    }
+    const MemoryPlan& plan = pred->value;
+    // Demote first to free first-tier room, then promote hottest-first.
+    for (const node::BatchId b : plan.slow) {
+        memory_.Migrate(b, node::Tier::kSlow);
+    }
+    for (const node::BatchId b : plan.fast) {
+        if (memory_.TierOf(b) == node::Tier::kFast) {
+            continue;
+        }
+        if (!memory_.FastTierHasRoom()) {
+            break;
+        }
+        memory_.Migrate(b, node::Tier::kFast);
+    }
+}
+
+bool
+MemoryActuator::AssessPerformance()
+{
+    const node::MemoryAccessStats& stats = memory_.stats();
+    const std::uint64_t dl = stats.local_accesses - last_local_;
+    const std::uint64_t dr = stats.remote_accesses - last_remote_;
+    last_local_ = stats.local_accesses;
+    last_remote_ = stats.remote_accesses;
+    const std::uint64_t total = dl + dr;
+    last_remote_fraction_ =
+        total > 0 ? static_cast<double>(dr) / static_cast<double>(total)
+                  : 0.0;
+    return last_remote_fraction_ <= config_.remote_slo;
+}
+
+void
+MemoryActuator::Mitigate()
+{
+    // Immediately migrate the hottest second-tier batches back to DRAM,
+    // hottest (most recently accessed) first, as many as fit.
+    std::vector<node::BatchId> slow_batches;
+    for (std::size_t b = 0; b < memory_.num_batches(); ++b) {
+        if (memory_.TierOf(b) == node::Tier::kSlow) {
+            slow_batches.push_back(b);
+        }
+    }
+    std::sort(slow_batches.begin(), slow_batches.end(),
+              [this](node::BatchId a, node::BatchId b) {
+                  return memory_.LastAccess(a) > memory_.LastAccess(b);
+              });
+    std::size_t moved = 0;
+    for (const node::BatchId b : slow_batches) {
+        if (moved >= config_.mitigation_batches ||
+            !memory_.FastTierHasRoom()) {
+            break;
+        }
+        memory_.Migrate(b, node::Tier::kFast);
+        ++moved;
+    }
+}
+
+void
+MemoryActuator::CleanUp()
+{
+    // Restore second-tier batches to DRAM until all are back or the
+    // first tier is full, most recently used first.
+    std::vector<node::BatchId> slow_batches;
+    for (std::size_t b = 0; b < memory_.num_batches(); ++b) {
+        if (memory_.TierOf(b) == node::Tier::kSlow) {
+            slow_batches.push_back(b);
+        }
+    }
+    std::sort(slow_batches.begin(), slow_batches.end(),
+              [this](node::BatchId a, node::BatchId b) {
+                  return memory_.LastAccess(a) > memory_.LastAccess(b);
+              });
+    for (const node::BatchId b : slow_batches) {
+        if (!memory_.FastTierHasRoom()) {
+            break;
+        }
+        memory_.Migrate(b, node::Tier::kFast);
+    }
+}
+
+}  // namespace sol::agents

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * SmartMemory: the paper's page classification agent for two-tiered
+ * memory systems (section 5.3).
+ *
+ * The agent learns, per 2 MB batch of pages, the lowest access-bit scan
+ * frequency that still observes the batch's activity (Thompson Sampling
+ * with Beta priors over the candidate periods 300 ms .. 9.6 s). At the
+ * end of each 38.4 s epoch it estimates per-batch access intensity from
+ * the variable-rate scans, classifies the minimal set of batches covering
+ * 80% of accesses as hot (kept in first-tier DRAM), the rest as warm
+ * (candidates for the slow tier), and batches untouched for over 3
+ * minutes as cold.
+ *
+ * Safeguards:
+ *  - ValidateData fails a scan round when the scanning driver reports an
+ *    error, discarding the round's observations.
+ *  - AssessModel probes a random 10% of batches at the maximum frequency
+ *    as ground truth; if the model-recommended rates miss more than 25%
+ *    of accesses the model is deemed to be undersampling. The default
+ *    prediction then downsamples all scans to the lowest frequency (so
+ *    counts are comparable) and keeps the 95% hottest batches local.
+ *  - Delayed predictions need no immediate action: pages stay put.
+ *  - The Actuator safeguard triggers when the remote-access fraction of
+ *    the last window exceeds the 20% SLO, immediately migrating the
+ *    hottest second-tier batches back to DRAM.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/actuator.h"
+#include "core/model.h"
+#include "core/schedule.h"
+#include "ml/thompson.h"
+#include "node/tiered_memory.h"
+#include "sim/rng.h"
+
+namespace sol::agents {
+
+/** Result of one 300 ms scan round. */
+struct ScanRound {
+    int scanned = 0;  ///< Batches scanned this round.
+    int errors = 0;   ///< Driver errors reported this round.
+};
+
+/** Placement plan: the prediction payload. */
+struct MemoryPlan {
+    /** Batches to keep (or bring) in first-tier DRAM, hottest first. */
+    std::vector<node::BatchId> fast;
+    /** Batches to demote to the slow tier, coldest first. */
+    std::vector<node::BatchId> slow;
+};
+
+/** Tunables for SmartMemory. */
+struct SmartMemoryConfig {
+    /** Candidate scan periods, multiples of the 300 ms base period. */
+    std::vector<int> arm_period_slots = {1, 2, 4, 8, 16, 32};
+    /** Fraction of total access intensity the hot set must cover. */
+    double hot_coverage = 0.80;
+    /** Default prediction keeps this fraction of batches local. */
+    double default_local_fraction = 0.95;
+    /** Batches idle longer than this are cold (excluded from analysis). */
+    sim::Duration cold_threshold = sim::Seconds(180);
+    /** Fraction of batches probed at max frequency for ground truth. */
+    double probe_fraction = 0.10;
+    /** AssessModel fails above this missed-access fraction. */
+    double missed_access_threshold = 0.25;
+    /** Hit ratio below which an arm oversamples (should slow down). */
+    double oversample_ratio = 0.25;
+    /** Hit ratio above which an arm undersamples (should speed up). */
+    double undersample_ratio = 0.98;
+    /** Remote-access SLO for the actuator safeguard. */
+    double remote_slo = 0.20;
+    /** Batches migrated back per mitigation. */
+    std::size_t mitigation_batches = 100;
+    sim::Duration prediction_ttl = sim::Seconds(60);
+    /** Fixed arm override: disables learning and scans every batch at
+     *  this arm (the Fig 7 static baselines). Negative = learn. */
+    int fixed_arm = -1;
+    std::uint64_t seed = 3;
+};
+
+/** Per-batch Thompson-sampling scan scheduler and hot/warm classifier. */
+class MemoryModel : public core::Model<ScanRound, MemoryPlan>
+{
+  public:
+    MemoryModel(node::TieredMemory& memory, const sim::Clock& clock,
+                const SmartMemoryConfig& config = {});
+
+    ScanRound CollectData() override;
+    bool ValidateData(const ScanRound& data) override;
+    void CommitData(sim::TimePoint time, const ScanRound& data) override;
+    void UpdateModel() override;
+    core::Prediction<MemoryPlan> ModelPredict() override;
+    core::Prediction<MemoryPlan> DefaultPredict() override;
+    bool AssessModel() override;
+
+    /** Estimated access intensity of a batch (accesses/s), last epoch. */
+    double EstimatedIntensity(node::BatchId batch) const;
+
+    /** Missed-access fraction measured by the last assessment. */
+    double last_missed_fraction() const { return last_missed_fraction_; }
+
+    bool IsCold(node::BatchId batch) const;
+
+  private:
+    struct BatchState {
+        explicit BatchState(ml::ThompsonSampler s) : sampler(std::move(s))
+        {}
+
+        ml::ThompsonSampler sampler;
+        std::size_t arm = 0;
+        bool probe = false;       ///< Ground-truth probe this epoch.
+        int scans = 0;            ///< Arm-rate scans this epoch.
+        int hits = 0;             ///< Arm-rate scans that saw the bit set.
+        int probe_scans = 0;      ///< Max-rate scans (probes only).
+        int probe_hits = 0;
+        bool interval_or = false; ///< Pending OR for arm reconstruction.
+        std::vector<bool> window_hit;  ///< Per-9.6 s window activity.
+        double intensity = 0.0;   ///< Accesses/s estimate, last epoch.
+        int down_hits = 0;        ///< Downsampled hit count, last epoch.
+        sim::TimePoint last_set{0};
+        bool cold = false;
+    };
+
+    void SelectArms();
+    double IntensityFromRatio(double ratio, double period_secs) const;
+
+    node::TieredMemory& memory_;
+    const sim::Clock& clock_;
+    SmartMemoryConfig config_;
+    sim::Rng rng_;
+    std::vector<BatchState> batches_;
+    std::uint64_t slot_ = 0;  ///< 300 ms slots since start.
+    int slots_this_epoch_ = 0;
+
+    /** Observations staged by CollectData, applied on CommitData. */
+    struct Observation {
+        node::BatchId batch;
+        bool bit;
+        bool is_probe_scan;
+        bool arm_due;  ///< This slot is an arm-period boundary.
+    };
+    std::vector<Observation> staging_;
+
+    double last_missed_fraction_ = 0.0;
+    bool assessment_ok_ = true;
+};
+
+/** Actuator applying migrations with the remote-access SLO safeguard. */
+class MemoryActuator : public core::Actuator<MemoryPlan>
+{
+  public:
+    MemoryActuator(node::TieredMemory& memory, const sim::Clock& clock,
+                   const SmartMemoryConfig& config = {});
+
+    void TakeAction(std::optional<core::Prediction<MemoryPlan>> pred)
+        override;
+    bool AssessPerformance() override;
+    void Mitigate() override;
+    void CleanUp() override;
+
+    /** Remote fraction over the last safeguard interval. */
+    double last_remote_fraction() const { return last_remote_fraction_; }
+
+  private:
+    node::TieredMemory& memory_;
+    const sim::Clock& clock_;
+    SmartMemoryConfig config_;
+    std::uint64_t last_local_ = 0;
+    std::uint64_t last_remote_ = 0;
+    double last_remote_fraction_ = 0.0;
+};
+
+/** Paper schedule: 38.4 s epochs of 128 x 300 ms scan rounds. */
+core::Schedule SmartMemorySchedule();
+
+}  // namespace sol::agents

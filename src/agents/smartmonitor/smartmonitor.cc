@@ -1,0 +1,327 @@
+#include "agents/smartmonitor/smartmonitor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sol::agents {
+
+core::Schedule
+SmartMonitorSchedule()
+{
+    core::Schedule schedule;
+    schedule.data_per_epoch = 10;
+    schedule.data_collect_interval = sim::Millis(100);
+    schedule.max_epoch_time = sim::Millis(1500);
+    schedule.assess_model_every_epochs = 1;
+    schedule.max_actuation_delay = sim::Seconds(5);
+    schedule.assess_actuator_interval = sim::Seconds(1);
+    return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// SamplingPolicy
+// ---------------------------------------------------------------------------
+
+SamplingPolicy::SamplingPolicy(std::size_t num_channels,
+                               std::size_t visit_history)
+    : cdf_(num_channels), visit_capacity_(visit_history)
+{
+    if (num_channels == 0) {
+        throw std::invalid_argument("need at least one channel");
+    }
+    Reset();
+}
+
+void
+SamplingPolicy::SetWeights(const std::vector<double>& weights)
+{
+    if (weights.size() != cdf_.size()) {
+        throw std::invalid_argument("weight count != channel count");
+    }
+    double total = 0.0;
+    for (const double w : weights) {
+        if (w < 0.0) {
+            throw std::invalid_argument("weights must be non-negative");
+        }
+        total += w;
+    }
+    if (total <= 0.0) {
+        throw std::invalid_argument("weights must not all be zero");
+    }
+    double cumulative = 0.0;
+    for (std::size_t c = 0; c < cdf_.size(); ++c) {
+        cumulative += weights[c] / total;
+        cdf_[c] = cumulative;
+    }
+    cdf_.back() = 1.0;
+    uniform_ = false;
+}
+
+void
+SamplingPolicy::Reset()
+{
+    const double step = 1.0 / static_cast<double>(cdf_.size());
+    double cumulative = 0.0;
+    for (auto& c : cdf_) {
+        cumulative += step;
+        c = cumulative;
+    }
+    cdf_.back() = 1.0;
+    uniform_ = true;
+}
+
+node::ChannelId
+SamplingPolicy::Pick(sim::Rng& rng)
+{
+    const double u = rng.NextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    const auto channel =
+        static_cast<node::ChannelId>(it - cdf_.begin());
+    RecordVisit(channel);
+    return channel;
+}
+
+void
+SamplingPolicy::RecordVisit(node::ChannelId channel)
+{
+    visits_.push_back(channel);
+    while (visits_.size() > visit_capacity_) {
+        visits_.pop_front();
+    }
+}
+
+double
+SamplingPolicy::StarvedFraction() const
+{
+    if (visits_.empty()) {
+        return 0.0;  // Nothing sampled yet: nothing to judge.
+    }
+    std::unordered_set<node::ChannelId> seen(visits_.begin(),
+                                             visits_.end());
+    return 1.0 - static_cast<double>(seen.size()) /
+                     static_cast<double>(cdf_.size());
+}
+
+// ---------------------------------------------------------------------------
+// MonitorModel
+// ---------------------------------------------------------------------------
+
+MonitorModel::MonitorModel(node::ChannelArray& channels,
+                           SamplingPolicy& policy, const sim::Clock& clock,
+                           const SmartMonitorConfig& config)
+    : channels_(channels),
+      policy_(policy),
+      clock_(clock),
+      config_(config),
+      rng_(config.seed),
+      alpha_(channels.num_channels(), 1.0),
+      beta_(channels.num_channels(), 1.0)
+{
+    if (config_.budget_per_round < 2) {
+        throw std::invalid_argument(
+            "budget must cover the control slot plus >= 1 sample");
+    }
+}
+
+MonitorRound
+MonitorModel::CollectData()
+{
+    staging_.clear();
+    MonitorRound round;
+
+    // One control slot: uniform round-robin, the assessment baseline.
+    {
+        bool error = false;
+        const node::ChannelId channel = next_control_;
+        next_control_ = (next_control_ + 1) % channels_.num_channels();
+        const int found = channels_.Sample(channel, clock_.Now(), &error);
+        policy_.RecordVisit(channel);
+        ++round.samples;
+        if (error) {
+            ++round.errors;
+        } else {
+            round.detections += found;
+            staging_.push_back(Observation{channel, found > 0, true});
+        }
+    }
+
+    // Remaining budget: the learned (or default) allocation.
+    for (int slot = 1; slot < config_.budget_per_round; ++slot) {
+        bool error = false;
+        const node::ChannelId channel = policy_.Pick(rng_);
+        const int found = channels_.Sample(channel, clock_.Now(), &error);
+        ++round.samples;
+        if (error) {
+            ++round.errors;
+            continue;
+        }
+        round.detections += found;
+        staging_.push_back(Observation{channel, found > 0, false});
+    }
+    return round;
+}
+
+bool
+MonitorModel::ValidateData(const MonitorRound& data)
+{
+    return data.errors == 0;
+}
+
+void
+MonitorModel::CommitData(sim::TimePoint /*time*/,
+                         const MonitorRound& /*data*/)
+{
+    for (const Observation& obs : staging_) {
+        if (obs.detected) {
+            alpha_[obs.channel] += 1.0;
+        } else {
+            beta_[obs.channel] += 1.0;
+        }
+        if (obs.control) {
+            ++epoch_counts_[2];
+            epoch_counts_[3] += obs.detected ? 1 : 0;
+        } else {
+            ++epoch_counts_[0];
+            epoch_counts_[1] += obs.detected ? 1 : 0;
+        }
+    }
+    staging_.clear();
+}
+
+void
+MonitorModel::UpdateModel()
+{
+    // Decay posteriors toward the prior so the model tracks shifting
+    // incident rates.
+    for (std::size_t c = 0; c < alpha_.size(); ++c) {
+        alpha_[c] = 1.0 + (alpha_[c] - 1.0) * config_.posterior_decay;
+        beta_[c] = 1.0 + (beta_[c] - 1.0) * config_.posterior_decay;
+    }
+    window_.push_back(epoch_counts_);
+    epoch_counts_ = {};
+    while (window_.size() > config_.assess_window_epochs) {
+        window_.pop_front();
+    }
+}
+
+core::Prediction<std::vector<double>>
+MonitorModel::ModelPredict()
+{
+    // Thompson-style weights: sample each channel's posterior and mix
+    // with a uniform floor so no channel is fully starved.
+    std::vector<double> weights(alpha_.size());
+    const double floor =
+        config_.uniform_floor / static_cast<double>(alpha_.size());
+    double total = 0.0;
+    for (std::size_t c = 0; c < alpha_.size(); ++c) {
+        weights[c] = rng_.NextBeta(alpha_[c], beta_[c]);
+        total += weights[c];
+    }
+    for (auto& w : weights) {
+        w = (1.0 - config_.uniform_floor) * (w / total) + floor;
+    }
+    return core::MakePrediction(std::move(weights), clock_.Now(),
+                                config_.prediction_ttl);
+}
+
+core::Prediction<std::vector<double>>
+MonitorModel::DefaultPredict()
+{
+    // Uniform allocation: today's production behavior, always safe.
+    return core::MakeDefaultPrediction(
+        std::vector<double>(alpha_.size(),
+                            1.0 / static_cast<double>(alpha_.size())),
+        clock_.Now(), config_.prediction_ttl);
+}
+
+bool
+MonitorModel::AssessModel()
+{
+    if (window_.size() < config_.assess_window_epochs) {
+        return assessment_ok_;
+    }
+    // The learned allocation must out-detect the uniform control.
+    const double allocated = AllocatedYield();
+    const double control = ControlYield();
+    assessment_ok_ = allocated >= control;
+    return assessment_ok_;
+}
+
+double
+MonitorModel::AllocatedYield() const
+{
+    std::uint64_t samples = 0;
+    std::uint64_t detections = 0;
+    for (const auto& epoch : window_) {
+        samples += epoch[0];
+        detections += epoch[1];
+    }
+    return samples > 0 ? static_cast<double>(detections) /
+                             static_cast<double>(samples)
+                       : 0.0;
+}
+
+double
+MonitorModel::ControlYield() const
+{
+    std::uint64_t samples = 0;
+    std::uint64_t detections = 0;
+    for (const auto& epoch : window_) {
+        samples += epoch[2];
+        detections += epoch[3];
+    }
+    return samples > 0 ? static_cast<double>(detections) /
+                             static_cast<double>(samples)
+                       : 0.0;
+}
+
+double
+MonitorModel::Propensity(node::ChannelId channel) const
+{
+    return alpha_.at(channel) / (alpha_.at(channel) + beta_.at(channel));
+}
+
+// ---------------------------------------------------------------------------
+// MonitorActuator
+// ---------------------------------------------------------------------------
+
+MonitorActuator::MonitorActuator(SamplingPolicy& policy,
+                                 const SmartMonitorConfig& config)
+    : policy_(policy), config_(config)
+{
+}
+
+void
+MonitorActuator::TakeAction(
+    std::optional<core::Prediction<std::vector<double>>> pred)
+{
+    if (pred.has_value()) {
+        policy_.SetWeights(pred->value);
+    } else {
+        // Stale or missing prediction: uniform is always safe.
+        policy_.Reset();
+    }
+}
+
+bool
+MonitorActuator::AssessPerformance()
+{
+    last_starved_ = policy_.StarvedFraction();
+    return last_starved_ <= config_.starvation_threshold;
+}
+
+void
+MonitorActuator::Mitigate()
+{
+    policy_.Reset();
+}
+
+void
+MonitorActuator::CleanUp()
+{
+    policy_.Reset();
+}
+
+}  // namespace sol::agents

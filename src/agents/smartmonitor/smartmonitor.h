@@ -1,0 +1,187 @@
+/**
+ * @file
+ * SmartMonitor: the monitoring/logging agent class the paper motivates
+ * (sections 2-3) but does not build — implemented here as an extension
+ * in SOL.
+ *
+ * The agent has a fixed telemetry collection budget (samples per 100 ms
+ * round) to spread over many channels. Today's production monitors
+ * sample uniformly, oversampling quiet channels and undersampling the
+ * ones where incidents actually appear. SmartMonitor learns per-channel
+ * incident propensity with Beta-Bernoulli posteriors and allocates the
+ * budget by Thompson-style weights, raising incident detection coverage
+ * and cutting detection latency at the same cost.
+ *
+ * Safeguards (the mandatory SOL set):
+ *  - ValidateData discards rounds whose readings are corrupted
+ *    (negative counts from a failing driver).
+ *  - AssessModel reserves one control slot per round that always
+ *    samples uniformly (round-robin); if the learned allocation detects
+ *    fewer incidents per sample than the uniform control, predictions
+ *    are intercepted and the uniform default is used while the model
+ *    relearns.
+ *  - The Actuator falls back to uniform sampling when predictions are
+ *    stale or absent.
+ *  - The Actuator safeguard monitors channel starvation — the fraction
+ *    of channels the allocation has not visited within the trailing
+ *    window — and reverts to uniform sampling when coverage collapses.
+ *  - CleanUp restores uniform sampling (idempotent).
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/actuator.h"
+#include "core/model.h"
+#include "core/schedule.h"
+#include "node/channel_array.h"
+#include "sim/rng.h"
+
+namespace sol::agents {
+
+/**
+ * Shared sampling policy: the knob the Actuator sets and the Model's
+ * collection loop executes (the node-side sampler configuration). Also
+ * keeps the recent-visit ring the starvation safeguard reads — in
+ * production this is the sampler's per-channel visit counter.
+ */
+class SamplingPolicy
+{
+  public:
+    /**
+     * @param num_channels Channels on the node.
+     * @param visit_history Ring capacity for starvation accounting.
+     */
+    explicit SamplingPolicy(std::size_t num_channels,
+                            std::size_t visit_history = 512);
+
+    /** Installs per-channel weights (any non-negative, not all zero). */
+    void SetWeights(const std::vector<double>& weights);
+
+    /** Restores uniform sampling. */
+    void Reset();
+
+    /** Draws a channel per the current weights and records the visit. */
+    node::ChannelId Pick(sim::Rng& rng);
+
+    /** Records a visit made outside Pick (e.g. the control slot). */
+    void RecordVisit(node::ChannelId channel);
+
+    /** Fraction of channels absent from the recent-visit ring. */
+    double StarvedFraction() const;
+
+    std::size_t num_channels() const { return cdf_.size(); }
+    bool is_uniform() const { return uniform_; }
+
+  private:
+    std::vector<double> cdf_;  ///< Cumulative weight distribution.
+    bool uniform_ = true;
+    std::deque<node::ChannelId> visits_;
+    std::size_t visit_capacity_;
+};
+
+/** One 100 ms sampling round. */
+struct MonitorRound {
+    int samples = 0;
+    int errors = 0;      ///< Corrupted readings (discard round).
+    int detections = 0;  ///< Incidents found this round.
+};
+
+/** Tunables for SmartMonitor. */
+struct SmartMonitorConfig {
+    /** Budgeted samples per 100 ms round (includes the control slot). */
+    int budget_per_round = 3;
+    /** Uniform floor mixed into the learned weights, for coverage. */
+    double uniform_floor = 0.15;
+    /** Posterior decay per epoch (adapts to shifting incident rates). */
+    double posterior_decay = 0.98;
+    sim::Duration prediction_ttl = sim::Seconds(5);
+    /** Assessment window length in epochs. */
+    std::size_t assess_window_epochs = 30;
+    /** Trigger when more than this fraction of channels went unvisited
+     *  within the policy's recent-visit ring. */
+    double starvation_threshold = 0.5;
+    std::uint64_t seed = 4;
+};
+
+/** Per-channel Beta posteriors allocating the sampling budget. */
+class MonitorModel : public core::Model<MonitorRound, std::vector<double>>
+{
+  public:
+    MonitorModel(node::ChannelArray& channels, SamplingPolicy& policy,
+                 const sim::Clock& clock,
+                 const SmartMonitorConfig& config = {});
+
+    MonitorRound CollectData() override;
+    bool ValidateData(const MonitorRound& data) override;
+    void CommitData(sim::TimePoint time, const MonitorRound& data) override;
+    void UpdateModel() override;
+    core::Prediction<std::vector<double>> ModelPredict() override;
+    core::Prediction<std::vector<double>> DefaultPredict() override;
+    bool AssessModel() override;
+
+    /** Posterior mean incident propensity of a channel. */
+    double Propensity(node::ChannelId channel) const;
+
+    /** Detections per allocated sample over the assessment window. */
+    double AllocatedYield() const;
+    /** Detections per control (uniform) sample over the window. */
+    double ControlYield() const;
+
+  private:
+    struct Observation {
+        node::ChannelId channel;
+        bool detected;
+        bool control;
+    };
+
+    node::ChannelArray& channels_;
+    SamplingPolicy& policy_;
+    const sim::Clock& clock_;
+    SmartMonitorConfig config_;
+    sim::Rng rng_;
+
+    std::vector<double> alpha_;
+    std::vector<double> beta_;
+    node::ChannelId next_control_ = 0;  ///< Round-robin control slot.
+
+    std::vector<Observation> staging_;
+
+    /** Per-epoch [allocated_samples, allocated_detections,
+     *  control_samples, control_detections], windowed. */
+    std::deque<std::array<std::uint64_t, 4>> window_;
+    std::array<std::uint64_t, 4> epoch_counts_{};
+
+    bool assessment_ok_ = true;
+};
+
+/** Actuator applying allocations with the starvation safeguard. */
+class MonitorActuator : public core::Actuator<std::vector<double>>
+{
+  public:
+    MonitorActuator(SamplingPolicy& policy,
+                    const SmartMonitorConfig& config = {});
+
+    void
+    TakeAction(std::optional<core::Prediction<std::vector<double>>> pred)
+        override;
+    bool AssessPerformance() override;
+    void Mitigate() override;
+    void CleanUp() override;
+
+    double last_starved_fraction() const { return last_starved_; }
+
+  private:
+    SamplingPolicy& policy_;
+    SmartMonitorConfig config_;
+    double last_starved_ = 0.0;
+};
+
+/** Schedule: 1 s epochs of 10 x 100 ms sampling rounds. */
+core::Schedule SmartMonitorSchedule();
+
+}  // namespace sol::agents

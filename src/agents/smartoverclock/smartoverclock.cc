@@ -1,0 +1,336 @@
+#include "agents/smartoverclock/smartoverclock.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sol::agents {
+
+namespace {
+
+ml::QLearnerConfig
+MakeLearnerConfig(const SmartOverclockConfig& config,
+                  std::size_t num_freqs)
+{
+    ml::QLearnerConfig lc;
+    lc.num_states = static_cast<std::size_t>(config.ips_buckets) * num_freqs;
+    lc.num_actions = num_freqs;
+    lc.learning_rate = config.learning_rate;
+    lc.discount = config.discount;
+    lc.exploration = config.exploration;
+    lc.initial_q = config.initial_q;
+    return lc;
+}
+
+}  // namespace
+
+core::Schedule
+SmartOverclockSchedule()
+{
+    core::Schedule schedule;
+    schedule.data_per_epoch = 10;
+    schedule.data_collect_interval = sim::Millis(100);
+    // 1 s nominal epochs; the 1.5 s deadline gives a transiently noisy
+    // counter a few retries before the epoch is short-circuited.
+    schedule.max_epoch_time = sim::Millis(1500);
+    schedule.assess_model_every_epochs = 1;
+    schedule.max_actuation_delay = sim::Seconds(5);
+    schedule.assess_actuator_interval = sim::Seconds(1);
+    return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// OverclockModel
+// ---------------------------------------------------------------------------
+
+OverclockModel::OverclockModel(node::Node& node, node::VmId vm,
+                               const sim::Clock& clock,
+                               const SmartOverclockConfig& config)
+    : node_(node),
+      vm_(vm),
+      clock_(clock),
+      config_(config),
+      learner_(MakeLearnerConfig(config,
+                                 node.AllowedFrequencies().size())),
+      gips_buckets_(0.0, config.max_gips_per_core,
+                    static_cast<std::size_t>(config.ips_buckets)),
+      rng_(config.seed),
+      delta_r_window_(config.assess_window),
+      overclocked_window_(config.assess_window)
+{
+}
+
+OverclockSample
+OverclockModel::CollectData()
+{
+    const node::CpuCounterSnapshot snap = node_.ReadCounters(vm_);
+    OverclockSample sample;
+    sample.freq_ghz = node_.VmFrequency(vm_);
+    if (have_snapshot_) {
+        const node::CpuCounterDelta delta =
+            node::Diff(last_snapshot_, snap);
+        sample.ips = delta.Ips();
+        sample.alpha = delta.Alpha();
+    }
+    last_snapshot_ = snap;
+    have_snapshot_ = true;
+    return sample;
+}
+
+bool
+OverclockModel::ValidateData(const OverclockSample& data)
+{
+    // Range checks from the paper: IPS within 0..max_freq * max_IPC for
+    // the VM's cores, alpha within [0, 1], frequency in the DVFS set.
+    const double cores =
+        static_cast<double>(node_.GrantedCores(vm_));
+    const double max_freq_hz =
+        *std::max_element(node_.AllowedFrequencies().begin(),
+                          node_.AllowedFrequencies().end()) *
+        1e9;
+    const double max_ips = cores * max_freq_hz * config_.max_ipc;
+    if (!(data.ips >= 0.0 && data.ips <= max_ips)) {
+        return false;
+    }
+    if (!(data.alpha >= 0.0 && data.alpha <= 1.0)) {
+        return false;
+    }
+    if (!(data.freq_ghz > 0.0 && data.freq_ghz <= 10.0)) {
+        return false;
+    }
+    return true;
+}
+
+void
+OverclockModel::CommitData(sim::TimePoint /*time*/,
+                           const OverclockSample& data)
+{
+    epoch_ips_.Add(data.ips);
+    epoch_alpha_.Add(data.alpha);
+    epoch_freq_.Add(data.freq_ghz);
+}
+
+void
+OverclockModel::UpdateModel()
+{
+    if (epoch_ips_.count() == 0) {
+        return;
+    }
+    const double nominal = node_.NominalFrequency();
+    const double cores =
+        std::max(1.0, static_cast<double>(node_.GrantedCores(vm_)));
+    const double freq = epoch_freq_.mean();
+    const double gips_per_core = epoch_ips_.mean() / cores / 1e9;
+
+    // Reward: normalized instruction throughput minus the extra power
+    // cost of running above nominal (cubic in frequency).
+    const double ips_norm = gips_per_core / nominal;
+    const double freq_ratio = freq / nominal;
+    const double power_penalty =
+        config_.power_coeff * (freq_ratio * freq_ratio * freq_ratio - 1.0);
+    const double reward = ips_norm - power_penalty;
+
+    // Credit the action that actually ran this epoch: when the runtime
+    // intercepts the model's prediction (or the actuator times out), the
+    // executed frequency differs from the one ModelPredict emitted.
+    const std::size_t executed_action = FreqIndex(freq);
+    const std::size_t state = StateFor(gips_per_core, freq);
+    if (prev_state_) {
+        learner_.Update(*prev_state_, executed_action, reward, state);
+    }
+
+    // delta_r: observed reward when overclocked minus the estimated
+    // reward of having stayed at nominal (IPS rescaled to nominal under
+    // the frequency-sensitivity assumption). Epochs that ran at nominal
+    // contribute 0, so the average over the last 10 epochs measures the
+    // net benefit of the overclocking the policy actually performed.
+    if (freq > nominal * 1.01) {
+        const double nominal_reward_est = ips_norm / freq_ratio;
+        delta_r_window_.Add(reward - nominal_reward_est);
+        overclocked_window_.Add(1.0);
+    } else {
+        delta_r_window_.Add(0.0);
+        overclocked_window_.Add(0.0);
+    }
+
+    last_gips_ = gips_per_core;
+    last_gips_valid_ = true;
+
+    epoch_ips_.Reset();
+    epoch_alpha_.Reset();
+    epoch_freq_.Reset();
+}
+
+core::Prediction<double>
+OverclockModel::ModelPredict()
+{
+    const double freq = node_.VmFrequency(vm_);
+    const double cores =
+        std::max(1.0, static_cast<double>(node_.GrantedCores(vm_)));
+    // State comes from the last full epoch's aggregate; before any epoch
+    // completes, fall back to an instantaneous usage estimate.
+    const double gips = last_gips_valid_
+                            ? last_gips_
+                            : node_.SampleCpuUsage(vm_) * freq / cores;
+    const std::size_t state = StateFor(gips, freq);
+
+    std::size_t action;
+    bool explored = false;
+    if (broken_) {
+        // Fault injection: a buggy policy that always overclocks to max.
+        action = node_.AllowedFrequencies().size() - 1;
+    } else {
+        action = learner_.SelectAction(state, rng_, &explored);
+    }
+    prev_state_ = state;
+    prev_emitted_explored_ = explored;
+
+    const double chosen = node_.AllowedFrequencies()[action];
+    return core::MakePrediction(chosen, clock_.Now(),
+                                config_.prediction_ttl);
+}
+
+core::Prediction<double>
+OverclockModel::DefaultPredict()
+{
+    // While the model assessment is failing the agent keeps exploring
+    // randomly but pins the policy-selected action to nominal (paper
+    // section 5.1). On data-starved epochs the default is plain nominal.
+    double freq = node_.NominalFrequency();
+    if (!assessment_ok_ && rng_.NextBool(config_.exploration)) {
+        // Keep exploring while intercepted — this produces the
+        // overclocked epochs whose delta_r lets the model prove it has
+        // recovered. Exploring nominal would carry no evidence, so the
+        // random choice is over the overclocked frequencies only.
+        const auto& freqs = node_.AllowedFrequencies();
+        std::vector<double> overclocked;
+        for (const double f : freqs) {
+            if (f > freq * 1.01) {
+                overclocked.push_back(f);
+            }
+        }
+        if (!overclocked.empty()) {
+            freq = overclocked[rng_.NextBelow(overclocked.size())];
+            prev_emitted_explored_ = true;
+        }
+    }
+    return core::MakeDefaultPrediction(freq, clock_.Now(),
+                                       config_.prediction_ttl);
+}
+
+bool
+OverclockModel::AssessModel()
+{
+    if (!delta_r_window_.full()) {
+        return assessment_ok_;  // Not enough history to judge yet.
+    }
+    const double mean = delta_r_window_.Mean();
+    const bool any_overclocked = overclocked_window_.Mean() > 0.0;
+    if (assessment_ok_) {
+        assessment_ok_ = mean >= config_.assess_fail_threshold;
+    } else if (any_overclocked) {
+        // Hysteresis: recovery requires demonstrated benefit from actual
+        // overclocked epochs (exploration feeds delta_r while
+        // predictions are intercepted, giving the model a path back).
+        // A window with no overclocking carries no evidence either way,
+        // so the failing verdict persists.
+        assessment_ok_ = mean >= config_.assess_recover_threshold;
+    }
+    return assessment_ok_;
+}
+
+std::size_t
+OverclockModel::StateFor(double gips_per_core, double freq_ghz) const
+{
+    const std::size_t bucket = gips_buckets_.Bucket(gips_per_core);
+    return bucket * node_.AllowedFrequencies().size() +
+           FreqIndex(freq_ghz);
+}
+
+std::size_t
+OverclockModel::FreqIndex(double freq_ghz) const
+{
+    const auto& freqs = node_.AllowedFrequencies();
+    std::size_t best = 0;
+    double best_err = std::abs(freqs[0] - freq_ghz);
+    for (std::size_t i = 1; i < freqs.size(); ++i) {
+        const double err = std::abs(freqs[i] - freq_ghz);
+        if (err < best_err) {
+            best_err = err;
+            best = i;
+        }
+    }
+    return best;
+}
+
+// ---------------------------------------------------------------------------
+// OverclockActuator
+// ---------------------------------------------------------------------------
+
+OverclockActuator::OverclockActuator(node::Node& node, node::VmId vm,
+                                     const sim::Clock& clock,
+                                     const SmartOverclockConfig& config)
+    : node_(node),
+      vm_(vm),
+      clock_(clock),
+      config_(config),
+      alpha_p90_(config.safeguard_window)
+{
+}
+
+void
+OverclockActuator::TakeAction(std::optional<core::Prediction<double>> pred)
+{
+    if (pred.has_value()) {
+        node_.SetVmFrequency(vm_, pred->value);
+    } else {
+        // Conservative action: no fresh prediction, stop overclocking.
+        node_.ResetVmFrequency(vm_);
+    }
+}
+
+bool
+OverclockActuator::AssessPerformance()
+{
+    // Sample alpha over the interval since the last assessment.
+    const node::CpuCounterSnapshot snap = node_.ReadCounters(vm_);
+    if (have_snapshot_) {
+        const node::CpuCounterDelta delta =
+            node::Diff(last_snapshot_, snap);
+        last_alpha_ = delta.Alpha();
+        alpha_p90_.Add(clock_.Now(), last_alpha_);
+    }
+    last_snapshot_ = snap;
+    have_snapshot_ = true;
+
+    if (safeguard_active_) {
+        // Exit quickly once activity returns.
+        if (last_alpha_ > config_.safeguard_exit_alpha) {
+            safeguard_active_ = false;
+        }
+    } else {
+        // Enter only on sustained low activity: P90 over the window.
+        const std::size_t min_samples = 10;
+        if (alpha_p90_.Count(clock_.Now()) >= min_samples &&
+            alpha_p90_.Quantile(clock_.Now(), 0.9) <
+                config_.safeguard_p90_threshold) {
+            safeguard_active_ = true;
+        }
+    }
+    return !safeguard_active_;
+}
+
+void
+OverclockActuator::Mitigate()
+{
+    // Overclocking would waste power in this low-activity phase.
+    node_.ResetVmFrequency(vm_);
+}
+
+void
+OverclockActuator::CleanUp()
+{
+    // Idempotent: restore the node to its clean state.
+    node_.ResetVmFrequency(vm_);
+}
+
+}  // namespace sol::agents

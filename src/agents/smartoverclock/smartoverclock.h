@@ -1,0 +1,183 @@
+/**
+ * @file
+ * SmartOverclock: the paper's CPU overclocking agent (section 5.1).
+ *
+ * Uses tabular Q-learning over (IPS bucket, current frequency) states to
+ * decide, once per 1-second learning epoch, which of the allowed CPU
+ * frequencies to run a VM at. The reward trades the observed instruction
+ * throughput against the cubic power cost of frequency, so the policy
+ * learns to overclock only workloads (and phases) that actually speed up.
+ *
+ * Safeguards, as specified in the paper:
+ *  - ValidateData range-checks every counter sample (IPS within
+ *    0..max_freq*max_IPC, alpha within 0..1) and discards violations.
+ *  - AssessModel tracks delta_r — observed reward when overclocked minus
+ *    the estimated reward at nominal frequency — over the last 10 epochs;
+ *    if the average falls below a threshold the model is considered bad.
+ *    While failing, the agent keeps exploring randomly but its default
+ *    prediction pins the RL-selected action to the nominal frequency.
+ *  - The Actuator takes the safe default action (nominal frequency) when
+ *    no fresh prediction arrives within max_actuation_delay (5 s).
+ *  - The Actuator safeguard monitors the P90 of the activity factor
+ *    alpha = (unhalted - stalled) / total cycles over the past 100 s and
+ *    disables overclocking during sustained low-activity phases,
+ *    re-enabling quickly when activity returns.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/actuator.h"
+#include "core/model.h"
+#include "core/schedule.h"
+#include "ml/qlearning.h"
+#include "node/node.h"
+#include "sim/rng.h"
+#include "telemetry/online_stats.h"
+#include "telemetry/window_percentile.h"
+
+namespace sol::agents {
+
+/** One telemetry sample: counter deltas over a 100 ms window. */
+struct OverclockSample {
+    double ips = 0.0;       ///< Instructions per second over the window.
+    double alpha = 0.0;     ///< Activity factor over the window.
+    double freq_ghz = 0.0;  ///< Frequency the VM ran at.
+};
+
+/** Tunables for SmartOverclock (paper defaults). */
+struct SmartOverclockConfig {
+    /** Trade-off weight of the cubic power penalty in the RL reward. */
+    double power_coeff = 0.08;
+    /** Epsilon for epsilon-greedy exploration. */
+    double exploration = 0.1;
+    /** Buckets used to discretize per-core GIPS into RL states. */
+    int ips_buckets = 8;
+    /** Upper bound of the per-core GIPS bucketizer range. */
+    double max_gips_per_core = 10.0;
+    /** Max plausible IPC, used by the data validation range check. */
+    double max_ipc = 4.0;
+    /** Predictions expire this long after they are made. */
+    sim::Duration prediction_ttl = sim::Millis(1500);
+    /** delta_r window length (epochs) for AssessModel. Epochs that ran
+     *  at nominal frequency contribute 0 (no overclocking, no regret). */
+    std::size_t assess_window = 10;
+    /** AssessModel fails when mean delta_r drops below this. */
+    double assess_fail_threshold = -0.05;
+    /** A failing assessment recovers only at or above this, and only
+     *  when the window actually contains overclocked epochs (hysteresis:
+     *  the model must demonstrate — via exploration — that overclocking
+     *  is genuinely paying off again). */
+    double assess_recover_threshold = 0.0;
+    /** Actuator safeguard: trailing window for the alpha percentile. */
+    sim::Duration safeguard_window = sim::Seconds(100);
+    /** Trigger when P90(alpha) over the window is below this. */
+    double safeguard_p90_threshold = 0.05;
+    /** Exit the safeguard when instantaneous alpha rises above this. */
+    double safeguard_exit_alpha = 0.3;
+    double learning_rate = 0.3;
+    double discount = 0.3;
+    /** Optimistic initialization drives systematic early exploration. */
+    double initial_q = 3.0;
+    std::uint64_t seed = 1;
+};
+
+/** Q-learning model choosing the next epoch's frequency. */
+class OverclockModel : public core::Model<OverclockSample, double>
+{
+  public:
+    /**
+     * @param node Simulated node (provides counters and the clock source).
+     * @param vm VM whose cores the agent manages.
+     * @param clock Time source for prediction expiry stamps.
+     */
+    OverclockModel(node::Node& node, node::VmId vm, const sim::Clock& clock,
+                   const SmartOverclockConfig& config = {});
+
+    OverclockSample CollectData() override;
+    bool ValidateData(const OverclockSample& data) override;
+    void CommitData(sim::TimePoint time,
+                    const OverclockSample& data) override;
+    void UpdateModel() override;
+    core::Prediction<double> ModelPredict() override;
+    core::Prediction<double> DefaultPredict() override;
+    bool AssessModel() override;
+
+    const ml::QLearner& learner() const { return learner_; }
+
+    /**
+     * Fault injection (Fig 3): forces ModelPredict to always choose the
+     * highest frequency, modeling a policy corrupted by a software bug.
+     */
+    void BreakModel(bool broken) { broken_ = broken; }
+
+  private:
+    std::size_t StateFor(double gips_per_core, double freq_ghz) const;
+    std::size_t FreqIndex(double freq_ghz) const;
+
+    node::Node& node_;
+    node::VmId vm_;
+    const sim::Clock& clock_;
+    SmartOverclockConfig config_;
+    ml::QLearner learner_;
+    ml::UniformBucketizer gips_buckets_;
+    sim::Rng rng_;
+
+    node::CpuCounterSnapshot last_snapshot_;
+    bool have_snapshot_ = false;
+
+    // Epoch accumulation.
+    telemetry::OnlineStats epoch_ips_;
+    telemetry::OnlineStats epoch_alpha_;
+    telemetry::OnlineStats epoch_freq_;
+
+    // RL bookkeeping.
+    std::optional<std::size_t> prev_state_;
+    bool prev_emitted_explored_ = false;
+    double last_gips_ = 0.0;  ///< Per-core GIPS of the last full epoch.
+    bool last_gips_valid_ = false;
+
+    // Model assessment (delta_r over overclocked epochs).
+    telemetry::SlidingWindow delta_r_window_;
+    telemetry::SlidingWindow overclocked_window_;  ///< 1 if epoch OC'd.
+    bool assessment_ok_ = true;
+    bool broken_ = false;
+};
+
+/** Actuator applying frequency decisions with the alpha safeguard. */
+class OverclockActuator : public core::Actuator<double>
+{
+  public:
+    OverclockActuator(node::Node& node, node::VmId vm,
+                      const sim::Clock& clock,
+                      const SmartOverclockConfig& config = {});
+
+    void TakeAction(std::optional<core::Prediction<double>> pred) override;
+    bool AssessPerformance() override;
+    void Mitigate() override;
+    void CleanUp() override;
+
+    /** True while the alpha safeguard has overclocking disabled. */
+    bool safeguard_active() const { return safeguard_active_; }
+
+    /** Last alpha sample observed by the safeguard. */
+    double last_alpha() const { return last_alpha_; }
+
+  private:
+    node::Node& node_;
+    node::VmId vm_;
+    const sim::Clock& clock_;
+    SmartOverclockConfig config_;
+    telemetry::WindowPercentile alpha_p90_;
+    node::CpuCounterSnapshot last_snapshot_;
+    bool have_snapshot_ = false;
+    bool safeguard_active_ = false;
+    double last_alpha_ = 0.0;
+};
+
+/** Paper schedule for SmartOverclock: 1 s epochs of 10 x 100 ms samples,
+ *  5 s actuation timeout, 1 s safeguard checks. */
+core::Schedule SmartOverclockSchedule();
+
+}  // namespace sol::agents

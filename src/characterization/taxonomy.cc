@@ -1,0 +1,98 @@
+#include "characterization/taxonomy.h"
+
+namespace sol::characterization {
+
+std::string
+ToString(AgentClass cls)
+{
+    switch (cls) {
+      case AgentClass::kConfiguration:
+        return "Configuration";
+      case AgentClass::kServices:
+        return "Services";
+      case AgentClass::kMonitoring:
+        return "Monitoring/logging";
+      case AgentClass::kWatchdogs:
+        return "Watchdogs";
+      case AgentClass::kResourceControl:
+        return "Resource control";
+      case AgentClass::kAccess:
+        return "Access";
+    }
+    return "Unknown";
+}
+
+const std::vector<AgentClassInfo>&
+Taxonomy()
+{
+    static const std::vector<AgentClassInfo> kTable1 = {
+        {AgentClass::kConfiguration, 25,
+         "Configure node HW, SW, or data",
+         "Credentials, firewalls, OS updates", false},
+        {AgentClass::kServices, 23, "Long-running node services",
+         "VM creation, live migration", false},
+        {AgentClass::kMonitoring, 18, "Monitoring and logging node's state",
+         "CPU and OS counters, network telemetry", true},
+        {AgentClass::kWatchdogs, 7,
+         "Watch for problems to alert/automitigate",
+         "Disk space, intrusions, HW errors", true},
+        {AgentClass::kResourceControl, 2, "Manage resource assignments",
+         "Power capping, memory management", true},
+        {AgentClass::kAccess, 2, "Allow operators access to nodes",
+         "Filesystem access", false},
+    };
+    return kTable1;
+}
+
+std::size_t
+TotalAgents()
+{
+    std::size_t total = 0;
+    for (const auto& row : Taxonomy()) {
+        total += row.count;
+    }
+    return total;
+}
+
+std::size_t
+AgentsBenefiting()
+{
+    std::size_t total = 0;
+    for (const auto& row : Taxonomy()) {
+        if (row.benefits_from_ml) {
+            total += row.count;
+        }
+    }
+    return total;
+}
+
+double
+BenefitFraction()
+{
+    return static_cast<double>(AgentsBenefiting()) /
+           static_cast<double>(TotalAgents());
+}
+
+const std::vector<LearningAgentInfo>&
+LearningAgents()
+{
+    static const std::vector<LearningAgentInfo> kTable2 = {
+        {"SmartHarvest", "Harvest idle cores", "Core assignment",
+         sim::Millis(25), "CPU usage", "Cost-sensitive classification"},
+        {"Hipster", "Reduce power draw", "Core assignment & frequency",
+         sim::Seconds(1), "App QoS and load", "Reinforcement learning"},
+        {"LinnOS", "Improve IO perf", "IO request routing/rejection",
+         sim::Duration(0), "Latencies, queue sizes",
+         "Binary classification"},
+        {"ESP", "Reduce interference", "App scheduling", sim::Duration(0),
+         "App run time, perf counters", "Regularized regression"},
+        {"Overclocking", "Improve VM perf", "CPU overclocking",
+         sim::Seconds(1), "Instructions per second",
+         "Reinforcement learning"},
+        {"Disaggregation", "Migrate pages", "Warm/cold page ID",
+         sim::Millis(100), "Page table scans", "Multi-armed bandits"},
+    };
+    return kTable2;
+}
+
+}  // namespace sol::characterization

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Characterization of production on-node agents (paper section 2).
+ *
+ * Encodes Table 1 — the taxonomy of the 77 node agents running in Azure
+ * across 6 classes — and Table 2 — published examples of on-node
+ * learning resource-control agents — as queryable registries. The
+ * corresponding bench binaries regenerate the tables and the headline
+ * "35% of agents can benefit from on-node learning" statistic.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sol::characterization {
+
+/** The six agent classes of Table 1. */
+enum class AgentClass {
+    kConfiguration,
+    kServices,
+    kMonitoring,
+    kWatchdogs,
+    kResourceControl,
+    kAccess,
+};
+
+/** Human-readable class name. */
+std::string ToString(AgentClass cls);
+
+/** One row of Table 1. */
+struct AgentClassInfo {
+    AgentClass cls;
+    std::size_t count;          ///< Agents of this class on each node.
+    std::string description;
+    std::string examples;
+    bool benefits_from_ml;      ///< The paper's rightmost column.
+};
+
+/** The full Table 1 taxonomy. */
+const std::vector<AgentClassInfo>& Taxonomy();
+
+/** Total number of node agents (77 in the paper). */
+std::size_t TotalAgents();
+
+/** Number of agents in classes that can benefit from on-node ML. */
+std::size_t AgentsBenefiting();
+
+/** Fraction of agents that can benefit (0.35 in the paper). */
+double BenefitFraction();
+
+/** One row of Table 2. */
+struct LearningAgentInfo {
+    std::string name;
+    std::string goal;
+    std::string action;
+    sim::Duration frequency;   ///< Decision cadence.
+    std::string inputs;
+    std::string model;
+};
+
+/** The Table 2 registry of on-node learning agents. */
+const std::vector<LearningAgentInfo>& LearningAgents();
+
+}  // namespace sol::characterization

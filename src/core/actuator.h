@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The SOL Actuator interface (paper Listing 2).
+ *
+ * The Actuator makes control decisions at regular intervals using model
+ * predictions when available. By design it closely resembles a
+ * non-learning agent: a control function plus an end-to-end safeguard and
+ * an idempotent cleanup. It runs in its own loop so it can keep taking
+ * safe actions when the Model is throttled or underperforming.
+ */
+#pragma once
+
+#include <optional>
+
+#include "core/prediction.h"
+
+namespace sol::core {
+
+/**
+ * Agent-provided control logic.
+ *
+ * @tparam P Type of the prediction payload.
+ */
+template <typename P>
+class Actuator
+{
+  public:
+    virtual ~Actuator() = default;
+
+    /**
+     * Takes one control action.
+     *
+     * Called when a fresh prediction arrives, or after the schedule's
+     * max_actuation_delay elapses without one — in which case `pred` is
+     * empty and the implementation must take a conservative, safe action
+     * (paper section 4.1). Predictions that expired in the queue are also
+     * delivered as empty.
+     */
+    virtual void TakeAction(std::optional<Prediction<P>> pred) = 0;
+
+    /**
+     * End-to-end behavioral safeguard, independent of model internals.
+     * Measures proxies for the agent's safety metric (e.g. vCPU wait
+     * time, remote-access fraction).
+     *
+     * @return true when the agent's end-to-end behavior is acceptable.
+     */
+    virtual bool AssessPerformance() = 0;
+
+    /**
+     * Mitigating action invoked by the runtime while AssessPerformance
+     * fails (e.g. return all harvested cores, restore nominal frequency).
+     * The actuator loop is halted until the assessment passes again.
+     */
+    virtual void Mitigate() = 0;
+
+    /**
+     * Idempotent, stateless teardown: stops the agent's effects and
+     * restores the node to a clean state. Safe to call at any time, from
+     * any party (e.g. SREs via the AgentRegistry), whether the agent is
+     * running normally, has crashed, or is hanging.
+     */
+    virtual void CleanUp() = 0;
+};
+
+}  // namespace sol::core

@@ -1,0 +1,85 @@
+#include "core/agent_registry.h"
+
+namespace sol::core {
+
+void
+AgentRegistry::Register(const std::string& name,
+                        std::function<void()> cleanup)
+{
+    std::lock_guard lock(mutex_);
+    agents_[name] = std::move(cleanup);
+}
+
+void
+AgentRegistry::Unregister(const std::string& name)
+{
+    std::lock_guard lock(mutex_);
+    agents_.erase(name);
+}
+
+bool
+AgentRegistry::CleanUp(const std::string& name)
+{
+    std::function<void()> fn;
+    {
+        std::lock_guard lock(mutex_);
+        const auto it = agents_.find(name);
+        if (it == agents_.end()) {
+            return false;
+        }
+        fn = it->second;
+    }
+    fn();
+    return true;
+}
+
+void
+AgentRegistry::CleanUpAll()
+{
+    std::vector<std::function<void()>> fns;
+    {
+        std::lock_guard lock(mutex_);
+        fns.reserve(agents_.size());
+        for (const auto& [name, fn] : agents_) {
+            fns.push_back(fn);
+        }
+    }
+    for (const auto& fn : fns) {
+        fn();
+    }
+}
+
+std::vector<std::string>
+AgentRegistry::Names() const
+{
+    std::lock_guard lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(agents_.size());
+    for (const auto& [name, fn] : agents_) {
+        names.push_back(name);
+    }
+    return names;
+}
+
+bool
+AgentRegistry::Contains(const std::string& name) const
+{
+    std::lock_guard lock(mutex_);
+    return agents_.count(name) > 0;
+}
+
+std::size_t
+AgentRegistry::size() const
+{
+    std::lock_guard lock(mutex_);
+    return agents_.size();
+}
+
+AgentRegistry&
+AgentRegistry::Global()
+{
+    static AgentRegistry instance;
+    return instance;
+}
+
+}  // namespace sol::core

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Node-wide agent registry: the SRE-facing termination path.
+ *
+ * The paper requires every agent to expose an idempotent, stateless
+ * CleanUp that operators can invoke without knowing anything about the
+ * agent's implementation. The registry maps agent names to those cleanup
+ * callbacks so a node SRE (or a node-health watchdog) can terminate and
+ * clean up after any — or all — agents uniformly.
+ */
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sol::core {
+
+/** Registry of running agents and their CleanUp callbacks. */
+class AgentRegistry
+{
+  public:
+    AgentRegistry() = default;
+
+    /**
+     * Registers an agent. The callback must be safe to invoke at any
+     * time and any number of times. Re-registering a name replaces the
+     * previous entry.
+     */
+    void Register(const std::string& name, std::function<void()> cleanup);
+
+    /** Removes an agent without running its cleanup. */
+    void Unregister(const std::string& name);
+
+    /**
+     * Runs an agent's cleanup.
+     *
+     * @return false if no such agent is registered.
+     */
+    bool CleanUp(const std::string& name);
+
+    /** Runs every registered agent's cleanup (incident response). */
+    void CleanUpAll();
+
+    /** Names of all registered agents. */
+    std::vector<std::string> Names() const;
+
+    bool Contains(const std::string& name) const;
+    std::size_t size() const;
+
+    /** Process-wide instance used by examples and deployments. */
+    static AgentRegistry& Global();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::function<void()>> agents_;
+};
+
+}  // namespace sol::core

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The SOL Model interface (paper Listing 1).
+ *
+ * The Model is responsible for providing fresh and accurate predictions
+ * on a best-effort basis. Developers implement the three common learning
+ * operations (collect, update, predict) plus the mandatory safeguards
+ * (per-sample validation, periodic self-assessment, and a safe default
+ * prediction). The runtime — not the developer — sequences these calls
+ * into learning epochs and enforces the safeguard semantics.
+ */
+#pragma once
+
+#include "core/prediction.h"
+#include "sim/time.h"
+
+namespace sol::core {
+
+/**
+ * Agent-provided model logic.
+ *
+ * @tparam D Type of one collected telemetry datum.
+ * @tparam P Type of the prediction payload.
+ */
+template <typename D, typename P>
+class Model
+{
+  public:
+    virtual ~Model() = default;
+
+    // --- The three common learning operations --------------------------
+
+    /** Reads one telemetry datum from the node. */
+    virtual D CollectData() = 0;
+
+    /** Updates the model with all data committed this epoch. */
+    virtual void UpdateModel() = 0;
+
+    /** Produces a prediction from the current model. */
+    virtual Prediction<P> ModelPredict() = 0;
+
+    // --- Mandatory safeguards -------------------------------------------
+
+    /**
+     * Checks a freshly collected datum against the model's data
+     * assumptions (range checks, distributional checks). Invalid data is
+     * discarded by the runtime and never reaches CommitData.
+     */
+    virtual bool ValidateData(const D& data) = 0;
+
+    /** Accepts a validated datum into the model's learning buffer. */
+    virtual void CommitData(sim::TimePoint time, const D& data) = 0;
+
+    /**
+     * Safe fallback prediction used when the model cannot produce an
+     * accurate one (insufficient data, failed assessment). Must minimally
+     * impact the agent's safety metric, possibly at lower efficiency.
+     */
+    virtual Prediction<P> DefaultPredict() = 0;
+
+    /**
+     * Periodic self-assessment of model accuracy. While this returns
+     * false the runtime intercepts ModelPredict outputs and delivers
+     * DefaultPredict instead — the model keeps learning so it can
+     * recover, but the Actuator never sees its predictions.
+     *
+     * @return true when the model's accuracy is acceptable.
+     */
+    virtual bool AssessModel() = 0;
+
+    // --- Optional hooks ---------------------------------------------------
+
+    /**
+     * Allows the model to short-circuit the current epoch (e.g. when it
+     * detects low confidence early). The runtime then ends the epoch
+     * immediately and delivers DefaultPredict.
+     */
+    virtual bool ShortCircuitEpoch() { return false; }
+};
+
+}  // namespace sol::core

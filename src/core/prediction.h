@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The Prediction type exchanged between a SOL Model and Actuator.
+ *
+ * Every prediction — including safe *default* predictions — carries an
+ * explicit expiration time (paper section 4.1): predictions are built from
+ * fresh telemetry and become unsafe to act on once that telemetry is
+ * stale. The runtime drops expired predictions before the Actuator sees
+ * them.
+ */
+#pragma once
+
+#include "sim/time.h"
+
+namespace sol::core {
+
+/** A model output with an explicit expiration time. */
+template <typename P>
+struct Prediction {
+    P value{};
+
+    /** Instant after which the prediction must not be acted on. */
+    sim::TimePoint expiry{0};
+
+    /**
+     * True when this is a safe fallback from DefaultPredict() rather than
+     * a model inference. Actuators may use this to log or to bias toward
+     * conservative actions.
+     */
+    bool is_default = false;
+
+    /** True if the prediction is still fresh at the given time. */
+    bool FreshAt(sim::TimePoint now) const { return now <= expiry; }
+};
+
+/** Builds a model prediction valid for `ttl` past `now`. */
+template <typename P>
+Prediction<P>
+MakePrediction(P value, sim::TimePoint now, sim::Duration ttl)
+{
+    return Prediction<P>{std::move(value), now + ttl, false};
+}
+
+/** Builds a default (fallback) prediction valid for `ttl` past `now`. */
+template <typename P>
+Prediction<P>
+MakeDefaultPrediction(P value, sim::TimePoint now, sim::Duration ttl)
+{
+    return Prediction<P>{std::move(value), now + ttl, true};
+}
+
+}  // namespace sol::core

@@ -1,0 +1,32 @@
+#include "core/runtime_stats.h"
+
+namespace sol::core {
+
+std::ostream&
+operator<<(std::ostream& os, const RuntimeStats& stats)
+{
+    os << "samples_collected = " << stats.samples_collected << "\n"
+       << "invalid_samples = " << stats.invalid_samples << "\n"
+       << "epochs = " << stats.epochs << "\n"
+       << "model_updates = " << stats.model_updates << "\n"
+       << "short_circuit_epochs = " << stats.short_circuit_epochs << "\n"
+       << "model_assessments = " << stats.model_assessments << "\n"
+       << "failed_assessments = " << stats.failed_assessments << "\n"
+       << "intercepted_predictions = " << stats.intercepted_predictions
+       << "\n"
+       << "predictions_delivered = " << stats.predictions_delivered << "\n"
+       << "default_predictions = " << stats.default_predictions << "\n"
+       << "expired_predictions = " << stats.expired_predictions << "\n"
+       << "dropped_while_halted = " << stats.dropped_while_halted << "\n"
+       << "actions_taken = " << stats.actions_taken << "\n"
+       << "actions_with_prediction = " << stats.actions_with_prediction
+       << "\n"
+       << "actuator_timeouts = " << stats.actuator_timeouts << "\n"
+       << "actuator_assessments = " << stats.actuator_assessments << "\n"
+       << "safeguard_triggers = " << stats.safeguard_triggers << "\n"
+       << "mitigations = " << stats.mitigations << "\n"
+       << "halted_time_s = " << sim::ToSeconds(stats.halted_time) << "\n";
+    return os;
+}
+
+}  // namespace sol::core

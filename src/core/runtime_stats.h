@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Introspection counters exported by the SOL runtimes.
+ *
+ * These back both the experiment reports (how often safeguards fired,
+ * how many predictions expired) and the operational monitoring a
+ * production deployment would alert on.
+ */
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "sim/time.h"
+
+namespace sol::core {
+
+/** Counters maintained by the runtime while an agent executes. */
+struct RuntimeStats {
+    // Model loop.
+    std::uint64_t samples_collected = 0;
+    std::uint64_t invalid_samples = 0;   ///< Rejected by ValidateData.
+    std::uint64_t epochs = 0;
+    std::uint64_t model_updates = 0;
+    std::uint64_t short_circuit_epochs = 0;  ///< Ended without enough data.
+    std::uint64_t model_assessments = 0;
+    std::uint64_t failed_assessments = 0;
+    std::uint64_t intercepted_predictions = 0;  ///< Replaced by defaults.
+
+    // Prediction flow.
+    std::uint64_t predictions_delivered = 0;
+    std::uint64_t default_predictions = 0;
+    std::uint64_t expired_predictions = 0;  ///< Stale on arrival.
+    std::uint64_t dropped_while_halted = 0;
+
+    // Actuator loop.
+    std::uint64_t actions_taken = 0;
+    std::uint64_t actions_with_prediction = 0;
+    std::uint64_t actuator_timeouts = 0;  ///< TakeAction(None) fallbacks.
+    std::uint64_t actuator_assessments = 0;
+    std::uint64_t safeguard_triggers = 0;  ///< Healthy -> failing edges.
+    std::uint64_t mitigations = 0;         ///< Mitigate() invocations.
+    sim::Duration halted_time{0};          ///< Total time actuation halted.
+};
+
+/** Writes the stats as "name = value" lines. */
+std::ostream& operator<<(std::ostream& os, const RuntimeStats& stats);
+
+}  // namespace sol::core

@@ -1,0 +1,123 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace sol::core {
+
+std::vector<std::string>
+Schedule::Validate() const
+{
+    std::vector<std::string> problems;
+    if (data_per_epoch < 1) {
+        problems.push_back("data_per_epoch must be >= 1");
+    }
+    if (data_collect_interval <= sim::Duration::zero()) {
+        problems.push_back("data_collect_interval must be positive");
+    }
+    if (max_epoch_time <= sim::Duration::zero()) {
+        problems.push_back("max_epoch_time must be positive");
+    }
+    if (data_collect_interval > sim::Duration::zero() &&
+        max_epoch_time < data_collect_interval) {
+        problems.push_back(
+            "max_epoch_time must be >= data_collect_interval");
+    }
+    if (assess_model_every_epochs < 1) {
+        problems.push_back("assess_model_every_epochs must be >= 1");
+    }
+    if (max_actuation_delay <= sim::Duration::zero()) {
+        problems.push_back("max_actuation_delay must be positive");
+    }
+    if (assess_actuator_interval <= sim::Duration::zero()) {
+        problems.push_back("assess_actuator_interval must be positive");
+    }
+    return problems;
+}
+
+sim::Duration
+ParseDuration(const std::string& text)
+{
+    std::size_t pos = 0;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.')) {
+        ++pos;
+    }
+    if (pos == 0) {
+        throw std::invalid_argument("duration has no number: " + text);
+    }
+    const double value = std::stod(text.substr(0, pos));
+    const std::string unit = text.substr(pos);
+    if (unit == "ns") {
+        return sim::Duration(static_cast<std::int64_t>(value));
+    }
+    if (unit == "us") {
+        return sim::Duration(static_cast<std::int64_t>(value * 1e3));
+    }
+    if (unit == "ms") {
+        return sim::Duration(static_cast<std::int64_t>(value * 1e6));
+    }
+    if (unit == "s") {
+        return sim::Duration(static_cast<std::int64_t>(value * 1e9));
+    }
+    throw std::invalid_argument("unknown duration unit: " + text);
+}
+
+namespace {
+
+std::string
+Trim(const std::string& s)
+{
+    const auto begin = s.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos) {
+        return "";
+    }
+    const auto end = s.find_last_not_of(" \t\r\n");
+    return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+Schedule
+ParseSchedule(std::istream& in)
+{
+    Schedule schedule;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto comment = line.find('#');
+        if (comment != std::string::npos) {
+            line = line.substr(0, comment);
+        }
+        line = Trim(line);
+        if (line.empty()) {
+            continue;
+        }
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            throw std::invalid_argument("malformed schedule line: " + line);
+        }
+        const std::string key = Trim(line.substr(0, eq));
+        const std::string value = Trim(line.substr(eq + 1));
+        if (key == "data_per_epoch") {
+            schedule.data_per_epoch = std::stoi(value);
+        } else if (key == "data_collect_interval") {
+            schedule.data_collect_interval = ParseDuration(value);
+        } else if (key == "max_epoch_time") {
+            schedule.max_epoch_time = ParseDuration(value);
+        } else if (key == "assess_model_every_epochs") {
+            schedule.assess_model_every_epochs = std::stoi(value);
+        } else if (key == "max_actuation_delay") {
+            schedule.max_actuation_delay = ParseDuration(value);
+        } else if (key == "assess_actuator_interval") {
+            schedule.assess_actuator_interval = ParseDuration(value);
+        } else {
+            throw std::invalid_argument("unknown schedule key: " + key);
+        }
+    }
+    return schedule;
+}
+
+}  // namespace sol::core

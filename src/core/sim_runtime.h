@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Deterministic SOL runtime on the discrete-event simulator.
+ *
+ * Implements the paper's section 4.2 semantics on virtual time:
+ *
+ *   - The Model loop collects data at data_collect_interval until either
+ *     data_per_epoch valid samples were committed or max_epoch_time
+ *     elapsed. With enough data it updates the model and predicts;
+ *     otherwise it short-circuits the epoch with a default prediction.
+ *   - AssessModel runs every K epochs; while it fails, ModelPredict
+ *     outputs are intercepted and DefaultPredict is delivered instead —
+ *     the model keeps learning so it can recover, but the Actuator never
+ *     acts on its predictions.
+ *   - The Actuator loop consumes predictions from a queue when available
+ *     and is woken after max_actuation_delay without one, taking the
+ *     conservative action. Expired predictions are dropped.
+ *   - AssessPerformance runs every assess_actuator_interval; while it
+ *     fails the runtime calls Mitigate and halts actuation.
+ *
+ * Fault-injection hooks reproduce the paper's failure experiments:
+ * per-sample data corruption (Fig 2/6-left), model-loop stalls
+ * (Fig 4/6-right), and ablation switches that disable individual
+ * safeguards to regenerate the "without SOL" baselines.
+ */
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/actuator.h"
+#include "core/model.h"
+#include "core/runtime_stats.h"
+#include "core/schedule.h"
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace sol::core {
+
+/** Ablation and fault switches for a SimRuntime. */
+struct RuntimeOptions {
+    /**
+     * Blocking-actuator ablation (Figs 4, 6-right): the actuator has no
+     * timeout and acts only when a prediction arrives, even if stale.
+     */
+    bool blocking_actuator = false;
+
+    /** Skip ValidateData (the "without data validation" baseline). */
+    bool disable_data_validation = false;
+
+    /** Skip AssessModel interception (the "without model safeguard"). */
+    bool disable_model_assessment = false;
+
+    /** Skip AssessPerformance/Mitigate (no actuator safeguard). */
+    bool disable_actuator_safeguard = false;
+
+    /** Bound on queued predictions; oldest are evicted beyond this. */
+    std::size_t max_queued_predictions = 8;
+};
+
+/**
+ * Runs one agent (Model + Actuator + Schedule) on an EventQueue.
+ *
+ * @tparam D Telemetry datum type.
+ * @tparam P Prediction payload type.
+ */
+template <typename D, typename P>
+class SimRuntime
+{
+  public:
+    /**
+     * @param queue Event queue that owns virtual time.
+     * @param model Developer-provided model logic (not owned).
+     * @param actuator Developer-provided control logic (not owned).
+     * @param schedule Validated schedule; throws if invalid.
+     * @param options Fault/ablation switches.
+     */
+    SimRuntime(sim::EventQueue& queue, Model<D, P>& model,
+               Actuator<P>& actuator, const Schedule& schedule,
+               RuntimeOptions options = {})
+        : queue_(queue),
+          model_(model),
+          actuator_(actuator),
+          schedule_(schedule),
+          options_(options),
+          alive_(std::make_shared<bool>(false))
+    {
+        const auto problems = schedule_.Validate();
+        if (!problems.empty()) {
+            throw std::invalid_argument("invalid schedule: " + problems[0]);
+        }
+    }
+
+    ~SimRuntime() { Stop(); }
+
+    SimRuntime(const SimRuntime&) = delete;
+    SimRuntime& operator=(const SimRuntime&) = delete;
+
+    /** Starts both control loops. Must be called at most once. */
+    void
+    Start()
+    {
+        if (*alive_) {
+            return;
+        }
+        *alive_ = true;
+        BeginEpoch();
+        last_action_time_ = queue_.Now();
+        if (!options_.blocking_actuator) {
+            ArmActuatorTimeout();
+        }
+        if (!options_.disable_actuator_safeguard) {
+            ScheduleActuatorAssessment();
+        }
+    }
+
+    /** Stops both loops; pending events become no-ops. */
+    void
+    Stop()
+    {
+        if (*alive_ && halted_) {
+            // Close out the in-progress halt so halted_time is accurate.
+            stats_.halted_time += queue_.Now() - halt_start_;
+            halted_ = false;
+        }
+        *alive_ = false;
+    }
+
+    bool running() const { return *alive_; }
+
+    /**
+     * Stalls the Model loop for the given duration starting now. Collect
+     * ticks scheduled inside the window are deferred to its end, so the
+     * samples they would have taken are missed — exactly the effect of
+     * the agent being starved by higher-priority work.
+     */
+    void
+    StallModelFor(sim::Duration duration)
+    {
+        const sim::TimePoint until = queue_.Now() + duration;
+        if (until > model_resume_time_) {
+            model_resume_time_ = until;
+        }
+    }
+
+    /**
+     * Installs a hook applied to every collected datum before validation
+     * (fault injection: corrupted counters, driver bugs).
+     */
+    void
+    SetDataFault(std::function<void(D&)> fault)
+    {
+        data_fault_ = std::move(fault);
+    }
+
+    const RuntimeStats& stats() const { return stats_; }
+    bool actuator_halted() const { return halted_; }
+    bool model_assessment_failing() const { return !model_ok_; }
+    std::size_t queued_predictions() const { return pending_.size(); }
+
+  private:
+    // ---- Model loop -----------------------------------------------------
+
+    void
+    BeginEpoch()
+    {
+        epoch_start_ = queue_.Now();
+        valid_samples_ = 0;
+        ScheduleCollect();
+    }
+
+    void
+    ScheduleCollect()
+    {
+        auto alive = alive_;
+        queue_.ScheduleAfter(schedule_.data_collect_interval,
+                             [this, alive] {
+                                 if (*alive) {
+                                     OnCollectTick();
+                                 }
+                             });
+    }
+
+    void
+    OnCollectTick()
+    {
+        const sim::TimePoint now = queue_.Now();
+        if (now < model_resume_time_) {
+            // The model loop is stalled: defer to the end of the stall.
+            auto alive = alive_;
+            queue_.ScheduleAt(model_resume_time_, [this, alive] {
+                if (*alive) {
+                    OnCollectTick();
+                }
+            });
+            return;
+        }
+
+        D data = model_.CollectData();
+        ++stats_.samples_collected;
+        if (data_fault_) {
+            data_fault_(data);
+        }
+        const bool valid =
+            options_.disable_data_validation || model_.ValidateData(data);
+        if (valid) {
+            model_.CommitData(now, data);
+            ++valid_samples_;
+        } else {
+            ++stats_.invalid_samples;
+        }
+
+        if (model_.ShortCircuitEpoch()) {
+            FinishEpoch(/*enough_data=*/false);
+            return;
+        }
+        if (valid_samples_ >= schedule_.data_per_epoch) {
+            FinishEpoch(/*enough_data=*/true);
+            return;
+        }
+        if (now - epoch_start_ >= schedule_.max_epoch_time) {
+            FinishEpoch(/*enough_data=*/false);
+            return;
+        }
+        ScheduleCollect();
+    }
+
+    void
+    FinishEpoch(bool enough_data)
+    {
+        ++stats_.epochs;
+        Prediction<P> pred;
+        if (enough_data) {
+            model_.UpdateModel();
+            ++stats_.model_updates;
+            pred = model_.ModelPredict();
+
+            if (!options_.disable_model_assessment &&
+                stats_.epochs % static_cast<std::uint64_t>(
+                                    schedule_.assess_model_every_epochs) ==
+                    0) {
+                ++stats_.model_assessments;
+                model_ok_ = model_.AssessModel();
+                if (!model_ok_) {
+                    ++stats_.failed_assessments;
+                }
+            }
+            if (!model_ok_) {
+                // Interception: the Actuator only ever sees predictions
+                // from a model that passes assessment.
+                pred = model_.DefaultPredict();
+                ++stats_.intercepted_predictions;
+            }
+        } else {
+            ++stats_.short_circuit_epochs;
+            pred = model_.DefaultPredict();
+        }
+        DeliverPrediction(pred);
+        BeginEpoch();
+    }
+
+    // ---- Prediction flow ---------------------------------------------------
+
+    void
+    DeliverPrediction(Prediction<P> pred)
+    {
+        ++stats_.predictions_delivered;
+        if (pred.is_default) {
+            ++stats_.default_predictions;
+        }
+        if (halted_) {
+            ++stats_.dropped_while_halted;
+            return;
+        }
+        pending_.push_back(std::move(pred));
+        while (pending_.size() > options_.max_queued_predictions) {
+            pending_.pop_front();
+            ++stats_.expired_predictions;
+        }
+        // Wake the actuator for the new prediction.
+        auto alive = alive_;
+        queue_.ScheduleAfter(sim::Duration::zero(), [this, alive] {
+            if (*alive) {
+                OnActuatorWake(/*from_timeout=*/false);
+            }
+        });
+    }
+
+    // ---- Actuator loop -----------------------------------------------------
+
+    void
+    ArmActuatorTimeout()
+    {
+        timeout_handle_.Cancel();
+        auto alive = alive_;
+        timeout_handle_ = queue_.ScheduleAt(
+            last_action_time_ + schedule_.max_actuation_delay,
+            [this, alive] {
+                if (*alive) {
+                    OnActuatorWake(/*from_timeout=*/true);
+                }
+            });
+    }
+
+    void
+    OnActuatorWake(bool from_timeout)
+    {
+        if (halted_) {
+            pending_.clear();
+            if (!options_.blocking_actuator) {
+                // Re-arm relative to now: while halted no actions run, so
+                // an arm based on the stale last_action_time_ would fire
+                // immediately forever.
+                last_action_time_ = queue_.Now();
+                ArmActuatorTimeout();
+            }
+            return;
+        }
+        const sim::TimePoint now = queue_.Now();
+        std::optional<Prediction<P>> pred;
+        if (!pending_.empty()) {
+            pred = std::move(pending_.front());
+            pending_.pop_front();
+        }
+        if (from_timeout && !pred.has_value()) {
+            ++stats_.actuator_timeouts;
+        }
+        if (!from_timeout && !pred.has_value()) {
+            // Wake for a prediction consumed by an earlier event at the
+            // same instant; nothing to do.
+            return;
+        }
+        if (pred.has_value() && !options_.blocking_actuator &&
+            !pred->FreshAt(now)) {
+            // Stale prediction: the conservative path takes over.
+            pred.reset();
+            ++stats_.expired_predictions;
+        }
+        actuator_.TakeAction(pred);
+        ++stats_.actions_taken;
+        if (pred.has_value()) {
+            ++stats_.actions_with_prediction;
+        }
+        last_action_time_ = now;
+        if (!options_.blocking_actuator) {
+            ArmActuatorTimeout();
+        }
+    }
+
+    void
+    ScheduleActuatorAssessment()
+    {
+        auto alive = alive_;
+        queue_.ScheduleAfter(schedule_.assess_actuator_interval,
+                             [this, alive] {
+                                 if (*alive) {
+                                     OnActuatorAssessment();
+                                 }
+                             });
+    }
+
+    void
+    OnActuatorAssessment()
+    {
+        ++stats_.actuator_assessments;
+        const bool ok = actuator_.AssessPerformance();
+        if (!ok) {
+            if (!halted_) {
+                ++stats_.safeguard_triggers;
+                halt_start_ = queue_.Now();
+            }
+            halted_ = true;
+            actuator_.Mitigate();
+            ++stats_.mitigations;
+        } else if (halted_) {
+            halted_ = false;
+            stats_.halted_time += queue_.Now() - halt_start_;
+            // Resume regular actions.
+            last_action_time_ = queue_.Now();
+            if (!options_.blocking_actuator) {
+                ArmActuatorTimeout();
+            }
+        }
+        ScheduleActuatorAssessment();
+    }
+
+    sim::EventQueue& queue_;
+    Model<D, P>& model_;
+    Actuator<P>& actuator_;
+    Schedule schedule_;
+    RuntimeOptions options_;
+
+    std::shared_ptr<bool> alive_;
+    std::function<void(D&)> data_fault_;
+
+    // Model loop state.
+    sim::TimePoint epoch_start_{0};
+    int valid_samples_ = 0;
+    bool model_ok_ = true;
+    sim::TimePoint model_resume_time_{0};
+
+    // Actuator loop state.
+    std::deque<Prediction<P>> pending_;
+    sim::TimePoint last_action_time_{0};
+    sim::EventHandle timeout_handle_;
+    bool halted_ = false;
+    sim::TimePoint halt_start_{0};
+
+    RuntimeStats stats_;
+};
+
+}  // namespace sol::core

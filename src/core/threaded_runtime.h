@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Real-time SOL runtime: two OS threads joined by a condition-variable
+ * prediction queue.
+ *
+ * This is the deployable form of the runtime described in paper section
+ * 4.2 — the Model control loop and the Actuator control loop run in
+ * separately scheduled threads so a throttled or stalled model can never
+ * starve the actuator, which keeps taking safe actions on its
+ * max_actuation_delay timeout. Semantics mirror SimRuntime; experiments
+ * use SimRuntime for determinism, while examples and deployments use
+ * this.
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "core/actuator.h"
+#include "core/model.h"
+#include "core/runtime_stats.h"
+#include "core/schedule.h"
+#include "sim/time.h"
+
+namespace sol::core {
+
+/**
+ * Runs one agent on real threads and the steady clock.
+ *
+ * @tparam D Telemetry datum type.
+ * @tparam P Prediction payload type.
+ */
+template <typename D, typename P>
+class ThreadedRuntime
+{
+  public:
+    ThreadedRuntime(Model<D, P>& model, Actuator<P>& actuator,
+                    const Schedule& schedule)
+        : model_(model), actuator_(actuator), schedule_(schedule)
+    {
+        const auto problems = schedule_.Validate();
+        if (!problems.empty()) {
+            throw std::invalid_argument("invalid schedule: " + problems[0]);
+        }
+    }
+
+    ~ThreadedRuntime() { Stop(); }
+
+    ThreadedRuntime(const ThreadedRuntime&) = delete;
+    ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
+
+    /** Starts both loops. */
+    void
+    Start()
+    {
+        if (running_.exchange(true)) {
+            return;
+        }
+        start_ = std::chrono::steady_clock::now();
+        model_thread_ = std::thread([this] { ModelLoop(); });
+        actuator_thread_ = std::thread([this] { ActuatorLoop(); });
+    }
+
+    /** Stops both loops and joins the threads. */
+    void
+    Stop()
+    {
+        if (!running_.exchange(false)) {
+            return;
+        }
+        queue_cv_.notify_all();
+        if (model_thread_.joinable()) {
+            model_thread_.join();
+        }
+        if (actuator_thread_.joinable()) {
+            actuator_thread_.join();
+        }
+    }
+
+    bool running() const { return running_.load(); }
+
+    /** Snapshot of the runtime counters. */
+    RuntimeStats
+    stats() const
+    {
+        std::lock_guard lock(stats_mutex_);
+        return stats_;
+    }
+
+    bool actuator_halted() const { return halted_.load(); }
+
+  private:
+    sim::TimePoint
+    Now() const
+    {
+        return std::chrono::duration_cast<sim::Duration>(
+            std::chrono::steady_clock::now() - start_);
+    }
+
+    void
+    SleepFor(sim::Duration d) const
+    {
+        std::this_thread::sleep_for(d);
+    }
+
+    void
+    ModelLoop()
+    {
+        bool model_ok = true;
+        while (running_.load()) {
+            // One learning epoch.
+            const sim::TimePoint epoch_start = Now();
+            int valid_samples = 0;
+            bool short_circuit = false;
+            while (running_.load()) {
+                SleepFor(schedule_.data_collect_interval);
+                if (!running_.load()) {
+                    return;
+                }
+                D data = model_.CollectData();
+                bool valid = model_.ValidateData(data);
+                {
+                    std::lock_guard lock(stats_mutex_);
+                    ++stats_.samples_collected;
+                    if (!valid) {
+                        ++stats_.invalid_samples;
+                    }
+                }
+                if (valid) {
+                    model_.CommitData(Now(), data);
+                    ++valid_samples;
+                }
+                if (model_.ShortCircuitEpoch()) {
+                    short_circuit = true;
+                    break;
+                }
+                if (valid_samples >= schedule_.data_per_epoch) {
+                    break;
+                }
+                if (Now() - epoch_start >= schedule_.max_epoch_time) {
+                    short_circuit = true;
+                    break;
+                }
+            }
+            if (!running_.load()) {
+                return;
+            }
+
+            Prediction<P> pred;
+            const bool enough = !short_circuit;
+            std::uint64_t epoch_number;
+            {
+                std::lock_guard lock(stats_mutex_);
+                epoch_number = ++stats_.epochs;
+            }
+            if (enough) {
+                model_.UpdateModel();
+                pred = model_.ModelPredict();
+                {
+                    std::lock_guard lock(stats_mutex_);
+                    ++stats_.model_updates;
+                }
+                if (epoch_number % static_cast<std::uint64_t>(
+                                       schedule_.assess_model_every_epochs) ==
+                    0) {
+                    model_ok = model_.AssessModel();
+                    std::lock_guard lock(stats_mutex_);
+                    ++stats_.model_assessments;
+                    if (!model_ok) {
+                        ++stats_.failed_assessments;
+                    }
+                }
+                if (!model_ok) {
+                    pred = model_.DefaultPredict();
+                    std::lock_guard lock(stats_mutex_);
+                    ++stats_.intercepted_predictions;
+                }
+            } else {
+                pred = model_.DefaultPredict();
+                std::lock_guard lock(stats_mutex_);
+                ++stats_.short_circuit_epochs;
+            }
+
+            {
+                std::lock_guard lock(queue_mutex_);
+                pending_.push_back(pred);
+                while (pending_.size() > 8) {
+                    pending_.pop_front();
+                }
+            }
+            {
+                std::lock_guard lock(stats_mutex_);
+                ++stats_.predictions_delivered;
+                if (pred.is_default) {
+                    ++stats_.default_predictions;
+                }
+            }
+            queue_cv_.notify_one();
+        }
+    }
+
+    void
+    ActuatorLoop()
+    {
+        sim::TimePoint last_assessment = Now();
+        while (running_.load()) {
+            std::optional<Prediction<P>> pred;
+            {
+                std::unique_lock lock(queue_mutex_);
+                queue_cv_.wait_for(
+                    lock,
+                    std::chrono::nanoseconds(
+                        schedule_.max_actuation_delay.count()),
+                    [this] {
+                        return !pending_.empty() || !running_.load();
+                    });
+                if (!running_.load()) {
+                    return;
+                }
+                if (!pending_.empty()) {
+                    pred = pending_.front();
+                    pending_.pop_front();
+                }
+            }
+
+            const sim::TimePoint now = Now();
+            if (halted_.load()) {
+                // Actuation halted: only the safeguard check runs.
+                pred.reset();
+            } else {
+                if (pred.has_value() && !pred->FreshAt(now)) {
+                    pred.reset();
+                    std::lock_guard lock(stats_mutex_);
+                    ++stats_.expired_predictions;
+                }
+                actuator_.TakeAction(pred);
+                std::lock_guard lock(stats_mutex_);
+                ++stats_.actions_taken;
+                if (pred.has_value()) {
+                    ++stats_.actions_with_prediction;
+                } else {
+                    ++stats_.actuator_timeouts;
+                }
+            }
+
+            if (now - last_assessment >=
+                schedule_.assess_actuator_interval) {
+                last_assessment = now;
+                const bool ok = actuator_.AssessPerformance();
+                {
+                    std::lock_guard lock(stats_mutex_);
+                    ++stats_.actuator_assessments;
+                }
+                if (!ok) {
+                    if (!halted_.exchange(true)) {
+                        std::lock_guard lock(stats_mutex_);
+                        ++stats_.safeguard_triggers;
+                    }
+                    actuator_.Mitigate();
+                    std::lock_guard lock(stats_mutex_);
+                    ++stats_.mitigations;
+                } else {
+                    halted_.store(false);
+                }
+            }
+        }
+    }
+
+    Model<D, P>& model_;
+    Actuator<P>& actuator_;
+    Schedule schedule_;
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> halted_{false};
+    std::chrono::steady_clock::time_point start_;
+
+    std::thread model_thread_;
+    std::thread actuator_thread_;
+
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<Prediction<P>> pending_;
+
+    mutable std::mutex stats_mutex_;
+    RuntimeStats stats_;
+};
+
+}  // namespace sol::core

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Scenario harness for the SmartHarvest experiments (Figure 6).
+ *
+ * A 16-core node runs a latency-critical primary VM (TailBench image-dnn
+ * or moses) and an ElasticVM consuming harvested cores. Runs compare the
+ * primary's P99 latency against a no-harvesting baseline under the
+ * paper's three failure injections: censored training data (validation
+ * safeguard), a broken model that underpredicts demand (model safeguard),
+ * and 1-second model stalls at utilization ramps (non-blocking design).
+ */
+#pragma once
+
+#include <string>
+
+#include "agents/smartharvest/smartharvest.h"
+#include "core/runtime_stats.h"
+#include "core/sim_runtime.h"
+
+namespace sol::experiments {
+
+/** Primary workload selector. */
+enum class HarvestWorkload { kImageDnn, kMoses };
+
+std::string ToString(HarvestWorkload wl);
+
+/** Configuration of one harvest run. */
+struct HarvestRunConfig {
+    HarvestWorkload workload = HarvestWorkload::kImageDnn;
+    sim::Duration duration = sim::Seconds(40);
+
+    /** false = no agent at all (the QoS baseline). */
+    bool harvesting = true;
+
+    core::RuntimeOptions runtime;
+
+    /** Fig 6 middle: model consistently underestimates demand. */
+    bool broken_model = false;
+
+    /** Fig 6 right: stall the model for this long at each burst start
+     *  (zero disables). */
+    sim::Duration stall_on_burst{0};
+
+    agents::SmartHarvestConfig agent;
+    std::uint64_t seed = 2;
+};
+
+/** Results of one harvest run. */
+struct HarvestRunResult {
+    std::string workload;
+    double p99_latency_ms = 0.0;
+    double harvested_core_seconds = 0.0;  ///< ElasticVM capacity used.
+    std::uint64_t completed_requests = 0;
+    core::RuntimeStats stats;
+};
+
+/** Executes one run. Deterministic for a fixed config. */
+HarvestRunResult RunHarvest(const HarvestRunConfig& config);
+
+/** Percentage latency increase of `run` over `baseline`. */
+double LatencyIncreasePct(const HarvestRunResult& run,
+                          const HarvestRunResult& baseline);
+
+}  // namespace sol::experiments

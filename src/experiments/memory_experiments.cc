@@ -1,0 +1,143 @@
+#include "experiments/memory_experiments.h"
+
+#include <memory>
+
+#include "node/tiered_memory.h"
+#include "sim/event_queue.h"
+#include "workloads/memory_patterns.h"
+
+namespace sol::experiments {
+
+namespace {
+
+/** Workload driver tick (finer than the 300 ms base scan period). */
+constexpr sim::Duration kTick = sim::Millis(100);
+
+/** SLO accounting window (matches the actuator safeguard cadence). */
+constexpr sim::Duration kSloWindow = sim::Seconds(2);
+
+std::unique_ptr<workloads::MemoryPattern>
+MakePattern(const MemoryRunConfig& config)
+{
+    using workloads::ZipfMemoryPattern;
+    switch (config.workload) {
+      case MemoryWorkload::kObjectStore: {
+        auto cfg = workloads::ObjectStoreMemConfig(config.seed);
+        cfg.num_batches = config.num_batches;
+        return std::make_unique<ZipfMemoryPattern>(cfg);
+      }
+      case MemoryWorkload::kSql: {
+        auto cfg = workloads::SqlOltpMemConfig(config.seed);
+        cfg.num_batches = config.num_batches;
+        return std::make_unique<ZipfMemoryPattern>(cfg);
+      }
+      case MemoryWorkload::kSpecJbb: {
+        auto cfg = workloads::SpecJbbMemConfig(config.seed);
+        cfg.num_batches = config.num_batches;
+        return std::make_unique<ZipfMemoryPattern>(cfg);
+      }
+      case MemoryWorkload::kOscillating: {
+        auto cfg = workloads::SpecJbbMemConfig(config.seed);
+        cfg.num_batches = config.num_batches;
+        return std::make_unique<workloads::OscillatingPattern>(
+            std::make_unique<ZipfMemoryPattern>(cfg), sim::Seconds(150),
+            sim::Seconds(80));
+      }
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+std::string
+ToString(MemoryWorkload wl)
+{
+    switch (wl) {
+      case MemoryWorkload::kObjectStore:
+        return "ObjectStore";
+      case MemoryWorkload::kSql:
+        return "SQL";
+      case MemoryWorkload::kSpecJbb:
+        return "SpecJBB";
+      case MemoryWorkload::kOscillating:
+        return "Oscillating(SpecJBB)";
+    }
+    return "Unknown";
+}
+
+MemoryRunResult
+RunMemory(const MemoryRunConfig& config)
+{
+    sim::EventQueue queue;
+    node::TieredMemory memory(config.num_batches, config.num_batches);
+    auto pattern = MakePattern(config);
+
+    sim::PeriodicTask workload_driver(queue, kTick, [&] {
+        pattern->GenerateAccesses(queue.Now() - kTick, kTick, memory);
+    });
+
+    agents::SmartMemoryConfig agent_config = config.agent;
+    agent_config.seed = config.seed;
+    agent_config.fixed_arm = config.fixed_arm;
+    agents::MemoryModel model(memory, queue, agent_config);
+    agents::MemoryActuator actuator(memory, queue, agent_config);
+
+    core::SimRuntime<agents::ScanRound, agents::MemoryPlan> runtime(
+        queue, model, actuator, agents::SmartMemorySchedule(),
+        config.runtime);
+    runtime.Start();
+
+    // SLO accounting and trace: sample the remote fraction per window.
+    MemoryRunResult result;
+    std::uint64_t windows = 0;
+    std::uint64_t windows_met = 0;
+    std::uint64_t last_local = 0;
+    std::uint64_t last_remote = 0;
+    double local_batch_sum = 0.0;
+    std::uint64_t local_batch_samples = 0;
+    sim::PeriodicTask slo_probe(queue, kSloWindow, [&] {
+        const node::MemoryAccessStats& stats = memory.stats();
+        const std::uint64_t dl = stats.local_accesses - last_local;
+        const std::uint64_t dr = stats.remote_accesses - last_remote;
+        last_local = stats.local_accesses;
+        last_remote = stats.remote_accesses;
+        const std::uint64_t total = dl + dr;
+        const double remote_frac =
+            total > 0
+                ? static_cast<double>(dr) / static_cast<double>(total)
+                : 0.0;
+        if (total > 0) {
+            ++windows;
+            if (remote_frac <= agent_config.remote_slo) {
+                ++windows_met;
+            }
+        }
+        local_batch_sum += static_cast<double>(memory.fast_tier_used());
+        ++local_batch_samples;
+        result.trace.push_back(MemoryTracePoint{
+            sim::ToSeconds(queue.Now()), remote_frac,
+            memory.fast_tier_used()});
+    });
+
+    queue.RunFor(config.duration);
+    runtime.Stop();
+
+    result.workload = pattern->name();
+    result.scans = memory.scans();
+    result.bit_resets = memory.bit_resets();
+    result.tlb_flushes = memory.tlb_flushes();
+    result.migrations = memory.migrations();
+    result.avg_local_batches =
+        local_batch_samples > 0
+            ? local_batch_sum / static_cast<double>(local_batch_samples)
+            : 0.0;
+    result.slo_attainment =
+        windows > 0 ? static_cast<double>(windows_met) /
+                          static_cast<double>(windows)
+                    : 1.0;
+    result.overall_remote_fraction = memory.stats().RemoteFraction();
+    result.stats = runtime.stats();
+    return result;
+}
+
+}  // namespace sol::experiments

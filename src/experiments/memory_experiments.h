@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Scenario harness for the SmartMemory experiments (Figures 7-8).
+ *
+ * A two-tier memory of 256 x 2 MB batches is driven by one of the
+ * paper's access patterns (ObjectStore, SQL, SpecJBB, or the oscillating
+ * Figure 8 workload). Runs compare adaptive Thompson-sampling scanning
+ * against the static 300 ms and 9.6 s baselines, and evaluate the Model
+ * and Actuator safeguards on the intentionally hard oscillating pattern.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "agents/smartmemory/smartmemory.h"
+#include "core/runtime_stats.h"
+#include "core/sim_runtime.h"
+
+namespace sol::experiments {
+
+/** Access pattern selector. */
+enum class MemoryWorkload { kObjectStore, kSql, kSpecJbb, kOscillating };
+
+std::string ToString(MemoryWorkload wl);
+
+/** Configuration of one memory run. */
+struct MemoryRunConfig {
+    MemoryWorkload workload = MemoryWorkload::kObjectStore;
+    sim::Duration duration = sim::Seconds(900);
+
+    std::size_t num_batches = 256;
+
+    /** Static scanning baseline: arm index to pin (negative = learn). */
+    int fixed_arm = -1;
+
+    core::RuntimeOptions runtime;
+
+    agents::SmartMemoryConfig agent;
+    std::uint64_t seed = 3;
+};
+
+/** Point-in-time record for the Figure 8 style time series. */
+struct MemoryTracePoint {
+    double time_s;
+    double remote_fraction;   ///< Over the last trace interval.
+    std::size_t local_batches;
+};
+
+/** Results of one memory run. */
+struct MemoryRunResult {
+    std::string workload;
+    std::uint64_t scans = 0;
+    std::uint64_t bit_resets = 0;
+    std::uint64_t tlb_flushes = 0;
+    std::uint64_t migrations = 0;
+    double avg_local_batches = 0.0;   ///< Mean first-tier occupancy.
+    double slo_attainment = 0.0;      ///< Fraction of windows >=80% local.
+    double overall_remote_fraction = 0.0;
+    core::RuntimeStats stats;
+    std::vector<MemoryTracePoint> trace;
+};
+
+/** Executes one run. Deterministic for a fixed config. */
+MemoryRunResult RunMemory(const MemoryRunConfig& config);
+
+}  // namespace sol::experiments

@@ -1,0 +1,123 @@
+#include "experiments/monitor_experiments.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace sol::experiments {
+
+namespace {
+
+/** Incident-generation tick. */
+constexpr sim::Duration kTick = sim::Millis(20);
+
+/** Applies a hot set: `hot` channels at the hot rate, rest cold. */
+void
+ApplyHotSet(node::ChannelArray& channels,
+            const std::vector<node::ChannelId>& hot,
+            const MonitorRunConfig& config)
+{
+    for (node::ChannelId c = 0; c < channels.num_channels(); ++c) {
+        channels.SetIncidentRate(c, config.cold_rate_per_sec);
+    }
+    for (const auto c : hot) {
+        channels.SetIncidentRate(c, config.hot_rate_per_sec);
+    }
+}
+
+}  // namespace
+
+MonitorRunResult
+RunMonitor(const MonitorRunConfig& config)
+{
+    sim::EventQueue queue;
+    sim::Rng rng(config.seed);
+    node::ChannelArray channels(config.num_channels, config.visibility);
+    agents::SamplingPolicy policy(config.num_channels);
+
+    // Initial hot set and periodic shifts.
+    std::vector<node::ChannelId> hot;
+    auto reshuffle_hot = [&] {
+        hot.clear();
+        while (hot.size() < config.hot_channels) {
+            const auto c = static_cast<node::ChannelId>(
+                rng.NextBelow(config.num_channels));
+            if (std::find(hot.begin(), hot.end(), c) == hot.end()) {
+                hot.push_back(c);
+            }
+        }
+        ApplyHotSet(channels, hot, config);
+    };
+    reshuffle_hot();
+
+    sim::Rng incident_rng = rng.Fork();
+    sim::PeriodicTask incident_driver(queue, kTick, [&] {
+        channels.Advance(queue.Now() - kTick, kTick, incident_rng);
+    });
+
+    std::unique_ptr<sim::PeriodicTask> shifter;
+    if (config.shift_interval > sim::Duration::zero()) {
+        shifter = std::make_unique<sim::PeriodicTask>(
+            queue, config.shift_interval, reshuffle_hot);
+    }
+
+    agents::SmartMonitorConfig agent_config = config.agent;
+    agent_config.seed = config.seed + 5;
+    agents::MonitorModel model(channels, policy, queue, agent_config);
+    agents::MonitorActuator actuator(policy, agent_config);
+
+    std::unique_ptr<
+        core::SimRuntime<agents::MonitorRound, std::vector<double>>>
+        runtime;
+    std::unique_ptr<sim::PeriodicTask> uniform_sampler;
+    sim::Rng uniform_rng = rng.Fork();
+    if (config.uniform_baseline) {
+        // Production baseline: same budget, uniform allocation, no
+        // learning (one uniform round every 100 ms).
+        uniform_sampler = std::make_unique<sim::PeriodicTask>(
+            queue, sim::Millis(100), [&] {
+                for (int s = 0; s < agent_config.budget_per_round; ++s) {
+                    const auto c = static_cast<node::ChannelId>(
+                        uniform_rng.NextBelow(config.num_channels));
+                    channels.Sample(c, queue.Now());
+                }
+            });
+    } else {
+        runtime = std::make_unique<core::SimRuntime<agents::MonitorRound,
+                                                    std::vector<double>>>(
+            queue, model, actuator, agents::SmartMonitorSchedule(),
+            config.runtime);
+        runtime->Start();
+    }
+
+    queue.RunFor(config.duration);
+
+    MonitorRunResult result;
+    if (runtime) {
+        runtime->Stop();
+        result.stats = runtime->stats();
+    }
+    result.coverage = channels.stats().Coverage();
+    result.incidents =
+        channels.stats().detected + channels.stats().missed;
+    result.samples = channels.samples_taken();
+    const auto& latencies = channels.detection_latencies();
+    if (!latencies.empty()) {
+        std::vector<double> sorted(latencies);
+        std::sort(sorted.begin(), sorted.end());
+        double total = 0.0;
+        for (const double l : sorted) {
+            total += l;
+        }
+        result.mean_latency_s =
+            total / static_cast<double>(sorted.size());
+        result.p95_latency_s = sorted[static_cast<std::size_t>(
+            0.95 * static_cast<double>(sorted.size() - 1) + 0.5)];
+    }
+    return result;
+}
+
+}  // namespace sol::experiments

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Scenario harness for the SmartMonitor extension: adaptive telemetry
+ * sampling versus the uniform production baseline, on a node with many
+ * quiet channels and a few incident-prone ones whose identity shifts
+ * over time.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "agents/smartmonitor/smartmonitor.h"
+#include "core/runtime_stats.h"
+#include "core/sim_runtime.h"
+
+namespace sol::experiments {
+
+/** Configuration of one monitoring run. */
+struct MonitorRunConfig {
+    sim::Duration duration = sim::Seconds(600);
+    std::size_t num_channels = 32;
+    /** Channels that are incident-prone at any one time. */
+    std::size_t hot_channels = 2;
+    double hot_rate_per_sec = 0.5;
+    double cold_rate_per_sec = 0.004;
+    /** How long incidents stay detectable. */
+    sim::Duration visibility = sim::Seconds(2);
+    /** Interval between hot-set shifts; zero disables. */
+    sim::Duration shift_interval = sim::Seconds(120);
+
+    /** true = plain uniform sampling at the same budget (no agent). */
+    bool uniform_baseline = false;
+
+    core::RuntimeOptions runtime;
+    agents::SmartMonitorConfig agent;
+    std::uint64_t seed = 4;
+};
+
+/** Results of one monitoring run. */
+struct MonitorRunResult {
+    double coverage = 0.0;           ///< Incidents detected / resolved.
+    double mean_latency_s = 0.0;     ///< Mean detection latency.
+    double p95_latency_s = 0.0;
+    std::uint64_t incidents = 0;
+    std::uint64_t samples = 0;       ///< Budget actually spent.
+    core::RuntimeStats stats;
+};
+
+/** Executes one run. Deterministic for a fixed config. */
+MonitorRunResult RunMonitor(const MonitorRunConfig& config);
+
+}  // namespace sol::experiments

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Scenario harness for the SmartOverclock experiments (Figures 1-5).
+ *
+ * Each run wires a simulated node, one of the paper's three workloads,
+ * and optionally the SmartOverclock agent (or a static frequency policy)
+ * onto a fresh event queue, injects the configured faults, runs for the
+ * configured virtual duration, and reports performance, power, and
+ * runtime safeguard statistics.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agents/smartoverclock/smartoverclock.h"
+#include "core/runtime_stats.h"
+#include "core/sim_runtime.h"
+#include "workloads/synthetic_batch.h"
+
+namespace sol::experiments {
+
+/** Workload selector for overclock runs. */
+enum class OverclockWorkload { kSynthetic, kObjectStore, kDiskSpeed };
+
+std::string ToString(OverclockWorkload wl);
+
+/** Point-in-time record for the Figure 5 style time series. */
+struct OverclockTracePoint {
+    double time_s;
+    double freq_ghz;
+    double alpha;
+    bool safeguard_active;
+    bool workload_busy;
+};
+
+/** Configuration of one overclock run. */
+struct OverclockRunConfig {
+    OverclockWorkload workload = OverclockWorkload::kSynthetic;
+    sim::Duration duration = sim::Seconds(600);
+
+    /** Static policy: pin this frequency and run no agent. */
+    std::optional<double> static_freq_ghz;
+
+    /** SOL ablation/fault switches (agent runs unless static_freq set). */
+    core::RuntimeOptions runtime;
+
+    /** Fig 2: probability a collected IPS reading is out-of-range. */
+    double bad_data_prob = 0.0;
+
+    /** Fig 3: force the RL policy to always pick the max frequency. */
+    bool broken_model = false;
+
+    /** Fig 4: stall the model loop for this long when the Synthetic
+     *  workload finishes a batch (zero disables). */
+    sim::Duration stall_on_batch_end{0};
+
+    /**
+     * Fault injection and power measurement start here. A warm-up phase
+     * lets the policy converge first, so fault experiments compare
+     * runtime designs rather than learning-quality differences.
+     */
+    sim::TimePoint measure_from{0};
+
+    /** Fig 5: record a 1 Hz trace of frequency/alpha/safeguard state. */
+    bool record_trace = false;
+
+    /** Synthetic workload shape override. */
+    workloads::SyntheticBatchConfig synthetic;
+
+    agents::SmartOverclockConfig agent;
+    std::uint64_t seed = 1;
+};
+
+/** Results of one overclock run. */
+struct OverclockRunResult {
+    std::string workload;
+    double perf_value = 0.0;   ///< Workload-defined metric.
+    std::string perf_unit;
+    bool perf_higher_is_better = true;
+    double avg_power_watts = 0.0;
+    double energy_joules = 0.0;
+    core::RuntimeStats stats;  ///< Zero for static runs.
+    std::vector<OverclockTracePoint> trace;
+};
+
+/** Executes one run. Deterministic for a fixed config. */
+OverclockRunResult RunOverclock(const OverclockRunConfig& config);
+
+/**
+ * Normalized performance of `run` against `baseline`, where 1.0 means
+ * equal and larger means better, regardless of the metric's direction.
+ */
+double NormalizedPerf(const OverclockRunResult& run,
+                      const OverclockRunResult& baseline);
+
+}  // namespace sol::experiments

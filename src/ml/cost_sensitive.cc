@@ -1,0 +1,138 @@
+#include "ml/cost_sensitive.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace sol::ml {
+
+std::uint32_t
+HashFeatureName(const std::string& name)
+{
+    // FNV-1a 32-bit.
+    std::uint32_t h = 2166136261u;
+    for (const char c : name) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 16777619u;
+    }
+    return h;
+}
+
+FeatureVector::FeatureVector(unsigned num_bits)
+{
+    if (num_bits == 0 || num_bits > 28) {
+        throw std::invalid_argument("num_bits must be in [1, 28]");
+    }
+    mask_ = (1u << num_bits) - 1;
+}
+
+void
+FeatureVector::Add(const std::string& name, double value)
+{
+    // Index 0 is reserved for the bias term; avoid colliding with it.
+    std::uint32_t idx = HashFeatureName(name) & mask_;
+    if (idx == 0) {
+        idx = 1;
+    }
+    features_.push_back(Feature{idx, value});
+}
+
+void
+FeatureVector::AddHashed(std::uint32_t index, double value)
+{
+    features_.push_back(Feature{index & mask_, value});
+}
+
+CostSensitiveClassifier::CostSensitiveClassifier(
+    const CostSensitiveConfig& config)
+    : config_(config)
+{
+    if (config_.num_classes == 0) {
+        throw std::invalid_argument("num_classes must be positive");
+    }
+    if (config_.learning_rate <= 0.0) {
+        throw std::invalid_argument("learning_rate must be positive");
+    }
+    table_size_ = std::size_t{1} << config_.num_bits;
+    weights_.assign(config_.num_classes * table_size_, 0.0);
+}
+
+std::size_t
+CostSensitiveClassifier::Predict(const FeatureVector& x) const
+{
+    std::size_t best = 0;
+    double best_cost = Dot(x, 0);
+    for (std::size_t c = 1; c < config_.num_classes; ++c) {
+        const double cost = Dot(x, c);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = c;
+        }
+    }
+    return best;
+}
+
+double
+CostSensitiveClassifier::PredictCost(const FeatureVector& x,
+                                     std::size_t cls) const
+{
+    return Dot(x, cls);
+}
+
+void
+CostSensitiveClassifier::Update(const FeatureVector& x,
+                                const std::vector<double>& costs)
+{
+    if (costs.size() != config_.num_classes) {
+        throw std::invalid_argument("costs size != num_classes");
+    }
+    for (std::size_t c = 0; c < config_.num_classes; ++c) {
+        const double predicted = Dot(x, c);
+        const double error = predicted - costs[c];
+        double* row = &weights_[c * table_size_];
+        for (const auto& f : x.features()) {
+            double& w = row[f.index];
+            w -= config_.learning_rate *
+                 (error * f.value + config_.l2 * w);
+        }
+    }
+    ++updates_;
+}
+
+void
+CostSensitiveClassifier::Reset()
+{
+    std::fill(weights_.begin(), weights_.end(), 0.0);
+    updates_ = 0;
+}
+
+double
+CostSensitiveClassifier::Dot(const FeatureVector& x, std::size_t cls) const
+{
+    assert(cls < config_.num_classes);
+    const double* row = &weights_[cls * table_size_];
+    double total = 0.0;
+    for (const auto& f : x.features()) {
+        total += row[f.index] * f.value;
+    }
+    return total;
+}
+
+std::vector<double>
+AsymmetricCosts(std::size_t num_classes, std::size_t true_class,
+                double under_penalty, double over_penalty)
+{
+    assert(true_class < num_classes);
+    std::vector<double> costs(num_classes);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+        if (c < true_class) {
+            costs[c] = under_penalty *
+                       static_cast<double>(true_class - c);
+        } else {
+            costs[c] = over_penalty * static_cast<double>(c - true_class);
+        }
+    }
+    return costs;
+}
+
+}  // namespace sol::ml

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Online cost-sensitive multiclass classifier.
+ *
+ * This reproduces the model family SmartHarvest uses from VowpalWabbit
+ * (csoaa: cost-sensitive one-against-all). Each class has a linear
+ * regressor over hashed features that predicts the *cost* of choosing the
+ * class; prediction picks the argmin-cost class; training regresses each
+ * class's score toward its observed cost with online gradient descent.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sol::ml {
+
+/** Sparse feature: hashed index plus value. */
+struct Feature {
+    std::uint32_t index;
+    double value;
+};
+
+/** Builder for hashed sparse feature vectors (VW-style namespace.name). */
+class FeatureVector
+{
+  public:
+    /** @param num_bits Hash space is 2^num_bits weights per class. */
+    explicit FeatureVector(unsigned num_bits = 18);
+
+    /** Adds a named real-valued feature. */
+    void Add(const std::string& name, double value);
+
+    /** Adds a precomputed hashed feature. */
+    void AddHashed(std::uint32_t index, double value);
+
+    /** Adds a constant bias term. */
+    void AddBias() { AddHashed(0, 1.0); }
+
+    void Clear() { features_.clear(); }
+
+    const std::vector<Feature>& features() const { return features_; }
+    std::uint32_t mask() const { return mask_; }
+
+  private:
+    std::vector<Feature> features_;
+    std::uint32_t mask_;
+};
+
+/** Configuration for CostSensitiveClassifier. */
+struct CostSensitiveConfig {
+    std::size_t num_classes = 0;
+    unsigned num_bits = 18;       ///< log2 of per-class weight table size.
+    double learning_rate = 0.05;  ///< SGD step size.
+    double l2 = 0.0;              ///< L2 regularization strength.
+};
+
+/** Cost-sensitive one-against-all linear classifier. */
+class CostSensitiveClassifier
+{
+  public:
+    explicit CostSensitiveClassifier(const CostSensitiveConfig& config);
+
+    /** Class with the lowest predicted cost. */
+    std::size_t Predict(const FeatureVector& x) const;
+
+    /** Predicted cost of one class. */
+    double PredictCost(const FeatureVector& x, std::size_t cls) const;
+
+    /**
+     * Online update: regress each class's predicted cost toward the given
+     * observed costs (one per class).
+     */
+    void Update(const FeatureVector& x, const std::vector<double>& costs);
+
+    void Reset();
+
+    std::size_t num_classes() const { return config_.num_classes; }
+    std::size_t updates() const { return updates_; }
+
+  private:
+    double Dot(const FeatureVector& x, std::size_t cls) const;
+
+    CostSensitiveConfig config_;
+    std::vector<double> weights_;  ///< num_classes * 2^num_bits, row-major.
+    std::size_t table_size_;
+    std::size_t updates_ = 0;
+};
+
+/**
+ * Standard asymmetric cost function for resource under/over-prediction:
+ * under-predicting (starving the customer) costs more per unit than
+ * over-predicting (missing harvest opportunity).
+ */
+std::vector<double> AsymmetricCosts(std::size_t num_classes,
+                                    std::size_t true_class,
+                                    double under_penalty,
+                                    double over_penalty);
+
+/** FNV-1a hash of a string, for feature hashing. */
+std::uint32_t HashFeatureName(const std::string& name);
+
+}  // namespace sol::ml

@@ -1,0 +1,119 @@
+#include "ml/qlearning.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace sol::ml {
+
+QLearner::QLearner(const QLearnerConfig& config) : config_(config)
+{
+    if (config_.num_states == 0 || config_.num_actions == 0) {
+        throw std::invalid_argument("QLearner requires states and actions");
+    }
+    if (config_.learning_rate <= 0.0 || config_.learning_rate > 1.0) {
+        throw std::invalid_argument("learning_rate must be in (0, 1]");
+    }
+    if (config_.discount < 0.0 || config_.discount >= 1.0) {
+        throw std::invalid_argument("discount must be in [0, 1)");
+    }
+    table_.assign(config_.num_states * config_.num_actions,
+                  config_.initial_q);
+}
+
+void
+QLearner::Update(std::size_t state, std::size_t action, double reward,
+                 std::size_t next_state)
+{
+    const double target = reward + config_.discount * MaxQ(next_state);
+    double& q = table_[Index(state, action)];
+    q += config_.learning_rate * (target - q);
+    ++updates_;
+}
+
+std::size_t
+QLearner::GreedyAction(std::size_t state) const
+{
+    std::size_t best = 0;
+    double best_q = Q(state, 0);
+    for (std::size_t a = 1; a < config_.num_actions; ++a) {
+        const double q = Q(state, a);
+        if (q > best_q) {
+            best_q = q;
+            best = a;
+        }
+    }
+    return best;
+}
+
+std::size_t
+QLearner::SelectAction(std::size_t state, sim::Rng& rng,
+                       bool* explored) const
+{
+    if (rng.NextBool(config_.exploration)) {
+        if (explored) {
+            *explored = true;
+        }
+        return rng.NextBelow(config_.num_actions);
+    }
+    if (explored) {
+        *explored = false;
+    }
+    return GreedyAction(state);
+}
+
+double
+QLearner::Q(std::size_t state, std::size_t action) const
+{
+    return table_[Index(state, action)];
+}
+
+double
+QLearner::MaxQ(std::size_t state) const
+{
+    double best = Q(state, 0);
+    for (std::size_t a = 1; a < config_.num_actions; ++a) {
+        best = std::max(best, Q(state, a));
+    }
+    return best;
+}
+
+void
+QLearner::Reset()
+{
+    std::fill(table_.begin(), table_.end(), config_.initial_q);
+    updates_ = 0;
+}
+
+std::size_t
+QLearner::Index(std::size_t state, std::size_t action) const
+{
+    assert(state < config_.num_states);
+    assert(action < config_.num_actions);
+    return state * config_.num_actions + action;
+}
+
+UniformBucketizer::UniformBucketizer(double lo, double hi,
+                                     std::size_t buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets)
+{
+    if (buckets == 0 || hi <= lo) {
+        throw std::invalid_argument("bad bucketizer range");
+    }
+}
+
+std::size_t
+UniformBucketizer::Bucket(double value) const
+{
+    if (value <= lo_) {
+        return 0;
+    }
+    if (value >= hi_) {
+        return buckets_ - 1;
+    }
+    const double t = (value - lo_) / (hi_ - lo_);
+    auto b = static_cast<std::size_t>(t * static_cast<double>(buckets_));
+    return std::min(b, buckets_ - 1);
+}
+
+}  // namespace sol::ml

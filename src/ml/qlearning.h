@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tabular Q-learning with epsilon-greedy exploration.
+ *
+ * SmartOverclock uses this model: states are (discretized IPS, current
+ * frequency) pairs, actions are the discrete frequency choices, and the
+ * reward trades performance gain against power cost (paper section 5.1).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace sol::ml {
+
+/** Configuration for QLearner. */
+struct QLearnerConfig {
+    std::size_t num_states = 0;
+    std::size_t num_actions = 0;
+    double learning_rate = 0.2;     ///< Step size alpha.
+    double discount = 0.6;          ///< Future-reward discount gamma.
+    double exploration = 0.1;       ///< Epsilon for epsilon-greedy.
+    double initial_q = 0.0;         ///< Optimistic initialization value.
+};
+
+/** Tabular Q-learning agent. */
+class QLearner
+{
+  public:
+    explicit QLearner(const QLearnerConfig& config);
+
+    /**
+     * Applies the Q-update for a transition.
+     *
+     * @param state State the action was taken in.
+     * @param action Action taken.
+     * @param reward Observed reward.
+     * @param next_state Resulting state.
+     */
+    void Update(std::size_t state, std::size_t action, double reward,
+                std::size_t next_state);
+
+    /** Greedy action (argmax Q) for a state; ties break to lowest index. */
+    std::size_t GreedyAction(std::size_t state) const;
+
+    /**
+     * Epsilon-greedy action selection.
+     *
+     * @param explored Set to true when the action was a random exploration.
+     */
+    std::size_t SelectAction(std::size_t state, sim::Rng& rng,
+                             bool* explored = nullptr) const;
+
+    double Q(std::size_t state, std::size_t action) const;
+    double MaxQ(std::size_t state) const;
+
+    /** Resets the table to the initial value (model retraining). */
+    void Reset();
+
+    const QLearnerConfig& config() const { return config_; }
+
+    /** Total number of Update() calls. */
+    std::size_t updates() const { return updates_; }
+
+  private:
+    std::size_t Index(std::size_t state, std::size_t action) const;
+
+    QLearnerConfig config_;
+    std::vector<double> table_;
+    std::size_t updates_ = 0;
+};
+
+/** Uniform discretizer mapping a real value to a bucket in [0, buckets). */
+class UniformBucketizer
+{
+  public:
+    UniformBucketizer(double lo, double hi, std::size_t buckets);
+
+    std::size_t Bucket(double value) const;
+    std::size_t buckets() const { return buckets_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::size_t buckets_;
+};
+
+}  // namespace sol::ml

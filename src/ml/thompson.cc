@@ -1,0 +1,74 @@
+#include "ml/thompson.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sol::ml {
+
+ThompsonSampler::ThompsonSampler(std::size_t num_arms, double prior_alpha,
+                                 double prior_beta)
+    : prior_alpha_(prior_alpha), prior_beta_(prior_beta)
+{
+    if (num_arms == 0) {
+        throw std::invalid_argument("ThompsonSampler needs >= 1 arm");
+    }
+    if (prior_alpha <= 0.0 || prior_beta <= 0.0) {
+        throw std::invalid_argument("Beta prior parameters must be > 0");
+    }
+    alpha_.assign(num_arms, prior_alpha_);
+    beta_.assign(num_arms, prior_beta_);
+}
+
+std::size_t
+ThompsonSampler::SelectArm(sim::Rng& rng) const
+{
+    std::size_t best = 0;
+    double best_theta = -1.0;
+    for (std::size_t arm = 0; arm < alpha_.size(); ++arm) {
+        const double theta = rng.NextBeta(alpha_[arm], beta_[arm]);
+        if (theta > best_theta) {
+            best_theta = theta;
+            best = arm;
+        }
+    }
+    return best;
+}
+
+void
+ThompsonSampler::Observe(std::size_t arm, bool success)
+{
+    assert(arm < alpha_.size());
+    if (success) {
+        alpha_[arm] += 1.0;
+    } else {
+        beta_[arm] += 1.0;
+    }
+}
+
+double
+ThompsonSampler::PosteriorMean(std::size_t arm) const
+{
+    assert(arm < alpha_.size());
+    return alpha_[arm] / (alpha_[arm] + beta_[arm]);
+}
+
+void
+ThompsonSampler::Decay(double factor)
+{
+    if (factor <= 0.0 || factor > 1.0) {
+        throw std::invalid_argument("decay factor must be in (0, 1]");
+    }
+    for (std::size_t arm = 0; arm < alpha_.size(); ++arm) {
+        alpha_[arm] = prior_alpha_ + (alpha_[arm] - prior_alpha_) * factor;
+        beta_[arm] = prior_beta_ + (beta_[arm] - prior_beta_) * factor;
+    }
+}
+
+void
+ThompsonSampler::Reset()
+{
+    alpha_.assign(alpha_.size(), prior_alpha_);
+    beta_.assign(beta_.size(), prior_beta_);
+}
+
+}  // namespace sol::ml

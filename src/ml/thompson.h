@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Thompson Sampling with Beta priors for Bernoulli bandits.
+ *
+ * SmartMemory runs one of these bandits per 2 MB memory batch: arms are
+ * the candidate page-access-bit scan periods, the reward is whether the
+ * chosen period sampled the batch "well" (neither over- nor under-sampled)
+ * in the last epoch (paper section 5.3).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace sol::ml {
+
+/** Beta-Bernoulli Thompson Sampling over a fixed arm set. */
+class ThompsonSampler
+{
+  public:
+    /**
+     * @param num_arms Number of arms; must be >= 1.
+     * @param prior_alpha Prior successes (> 0).
+     * @param prior_beta Prior failures (> 0).
+     */
+    explicit ThompsonSampler(std::size_t num_arms, double prior_alpha = 1.0,
+                             double prior_beta = 1.0);
+
+    /** Samples a theta from each arm's posterior; returns the argmax. */
+    std::size_t SelectArm(sim::Rng& rng) const;
+
+    /** Records a Bernoulli outcome for an arm. */
+    void Observe(std::size_t arm, bool success);
+
+    /** Posterior mean of an arm. */
+    double PosteriorMean(std::size_t arm) const;
+
+    /** Decays all posteriors toward the prior; forgets stale evidence
+     *  after workload phase changes. Factor in (0, 1]; 1 is a no-op. */
+    void Decay(double factor);
+
+    void Reset();
+
+    std::size_t num_arms() const { return alpha_.size(); }
+    double alpha(std::size_t arm) const { return alpha_[arm]; }
+    double beta(std::size_t arm) const { return beta_[arm]; }
+
+  private:
+    double prior_alpha_;
+    double prior_beta_;
+    std::vector<double> alpha_;
+    std::vector<double> beta_;
+};
+
+}  // namespace sol::ml

@@ -1,0 +1,113 @@
+#include "node/channel_array.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sol::node {
+
+double
+IncidentStats::Coverage() const
+{
+    const std::uint64_t resolved = detected + missed;
+    if (resolved == 0) {
+        return 1.0;
+    }
+    return static_cast<double>(detected) / static_cast<double>(resolved);
+}
+
+ChannelArray::ChannelArray(std::size_t num_channels,
+                           sim::Duration visibility)
+    : channels_(num_channels), visibility_(visibility)
+{
+    if (num_channels == 0) {
+        throw std::invalid_argument("need at least one channel");
+    }
+    if (visibility <= sim::Duration::zero()) {
+        throw std::invalid_argument("visibility must be positive");
+    }
+}
+
+void
+ChannelArray::SetIncidentRate(ChannelId channel, double per_sec)
+{
+    if (per_sec < 0.0) {
+        throw std::invalid_argument("rate must be non-negative");
+    }
+    Get(channel).rate_per_sec = per_sec;
+}
+
+void
+ChannelArray::Advance(sim::TimePoint now, sim::Duration dt, sim::Rng& rng)
+{
+    const double dt_secs = sim::ToSeconds(dt);
+    const sim::TimePoint tick_end = now + dt;
+    const sim::TimePoint cutoff = tick_end > visibility_
+                                      ? tick_end - visibility_
+                                      : sim::TimePoint(0);
+    for (auto& channel : channels_) {
+        // Poisson arrivals approximated per tick (dt << 1/rate).
+        const double expected = channel.rate_per_sec * dt_secs;
+        if (expected > 0.0 && rng.NextBool(std::min(expected, 1.0))) {
+            channel.pending.push_back(tick_end);
+            ++stats_.generated;
+        }
+        // Incidents older than the visibility window are lost.
+        while (!channel.pending.empty() &&
+               channel.pending.front() < cutoff) {
+            channel.pending.pop_front();
+            ++stats_.missed;
+        }
+    }
+}
+
+int
+ChannelArray::Sample(ChannelId channel, sim::TimePoint now, bool* error)
+{
+    auto& state = Get(channel);
+    ++samples_;
+    if (sample_errors_ > 0) {
+        --sample_errors_;
+        if (error) {
+            *error = true;
+        }
+        return -1;  // Corrupted reading.
+    }
+    if (error) {
+        *error = false;
+    }
+    int found = 0;
+    while (!state.pending.empty()) {
+        const sim::TimePoint at = state.pending.front();
+        state.pending.pop_front();
+        ++stats_.detected;
+        latencies_.push_back(sim::ToSeconds(now - at));
+        ++found;
+    }
+    return found;
+}
+
+double
+ChannelArray::IncidentRate(ChannelId channel) const
+{
+    return Get(channel).rate_per_sec;
+}
+
+ChannelArray::Channel&
+ChannelArray::Get(ChannelId channel)
+{
+    if (channel >= channels_.size()) {
+        throw std::out_of_range("no such channel");
+    }
+    return channels_[channel];
+}
+
+const ChannelArray::Channel&
+ChannelArray::Get(ChannelId channel) const
+{
+    if (channel >= channels_.size()) {
+        throw std::out_of_range("no such channel");
+    }
+    return channels_[channel];
+}
+
+}  // namespace sol::node

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Telemetry channel substrate for the monitoring-agent extension.
+ *
+ * The paper's section 2 argues that monitoring/logging agents — 18 of
+ * the 77 Azure node agents — can use on-node learning to decide *what*
+ * telemetry to sample within a fixed collection budget, instead of
+ * treating every sample as equally valuable. This substrate models that
+ * setting: an array of telemetry channels (per-device error counters,
+ * per-VM health signals, ...) in which incidents appear at
+ * channel-dependent, time-varying rates. Sampling a channel detects any
+ * not-yet-detected incident on it; an incident that stays undetected
+ * longer than its visibility window is missed (the information is
+ * rotated out of the hardware/OS buffer).
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace sol::node {
+
+/** Identifier of a telemetry channel. */
+using ChannelId = std::size_t;
+
+/** Aggregate incident accounting (the evaluation's ground truth). */
+struct IncidentStats {
+    std::uint64_t generated = 0;
+    std::uint64_t detected = 0;
+    std::uint64_t missed = 0;  ///< Aged out before any sample saw them.
+
+    /** Fraction of expired-or-detected incidents that were detected. */
+    double Coverage() const;
+};
+
+/** Array of telemetry channels with incident generation and sampling. */
+class ChannelArray
+{
+  public:
+    /**
+     * @param num_channels Channels on the node.
+     * @param visibility How long an incident stays detectable.
+     */
+    ChannelArray(std::size_t num_channels, sim::Duration visibility);
+
+    /** Sets a channel's incident rate (incidents per second). */
+    void SetIncidentRate(ChannelId channel, double per_sec);
+
+    /** Generates incidents for (now, now + dt] and ages out old ones. */
+    void Advance(sim::TimePoint now, sim::Duration dt, sim::Rng& rng);
+
+    /**
+     * Samples a channel: detects every currently visible incident on
+     * it. Returns the number of incidents detected by this sample.
+     *
+     * @param error Set to true when the (injectable) sampling failure
+     *   fires; the reading must then be discarded by the caller.
+     */
+    int Sample(ChannelId channel, sim::TimePoint now,
+               bool* error = nullptr);
+
+    /** Makes the next `count` samples report an error. */
+    void InjectSampleErrors(std::uint64_t count) { sample_errors_ = count; }
+
+    /** Detection latencies (seconds) of all detected incidents. */
+    const std::vector<double>& detection_latencies() const
+    {
+        return latencies_;
+    }
+
+    std::size_t num_channels() const { return channels_.size(); }
+    const IncidentStats& stats() const { return stats_; }
+    std::uint64_t samples_taken() const { return samples_; }
+
+    /** Ground truth incident rate of a channel (for tests). */
+    double IncidentRate(ChannelId channel) const;
+
+  private:
+    struct Channel {
+        double rate_per_sec = 0.0;
+        std::deque<sim::TimePoint> pending;  ///< Undetected incidents.
+    };
+
+    Channel& Get(ChannelId channel);
+    const Channel& Get(ChannelId channel) const;
+
+    std::vector<Channel> channels_;
+    sim::Duration visibility_;
+    IncidentStats stats_;
+    std::vector<double> latencies_;
+    std::uint64_t samples_ = 0;
+    std::uint64_t sample_errors_ = 0;
+};
+
+}  // namespace sol::node

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Interface between simulated VMs and the workloads running inside them.
+ *
+ * Agents never see this interface — they are restricted to hypervisor
+ * counters, exactly like the paper's agents that manage opaque VMs. The
+ * node queries the workload for its activity each tick to synthesize
+ * those counters.
+ */
+#pragma once
+
+#include <string>
+
+#include "sim/time.h"
+
+namespace sol::node {
+
+/** Resources the node grants a VM for the current tick. */
+struct CpuResources {
+    double freq_ghz = 1.5;  ///< Core frequency applied to the VM's cores.
+    int granted_cores = 1;  ///< Physical cores currently granted.
+};
+
+/** Instantaneous activity reported by a workload after a tick. */
+struct CpuActivity {
+    /** Busy fraction of the granted cores, in [0, 1]. */
+    double utilization = 0.0;
+    /** Cores the workload would use if unconstrained (may exceed grant). */
+    double cores_demand = 0.0;
+    /** Instructions per cycle while running (workload-dependent). */
+    double ipc = 1.0;
+    /** Fraction of busy cycles stalled on memory/IO, in [0, 1]. */
+    double stall_fraction = 0.0;
+};
+
+/** A workload running inside a (opaque-to-agents) VM. */
+class CpuWorkload
+{
+  public:
+    virtual ~CpuWorkload() = default;
+
+    /**
+     * Advances the workload by dt given the granted resources.
+     *
+     * Implementations update their internal queues/progress and remember
+     * the activity to report from Activity().
+     */
+    virtual void Advance(sim::TimePoint now, sim::Duration dt,
+                         const CpuResources& res) = 0;
+
+    /** Activity over the last Advance() tick. */
+    virtual CpuActivity Activity() const = 0;
+
+    /** Workload name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Scalar performance of the run so far. Direction depends on the
+     * workload (see PerformanceHigherIsBetter); units via
+     * PerformanceUnit().
+     */
+    virtual double PerformanceValue() const = 0;
+
+    /** Unit label for PerformanceValue (e.g. "req/s", "ms"). */
+    virtual std::string PerformanceUnit() const = 0;
+
+    /** True when a larger PerformanceValue means better performance. */
+    virtual bool PerformanceHigherIsBetter() const = 0;
+};
+
+}  // namespace sol::node

@@ -1,0 +1,211 @@
+#include "node/node.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sol::node {
+
+double
+CpuCounterDelta::Ips() const
+{
+    const double secs = sim::ToSeconds(span);
+    return secs > 0.0 ? instructions / secs : 0.0;
+}
+
+double
+CpuCounterDelta::Alpha() const
+{
+    if (total_cycles <= 0.0) {
+        return 0.0;
+    }
+    return std::max(0.0, (unhalted_cycles - stalled_cycles) / total_cycles);
+}
+
+CpuCounterDelta
+Diff(const CpuCounterSnapshot& a, const CpuCounterSnapshot& b)
+{
+    CpuCounterDelta d;
+    d.instructions = b.instructions - a.instructions;
+    d.total_cycles = b.total_cycles - a.total_cycles;
+    d.unhalted_cycles = b.unhalted_cycles - a.unhalted_cycles;
+    d.stalled_cycles = b.stalled_cycles - a.stalled_cycles;
+    d.span = b.at - a.at;
+    return d;
+}
+
+Node::Node(const NodeConfig& config)
+    : config_(config), power_model_(config.power)
+{
+    if (config_.total_cores <= 0) {
+        throw std::invalid_argument("node needs at least one core");
+    }
+    if (config_.allowed_freqs_ghz.empty()) {
+        throw std::invalid_argument("node needs allowed frequencies");
+    }
+}
+
+VmId
+Node::AddVm(const VmConfig& vm_config, std::shared_ptr<CpuWorkload> wl)
+{
+    if (!wl) {
+        throw std::invalid_argument("VM requires a workload");
+    }
+    if (vm_config.allocated_cores <= 0) {
+        throw std::invalid_argument("VM requires at least one core");
+    }
+    int used = 0;
+    for (const auto& vm : vms_) {
+        used += vm.config.allocated_cores;
+    }
+    if (used + vm_config.allocated_cores > config_.total_cores) {
+        throw std::invalid_argument("node is out of cores");
+    }
+    VmState state;
+    state.config = vm_config;
+    state.workload = std::move(wl);
+    state.freq_ghz = config_.nominal_freq_ghz;
+    state.granted_cores = vm_config.allocated_cores;
+    vms_.push_back(std::move(state));
+    return vms_.size() - 1;
+}
+
+void
+Node::Advance(sim::TimePoint now, sim::Duration dt)
+{
+    const double dt_secs = sim::ToSeconds(dt);
+    double power = power_model_.config().base_watts;
+    for (auto& vm : vms_) {
+        CpuResources res{vm.freq_ghz, vm.granted_cores};
+        vm.workload->Advance(now, dt, res);
+        const CpuActivity activity = vm.workload->Activity();
+        vm.last_activity = activity;
+
+        const double cores = static_cast<double>(vm.granted_cores);
+        const double hz = vm.freq_ghz * 1e9;
+        const double total = cores * hz * dt_secs;
+        const double unhalted = activity.utilization * total;
+        const double stalled = activity.stall_fraction * unhalted;
+        vm.counters.total_cycles += total;
+        vm.counters.unhalted_cycles += unhalted;
+        vm.counters.stalled_cycles += stalled;
+        // Instructions retire only on non-stalled busy cycles.
+        vm.counters.instructions += activity.ipc * (unhalted - stalled);
+        vm.counters.at = now;
+
+        const double unmet =
+            std::max(0.0, activity.cores_demand - cores);
+        vm.vcpu_wait += sim::Duration(static_cast<std::int64_t>(
+            unmet * static_cast<double>(dt.count())));
+
+        power += static_cast<double>(vm.granted_cores) *
+                 power_model_.CorePower(vm.freq_ghz, activity.utilization);
+    }
+    last_power_watts_ = power;
+    energy_joules_ += power * dt_secs;
+}
+
+void
+Node::SetVmFrequency(VmId vm, double freq_ghz)
+{
+    const auto& allowed = config_.allowed_freqs_ghz;
+    const bool ok = std::any_of(
+        allowed.begin(), allowed.end(),
+        [freq_ghz](double f) { return std::abs(f - freq_ghz) < 1e-9; });
+    if (!ok) {
+        throw std::invalid_argument("frequency not supported by DVFS");
+    }
+    Get(vm).freq_ghz = freq_ghz;
+}
+
+void
+Node::ResetVmFrequency(VmId vm)
+{
+    Get(vm).freq_ghz = config_.nominal_freq_ghz;
+}
+
+void
+Node::GrantCores(VmId vm, int cores)
+{
+    auto& state = Get(vm);
+    state.granted_cores =
+        std::clamp(cores, 0, state.config.allocated_cores);
+}
+
+void
+Node::ResetGrants()
+{
+    for (auto& vm : vms_) {
+        vm.granted_cores = vm.config.allocated_cores;
+    }
+}
+
+CpuCounterSnapshot
+Node::ReadCounters(VmId vm) const
+{
+    return Get(vm).counters;
+}
+
+double
+Node::SampleCpuUsage(VmId vm) const
+{
+    const auto& state = Get(vm);
+    return state.last_activity.utilization *
+           static_cast<double>(state.granted_cores);
+}
+
+double
+Node::SampleCpuDemand(VmId vm) const
+{
+    return Get(vm).last_activity.cores_demand;
+}
+
+sim::Duration
+Node::VcpuWaitTime(VmId vm) const
+{
+    return Get(vm).vcpu_wait;
+}
+
+double
+Node::VmFrequency(VmId vm) const
+{
+    return Get(vm).freq_ghz;
+}
+
+int
+Node::GrantedCores(VmId vm) const
+{
+    return Get(vm).granted_cores;
+}
+
+int
+Node::AllocatedCores(VmId vm) const
+{
+    return Get(vm).config.allocated_cores;
+}
+
+CpuWorkload&
+Node::Workload(VmId vm)
+{
+    return *Get(vm).workload;
+}
+
+const Node::VmState&
+Node::Get(VmId vm) const
+{
+    if (vm >= vms_.size()) {
+        throw std::out_of_range("no such VM");
+    }
+    return vms_[vm];
+}
+
+Node::VmState&
+Node::Get(VmId vm)
+{
+    if (vm >= vms_.size()) {
+        throw std::out_of_range("no such VM");
+    }
+    return vms_[vm];
+}
+
+}  // namespace sol::node

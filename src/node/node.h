@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Simulated server node: VMs, DVFS, hypervisor counters, core harvesting.
+ *
+ * This class stands in for the Hyper-V root partition in the paper's
+ * testbed. Agents interact with it only through the counter/knob surface a
+ * real hypervisor exposes:
+ *   - cumulative CPU counters per VM (instructions, total/unhalted/stalled
+ *     cycles),
+ *   - instantaneous CPU usage samples (cores in use),
+ *   - cumulative vCPU wait time (virtual cores runnable but not running),
+ *   - frequency control per VM, and
+ *   - core grant control (harvesting).
+ *
+ * The node is advanced by a periodic driver event owned by the experiment
+ * harness; each tick it runs every VM's workload, integrates energy, and
+ * updates counters.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "node/cpu_workload.h"
+#include "node/power_model.h"
+#include "sim/time.h"
+
+namespace sol::node {
+
+/** Identifier of a VM on the node. */
+using VmId = std::size_t;
+
+/** Cumulative hypervisor CPU counters for one VM. */
+struct CpuCounterSnapshot {
+    double instructions = 0.0;     ///< Retired instructions.
+    double total_cycles = 0.0;     ///< Granted-core cycles (busy or not).
+    double unhalted_cycles = 0.0;  ///< Cycles cores were busy.
+    double stalled_cycles = 0.0;   ///< Busy cycles stalled on mem/IO.
+    sim::TimePoint at{0};          ///< Time the snapshot was taken.
+};
+
+/** Difference of two snapshots with derived rates. */
+struct CpuCounterDelta {
+    double instructions = 0.0;
+    double total_cycles = 0.0;
+    double unhalted_cycles = 0.0;
+    double stalled_cycles = 0.0;
+    sim::Duration span{0};
+
+    /** Instructions per second over the delta window. */
+    double Ips() const;
+
+    /** Activity factor alpha = (unhalted - stalled) / total (paper 5.1). */
+    double Alpha() const;
+};
+
+/** Computes b - a. */
+CpuCounterDelta Diff(const CpuCounterSnapshot& a,
+                     const CpuCounterSnapshot& b);
+
+/** Static configuration of one VM. */
+struct VmConfig {
+    std::string name;
+    int allocated_cores = 1;  ///< Cores the customer paid for.
+};
+
+/** Node-wide configuration. */
+struct NodeConfig {
+    int total_cores = 8;
+    double nominal_freq_ghz = 1.5;
+    /** Frequencies the DVFS hardware accepts. */
+    std::vector<double> allowed_freqs_ghz = {1.5, 1.9, 2.3};
+    PowerModelConfig power;
+};
+
+/** Simulated server node (the hypervisor surface agents program against). */
+class Node
+{
+  public:
+    explicit Node(const NodeConfig& config);
+
+    /** Adds a VM running the given workload; returns its id. */
+    VmId AddVm(const VmConfig& config, std::shared_ptr<CpuWorkload> wl);
+
+    /** Advances all VMs by dt and integrates counters and energy. */
+    void Advance(sim::TimePoint now, sim::Duration dt);
+
+    // --- Knobs (the actuator surface) ---------------------------------
+
+    /**
+     * Sets the frequency of a VM's cores. Throws std::invalid_argument if
+     * the frequency is not in the allowed set (DVFS rejects it).
+     */
+    void SetVmFrequency(VmId vm, double freq_ghz);
+
+    /** Restores a VM's cores to the nominal frequency. */
+    void ResetVmFrequency(VmId vm);
+
+    /**
+     * Grants a VM a number of physical cores (harvesting takes some away).
+     * Clamped to [0, allocated_cores].
+     */
+    void GrantCores(VmId vm, int cores);
+
+    /** Returns all cores of a VM (stop harvesting). */
+    void ResetGrants();
+
+    // --- Counters (the model surface) ----------------------------------
+
+    CpuCounterSnapshot ReadCounters(VmId vm) const;
+
+    /** Cores of the VM busy right now (50 us-style usage sample). */
+    double SampleCpuUsage(VmId vm) const;
+
+    /** Instantaneous core demand (runnable vCPUs), may exceed the grant. */
+    double SampleCpuDemand(VmId vm) const;
+
+    /** Cumulative time vCPUs were runnable but had no physical core. */
+    sim::Duration VcpuWaitTime(VmId vm) const;
+
+    /** Cumulative node energy in joules. */
+    double EnergyJoules() const { return energy_joules_; }
+
+    /** Node power over the last tick, watts. */
+    double LastPowerWatts() const { return last_power_watts_; }
+
+    // --- Introspection --------------------------------------------------
+
+    double VmFrequency(VmId vm) const;
+    int GrantedCores(VmId vm) const;
+    int AllocatedCores(VmId vm) const;
+    double NominalFrequency() const { return config_.nominal_freq_ghz; }
+    const std::vector<double>& AllowedFrequencies() const
+    {
+        return config_.allowed_freqs_ghz;
+    }
+    std::size_t NumVms() const { return vms_.size(); }
+    CpuWorkload& Workload(VmId vm);
+    const NodeConfig& config() const { return config_; }
+
+  private:
+    struct VmState {
+        VmConfig config;
+        std::shared_ptr<CpuWorkload> workload;
+        double freq_ghz;
+        int granted_cores;
+        CpuCounterSnapshot counters;
+        sim::Duration vcpu_wait{0};
+        CpuActivity last_activity;
+    };
+
+    const VmState& Get(VmId vm) const;
+    VmState& Get(VmId vm);
+
+    NodeConfig config_;
+    PowerModel power_model_;
+    std::vector<VmState> vms_;
+    double energy_joules_ = 0.0;
+    double last_power_watts_ = 0.0;
+};
+
+}  // namespace sol::node

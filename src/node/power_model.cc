@@ -1,0 +1,23 @@
+#include "node/power_model.h"
+
+#include <algorithm>
+
+namespace sol::node {
+
+double
+PowerModel::CorePower(double freq_ghz, double utilization) const
+{
+    utilization = std::clamp(utilization, 0.0, 1.0);
+    const double f3 = freq_ghz * freq_ghz * freq_ghz;
+    return config_.core_static_coeff * f3 +
+           config_.core_dynamic_coeff * utilization * f3;
+}
+
+double
+PowerModel::NodePower(double freq_ghz, double utilization, int cores) const
+{
+    return config_.base_watts +
+           static_cast<double>(cores) * CorePower(freq_ghz, utilization);
+}
+
+}  // namespace sol::node

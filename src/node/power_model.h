@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Node power model.
+ *
+ * Replaces the paper's RAPL measurements. Per-core power is
+ *
+ *     P_core(f, u) = k_static * f^3 + k_dynamic * u * f^3
+ *
+ * i.e. both the voltage-scaled static term and the switching term grow
+ * cubically with frequency (overclocking raises voltage with frequency).
+ * The cubic static term is what makes overclocking an idle or stalled
+ * workload expensive — the property Figures 3-5 exercise.
+ */
+#pragma once
+
+namespace sol::node {
+
+/** Coefficients for the node power model. */
+struct PowerModelConfig {
+    double base_watts = 5.0;       ///< Uncore/board power, frequency-free.
+    double core_static_coeff = 2.0;   ///< k_static (W per GHz^3).
+    double core_dynamic_coeff = 10.0; ///< k_dynamic (W per GHz^3 at u=1).
+};
+
+/** Computes node power from per-core frequency and utilization. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const PowerModelConfig& config = {})
+        : config_(config)
+    {}
+
+    /** Power of one core at the given frequency and utilization. */
+    double CorePower(double freq_ghz, double utilization) const;
+
+    /** Aggregate power of `cores` identical cores plus the base. */
+    double NodePower(double freq_ghz, double utilization, int cores) const;
+
+    const PowerModelConfig& config() const { return config_; }
+
+  private:
+    PowerModelConfig config_;
+};
+
+}  // namespace sol::node

@@ -1,0 +1,137 @@
+#include "node/tiered_memory.h"
+
+#include <stdexcept>
+
+namespace sol::node {
+
+double
+MemoryAccessStats::RemoteFraction() const
+{
+    const std::uint64_t all = total();
+    if (all == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(remote_accesses) / static_cast<double>(all);
+}
+
+TieredMemory::TieredMemory(std::size_t num_batches,
+                           std::size_t fast_tier_capacity)
+    : batches_(num_batches), fast_capacity_(fast_tier_capacity)
+{
+    if (num_batches == 0) {
+        throw std::invalid_argument("need at least one batch");
+    }
+    if (fast_tier_capacity == 0) {
+        throw std::invalid_argument("fast tier needs capacity");
+    }
+    for (std::size_t i = 0; i < batches_.size(); ++i) {
+        if (i < fast_capacity_) {
+            batches_[i].tier = Tier::kFast;
+            ++fast_used_;
+        } else {
+            batches_[i].tier = Tier::kSlow;
+        }
+    }
+}
+
+void
+TieredMemory::RecordAccess(BatchId batch, sim::TimePoint now,
+                           std::uint64_t count)
+{
+    auto& b = Get(batch);
+    b.access_bit = true;
+    b.last_access = now;
+    b.epoch_accesses += count;
+    if (b.tier == Tier::kFast) {
+        stats_.local_accesses += count;
+    } else {
+        stats_.remote_accesses += count;
+    }
+}
+
+bool
+TieredMemory::ScanAndReset(BatchId batch, bool* error)
+{
+    auto& b = Get(batch);
+    ++scans_;
+    if (scan_errors_ > 0) {
+        --scan_errors_;
+        if (error) {
+            *error = true;
+        }
+        return false;
+    }
+    if (error) {
+        *error = false;
+    }
+    const bool was_set = b.access_bit;
+    if (was_set) {
+        b.access_bit = false;
+        ++bit_resets_;
+        tlb_flushes_ += kPagesPerBatch;
+    }
+    return was_set;
+}
+
+void
+TieredMemory::Migrate(BatchId batch, Tier tier)
+{
+    auto& b = Get(batch);
+    if (b.tier == tier) {
+        return;
+    }
+    if (tier == Tier::kFast) {
+        if (fast_used_ >= fast_capacity_) {
+            throw std::runtime_error("fast tier is full");
+        }
+        ++fast_used_;
+    } else {
+        --fast_used_;
+    }
+    b.tier = tier;
+    ++migrations_;
+}
+
+bool
+TieredMemory::FastTierHasRoom() const
+{
+    return fast_used_ < fast_capacity_;
+}
+
+Tier
+TieredMemory::TierOf(BatchId batch) const
+{
+    return Get(batch).tier;
+}
+
+sim::TimePoint
+TieredMemory::LastAccess(BatchId batch) const
+{
+    return Get(batch).last_access;
+}
+
+bool
+TieredMemory::AccessBit(BatchId batch) const
+{
+    return Get(batch).access_bit;
+}
+
+TieredMemory::Batch&
+TieredMemory::Get(BatchId batch)
+{
+    if (batch >= batches_.size()) {
+        throw std::out_of_range("no such batch");
+    }
+    return batches_[batch];
+}
+
+const TieredMemory::Batch&
+TieredMemory::Get(BatchId batch) const
+{
+    if (batch >= batches_.size()) {
+        throw std::out_of_range("no such batch");
+    }
+    return batches_[batch];
+}
+
+}  // namespace sol::node

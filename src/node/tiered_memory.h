@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Two-tier memory system with page-access-bit scanning.
+ *
+ * Stands in for the paper's DRAM + slow-tier (persistent/disaggregated)
+ * memory managed through hypervisor page-table scans. Memory is divided
+ * into 2 MB batches of 512 4 KB pages (the granularity SmartMemory
+ * manages). The substrate tracks, per batch:
+ *   - which tier it lives in,
+ *   - its access bit (set by workload accesses, cleared by scans),
+ *   - last-access time (for cold detection), and
+ * and globally: local/remote access counts (the SLO signal), scan count,
+ * and access-bit resets (each reset flushes the batch's TLB entries — the
+ * scanning cost the agent minimizes).
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sol::node {
+
+/** Memory tier identifiers. */
+enum class Tier : std::uint8_t {
+    kFast = 1,  ///< First-tier DRAM.
+    kSlow = 2,  ///< Second-tier (persistent / disaggregated) memory.
+};
+
+/** Identifier of a 2 MB batch (512 x 4 KB pages). */
+using BatchId = std::size_t;
+
+/** Number of 4 KB pages per managed batch. */
+inline constexpr std::size_t kPagesPerBatch = 512;
+
+/** Cumulative access accounting. */
+struct MemoryAccessStats {
+    std::uint64_t local_accesses = 0;
+    std::uint64_t remote_accesses = 0;
+
+    std::uint64_t total() const { return local_accesses + remote_accesses; }
+
+    /** Fraction of accesses served from the slow tier. */
+    double RemoteFraction() const;
+};
+
+/** Two-tier memory with access-bit scanning. */
+class TieredMemory
+{
+  public:
+    /**
+     * @param num_batches Managed batches; all start in the fast tier if
+     *   they fit, otherwise overflow to the slow tier.
+     * @param fast_tier_capacity Max batches resident in the fast tier.
+     */
+    TieredMemory(std::size_t num_batches, std::size_t fast_tier_capacity);
+
+    // --- Workload side ---------------------------------------------------
+
+    /** Records `count` accesses to a batch at the given time. */
+    void RecordAccess(BatchId batch, sim::TimePoint now,
+                      std::uint64_t count = 1);
+
+    // --- Scanner side (the agent's data source) ---------------------------
+
+    /**
+     * Reads and clears a batch's access bit.
+     *
+     * Returns true if the bit was set. Clearing a set bit costs one TLB
+     * flush per page in the batch; the substrate accounts those flushes.
+     *
+     * @param error Set to true if the (injectable) scan failure fires;
+     *   callers must discard the sample (paper 5.3 ValidateData).
+     */
+    bool ScanAndReset(BatchId batch, bool* error = nullptr);
+
+    /** Makes the next `count` scans report an error (fault injection). */
+    void InjectScanErrors(std::uint64_t count) { scan_errors_ = count; }
+
+    // --- Placement side (the agent's actuator surface) --------------------
+
+    /**
+     * Moves a batch to a tier. Throws std::runtime_error if the fast tier
+     * is full. Migration of an already-resident batch is a no-op.
+     */
+    void Migrate(BatchId batch, Tier tier);
+
+    /** True if the fast tier has room for one more batch. */
+    bool FastTierHasRoom() const;
+
+    // --- Introspection -----------------------------------------------------
+
+    Tier TierOf(BatchId batch) const;
+    sim::TimePoint LastAccess(BatchId batch) const;
+    bool AccessBit(BatchId batch) const;
+
+    std::size_t num_batches() const { return batches_.size(); }
+    std::size_t fast_tier_capacity() const { return fast_capacity_; }
+    std::size_t fast_tier_used() const { return fast_used_; }
+
+    const MemoryAccessStats& stats() const { return stats_; }
+
+    /** Resets only the access accounting (per-epoch windows). */
+    void ResetAccessStats() { stats_ = MemoryAccessStats{}; }
+
+    std::uint64_t scans() const { return scans_; }
+    std::uint64_t bit_resets() const { return bit_resets_; }
+    std::uint64_t tlb_flushes() const { return tlb_flushes_; }
+    std::uint64_t migrations() const { return migrations_; }
+
+  private:
+    struct Batch {
+        Tier tier = Tier::kFast;
+        bool access_bit = false;
+        sim::TimePoint last_access{0};
+        std::uint64_t epoch_accesses = 0;
+    };
+
+    Batch& Get(BatchId batch);
+    const Batch& Get(BatchId batch) const;
+
+    std::vector<Batch> batches_;
+    std::size_t fast_capacity_;
+    std::size_t fast_used_ = 0;
+    MemoryAccessStats stats_;
+    std::uint64_t scans_ = 0;
+    std::uint64_t bit_resets_ = 0;
+    std::uint64_t tlb_flushes_ = 0;
+    std::uint64_t migrations_ = 0;
+    std::uint64_t scan_errors_ = 0;
+};
+
+}  // namespace sol::node

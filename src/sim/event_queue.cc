@@ -1,0 +1,122 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sol::sim {
+
+void
+EventHandle::Cancel()
+{
+    if (cancelled_) {
+        *cancelled_ = true;
+    }
+}
+
+bool
+EventHandle::cancelled() const
+{
+    return cancelled_ && *cancelled_;
+}
+
+EventHandle
+EventQueue::ScheduleAt(TimePoint when, std::function<void()> fn)
+{
+    if (when < now_) {
+        when = now_;
+    }
+    auto flag = std::make_shared<bool>(false);
+    heap_.push(Entry{when, next_seq_++, std::move(fn), flag});
+    return EventHandle(flag);
+}
+
+EventHandle
+EventQueue::ScheduleAfter(Duration delay, std::function<void()> fn)
+{
+    if (delay < Duration::zero()) {
+        delay = Duration::zero();
+    }
+    return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void
+EventQueue::RunUntil(TimePoint horizon)
+{
+    while (!heap_.empty() && heap_.top().when <= horizon) {
+        Entry entry = heap_.top();
+        heap_.pop();
+        now_ = entry.when;
+        if (!*entry.cancelled) {
+            ++executed_;
+            entry.fn();
+        }
+    }
+    if (horizon > now_ && horizon != kTimeInfinity) {
+        now_ = horizon;
+    }
+}
+
+void
+EventQueue::RunUntilIdle(std::uint64_t max_events)
+{
+    std::uint64_t budget = max_events;
+    while (!heap_.empty() && budget-- > 0) {
+        Step();
+    }
+}
+
+bool
+EventQueue::Step()
+{
+    while (!heap_.empty()) {
+        Entry entry = heap_.top();
+        heap_.pop();
+        now_ = entry.when;
+        if (*entry.cancelled) {
+            continue;
+        }
+        ++executed_;
+        entry.fn();
+        return true;
+    }
+    return false;
+}
+
+PeriodicTask::PeriodicTask(EventQueue& queue, Duration period,
+                           std::function<void()> fn)
+    : queue_(queue),
+      period_(period),
+      fn_(std::move(fn)),
+      alive_(std::make_shared<bool>(true))
+{
+    assert(period_ > Duration::zero());
+    Arm();
+}
+
+PeriodicTask::~PeriodicTask()
+{
+    Stop();
+}
+
+void
+PeriodicTask::Stop()
+{
+    *alive_ = false;
+}
+
+void
+PeriodicTask::Arm()
+{
+    std::shared_ptr<bool> alive = alive_;
+    queue_.ScheduleAfter(period_, [this, alive] {
+        if (!*alive) {
+            return;
+        }
+        fn_();
+        if (*alive) {
+            Arm();
+        }
+    });
+}
+
+}  // namespace sol::sim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The EventQueue is the heart of the deterministic experiment harness: the
+ * node, the workloads, and the SOL SimRuntime all schedule callbacks on it
+ * and observe a single shared virtual clock. Events that fire at the same
+ * instant execute in insertion order, so a fixed seed reproduces a run
+ * exactly.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sol::sim {
+
+/**
+ * Handle that allows a scheduled event to be cancelled. Cancellation is
+ * lazy: the event stays in the queue but becomes a no-op when it fires.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Prevents the event from running when it is popped. */
+    void Cancel();
+
+    /** True if Cancel() was called before the event fired. */
+    bool cancelled() const;
+
+  private:
+    friend class EventQueue;
+    explicit EventHandle(std::shared_ptr<bool> flag)
+        : cancelled_(std::move(flag))
+    {}
+
+    std::shared_ptr<bool> cancelled_;
+};
+
+/** Virtual-time event queue with deterministic same-instant ordering. */
+class EventQueue : public Clock
+{
+  public:
+    EventQueue() = default;
+
+    /** Current virtual time. */
+    TimePoint Now() const override { return now_; }
+
+    /** Schedules fn at an absolute virtual time (>= Now()). */
+    EventHandle ScheduleAt(TimePoint when, std::function<void()> fn);
+
+    /** Schedules fn after a relative delay (clamped to >= 0). */
+    EventHandle ScheduleAfter(Duration delay, std::function<void()> fn);
+
+    /** Runs events until the queue is empty or the horizon is reached.
+     *
+     * The virtual clock is advanced to the horizon even if the last event
+     * fires earlier, so periodic drivers stay in lockstep across calls.
+     */
+    void RunUntil(TimePoint horizon);
+
+    /** Runs events for a relative span of virtual time. */
+    void RunFor(Duration span) { RunUntil(now_ + span); }
+
+    /** Runs until the queue drains entirely (caps at max_events). */
+    void RunUntilIdle(std::uint64_t max_events = 100'000'000);
+
+    /** Executes the single earliest pending event, if any. */
+    bool Step();
+
+    /** Number of events still pending (including cancelled ones). */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Total events executed so far (cancelled events excluded). */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry {
+        TimePoint when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+        std::shared_ptr<bool> cancelled;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when) {
+                return a.when > b.when;
+            }
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    TimePoint now_{0};
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+/**
+ * Convenience wrapper that re-schedules a callback at a fixed period until
+ * stopped. Used by node drivers and telemetry samplers.
+ */
+class PeriodicTask
+{
+  public:
+    /**
+     * Starts ticking. The first tick fires at start + period.
+     *
+     * @param queue Event queue that owns time.
+     * @param period Interval between ticks; must be positive.
+     * @param fn Callback invoked each tick.
+     */
+    PeriodicTask(EventQueue& queue, Duration period,
+                 std::function<void()> fn);
+    ~PeriodicTask();
+
+    PeriodicTask(const PeriodicTask&) = delete;
+    PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+    /** Stops future ticks; safe to call multiple times. */
+    void Stop();
+
+  private:
+    void Arm();
+
+    EventQueue& queue_;
+    Duration period_;
+    std::function<void()> fn_;
+    std::shared_ptr<bool> alive_;
+};
+
+}  // namespace sol::sim

@@ -1,0 +1,172 @@
+#include "sim/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sol::sim {
+
+namespace {
+
+std::uint64_t
+SplitMix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+Rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto& lane : state_) {
+        lane = SplitMix64(s);
+    }
+}
+
+std::uint64_t
+Rng::NextU64()
+{
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::NextDouble()
+{
+    // 53 high bits -> uniform in [0, 1).
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::NextBelow(std::uint64_t bound)
+{
+    assert(bound > 0);
+    // Lemire-style rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = NextU64();
+        if (r >= threshold) {
+            return r % bound;
+        }
+    }
+}
+
+std::int64_t
+Rng::NextInRange(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(NextBelow(span));
+}
+
+bool
+Rng::NextBool(double p)
+{
+    if (p <= 0.0) {
+        return false;
+    }
+    if (p >= 1.0) {
+        return true;
+    }
+    return NextDouble() < p;
+}
+
+double
+Rng::NextGaussian()
+{
+    if (have_cached_gaussian_) {
+        have_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    while (u1 <= 1e-300) {
+        u1 = NextDouble();
+    }
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    cached_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+    have_cached_gaussian_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::NextExponential(double rate)
+{
+    assert(rate > 0.0);
+    double u = NextDouble();
+    while (u <= 0.0) {
+        u = NextDouble();
+    }
+    return -std::log(u) / rate;
+}
+
+double
+Rng::NextGamma(double alpha)
+{
+    assert(alpha > 0.0);
+    if (alpha < 1.0) {
+        // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+        const double g = NextGamma(alpha + 1.0);
+        double u = NextDouble();
+        while (u <= 0.0) {
+            u = NextDouble();
+        }
+        return g * std::pow(u, 1.0 / alpha);
+    }
+    // Marsaglia-Tsang squeeze method.
+    const double d = alpha - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        double x = NextGaussian();
+        double v = 1.0 + c * x;
+        if (v <= 0.0) {
+            continue;
+        }
+        v = v * v * v;
+        const double u = NextDouble();
+        if (u < 1.0 - 0.0331 * x * x * x * x) {
+            return d * v;
+        }
+        if (u > 0.0 &&
+            std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+            return d * v;
+        }
+    }
+}
+
+double
+Rng::NextBeta(double a, double b)
+{
+    const double x = NextGamma(a);
+    const double y = NextGamma(b);
+    const double sum = x + y;
+    if (sum <= 0.0) {
+        return 0.5;
+    }
+    return x / sum;
+}
+
+Rng
+Rng::Fork()
+{
+    return Rng(NextU64() ^ 0xd1b54a32d192ed03ULL);
+}
+
+}  // namespace sol::sim

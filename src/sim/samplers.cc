@@ -1,0 +1,74 @@
+#include "sim/samplers.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace sol::sim {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s)
+{
+    assert(n >= 1);
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf_[i] = total;
+    }
+    for (auto& c : cdf_) {
+        c /= total;
+    }
+    cdf_.back() = 1.0;  // Guard against rounding.
+}
+
+std::size_t
+ZipfSampler::Sample(Rng& rng) const
+{
+    const double u = rng.NextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double
+ZipfSampler::Pmf(std::size_t rank) const
+{
+    assert(rank < cdf_.size());
+    if (rank == 0) {
+        return cdf_[0];
+    }
+    return cdf_[rank] - cdf_[rank - 1];
+}
+
+RankPermutation::RankPermutation(std::size_t n, Rng& rng) : perm_(n)
+{
+    std::iota(perm_.begin(), perm_.end(), 0);
+    Shuffle(rng);
+}
+
+void
+RankPermutation::Churn(double fraction, Rng& rng)
+{
+    if (perm_.size() < 2) {
+        return;
+    }
+    const auto swaps = static_cast<std::size_t>(
+        fraction * static_cast<double>(perm_.size()));
+    for (std::size_t i = 0; i < swaps; ++i) {
+        const auto a = rng.NextBelow(perm_.size());
+        const auto b = rng.NextBelow(perm_.size());
+        std::swap(perm_[a], perm_[b]);
+    }
+}
+
+void
+RankPermutation::Shuffle(Rng& rng)
+{
+    // Fisher-Yates with the deterministic Rng.
+    for (std::size_t i = perm_.size(); i > 1; --i) {
+        const auto j = rng.NextBelow(i);
+        std::swap(perm_[i - 1], perm_[j]);
+    }
+}
+
+}  // namespace sol::sim

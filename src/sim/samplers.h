@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Distribution samplers used by the workload generators.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace sol::sim {
+
+/**
+ * Zipf(s) sampler over ranks [0, n). Rank 0 is the most popular item.
+ *
+ * Uses the inverse-CDF over precomputed cumulative weights, which is exact
+ * and fast enough for the access-pattern generators (n <= a few thousand).
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of items; must be >= 1.
+     * @param s Skew parameter; s = 0 is uniform, larger is more skewed.
+     */
+    ZipfSampler(std::size_t n, double s);
+
+    /** Draws a rank in [0, n). */
+    std::size_t Sample(Rng& rng) const;
+
+    /** Probability mass of a given rank. */
+    double Pmf(std::size_t rank) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+/**
+ * Random permutation mapping ranks to item ids, with incremental
+ * reshuffling to model working-set churn: each Churn() call re-assigns a
+ * fraction of the rank->item mapping.
+ */
+class RankPermutation
+{
+  public:
+    RankPermutation(std::size_t n, Rng& rng);
+
+    /** Item id for a popularity rank. */
+    std::size_t ItemFor(std::size_t rank) const { return perm_[rank]; }
+
+    /** Re-assigns roughly `fraction` of ranks to new items. */
+    void Churn(double fraction, Rng& rng);
+
+    /** Full reshuffle (phase change). */
+    void Shuffle(Rng& rng);
+
+    std::size_t size() const { return perm_.size(); }
+
+  private:
+    std::vector<std::size_t> perm_;
+};
+
+}  // namespace sol::sim

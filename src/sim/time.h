@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Simulated-time primitives shared by every SOL subsystem.
+ *
+ * All simulation components express time as nanoseconds since the start of
+ * the simulation. Using a single integral representation keeps event
+ * ordering exact (no floating-point drift) and makes virtual and real
+ * runtimes interchangeable behind the same interfaces.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sol::sim {
+
+/** Span of simulated (or real) time. */
+using Duration = std::chrono::nanoseconds;
+
+/** Instant, measured as time since simulation start. */
+using TimePoint = std::chrono::nanoseconds;
+
+/** Constructs a Duration from whole nanoseconds. */
+constexpr Duration Nanos(std::int64_t n) { return Duration(n); }
+
+/** Constructs a Duration from whole microseconds. */
+constexpr Duration Micros(std::int64_t us) { return Duration(us * 1000); }
+
+/** Constructs a Duration from whole milliseconds. */
+constexpr Duration Millis(std::int64_t ms) { return Duration(ms * 1'000'000); }
+
+/** Constructs a Duration from whole seconds. */
+constexpr Duration Seconds(std::int64_t s)
+{
+    return Duration(s * 1'000'000'000);
+}
+
+/** Constructs a Duration from fractional seconds (rounded to ns). */
+constexpr Duration SecondsF(double s)
+{
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+}
+
+/** Converts a Duration to fractional seconds. */
+constexpr double ToSeconds(Duration d)
+{
+    return static_cast<double>(d.count()) / 1e9;
+}
+
+/** Converts a Duration to fractional milliseconds. */
+constexpr double ToMillis(Duration d)
+{
+    return static_cast<double>(d.count()) / 1e6;
+}
+
+/** Sentinel for "no deadline". */
+constexpr TimePoint kTimeInfinity = TimePoint(INT64_MAX);
+
+/**
+ * Clock abstraction so the SOL runtime can run against either simulated
+ * time (deterministic experiments) or the system clock (deployment).
+ */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+
+    /** Current time since the clock's epoch. */
+    virtual TimePoint Now() const = 0;
+};
+
+}  // namespace sol::sim

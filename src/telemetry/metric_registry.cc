@@ -1,0 +1,137 @@
+#include "telemetry/metric_registry.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace sol::telemetry {
+
+void
+MetricRegistry::Increment(const std::string& name, std::uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+MetricRegistry::SetGauge(const std::string& name, double value)
+{
+    gauges_[name] = value;
+}
+
+void
+MetricRegistry::AppendSeries(const std::string& name, double x, double y)
+{
+    series_[name].push_back(SeriesPoint{x, y});
+}
+
+std::uint64_t
+MetricRegistry::Counter(const std::string& name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+MetricRegistry::Gauge(const std::string& name) const
+{
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+bool
+MetricRegistry::HasGauge(const std::string& name) const
+{
+    return gauges_.count(name) > 0;
+}
+
+const std::vector<SeriesPoint>&
+MetricRegistry::Series(const std::string& name) const
+{
+    static const std::vector<SeriesPoint> kEmpty;
+    const auto it = series_.find(name);
+    return it == series_.end() ? kEmpty : it->second;
+}
+
+void
+MetricRegistry::PrintSummary(std::ostream& os) const
+{
+    for (const auto& [name, value] : counters_) {
+        os << "  " << name << " = " << value << "\n";
+    }
+    os << std::fixed << std::setprecision(4);
+    for (const auto& [name, value] : gauges_) {
+        os << "  " << name << " = " << value << "\n";
+    }
+    os.unsetf(std::ios_base::floatfield);
+}
+
+void
+MetricRegistry::PrintSeriesCsv(std::ostream& os,
+                               const std::string& name) const
+{
+    for (const auto& point : Series(name)) {
+        os << point.x << "," << point.y << "\n";
+    }
+}
+
+void
+MetricRegistry::Clear()
+{
+    counters_.clear();
+    gauges_.clear();
+    series_.clear();
+}
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TableWriter::AddRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("TableWriter row width mismatch");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void
+TableWriter::Print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+        for (const auto& row : rows_) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+        os << "| ";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c] << " | ";
+        }
+        os << "\n";
+    };
+    print_row(headers_);
+    os << "|";
+    for (const auto w : widths) {
+        os << std::string(w + 2, '-') << "-|";
+    }
+    os << "\n";
+    for (const auto& row : rows_) {
+        print_row(row);
+    }
+}
+
+std::string
+TableWriter::Num(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+}  // namespace sol::telemetry

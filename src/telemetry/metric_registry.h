@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Named metric collection for experiments and runtime introspection.
+ *
+ * Benchmarks accumulate counters/gauges/series here and render them as
+ * aligned tables (the rows the paper's figures plot) or CSV.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sol::telemetry {
+
+/** One (x, y) point in a reported series. */
+struct SeriesPoint {
+    double x;
+    double y;
+};
+
+/** Registry of counters, gauges, and series keyed by name. */
+class MetricRegistry
+{
+  public:
+    /** Adds delta to a monotonically increasing counter. */
+    void Increment(const std::string& name, std::uint64_t delta = 1);
+
+    /** Sets a point-in-time value. */
+    void SetGauge(const std::string& name, double value);
+
+    /** Appends a point to a named series. */
+    void AppendSeries(const std::string& name, double x, double y);
+
+    std::uint64_t Counter(const std::string& name) const;
+    double Gauge(const std::string& name) const;
+    const std::vector<SeriesPoint>& Series(const std::string& name) const;
+    bool HasGauge(const std::string& name) const;
+
+    /** Writes all counters and gauges as an aligned two-column table. */
+    void PrintSummary(std::ostream& os) const;
+
+    /** Writes one series as CSV rows (x,y). */
+    void PrintSeriesCsv(std::ostream& os, const std::string& name) const;
+
+    void Clear();
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, std::vector<SeriesPoint>> series_;
+};
+
+/**
+ * Fixed-column table writer for paper-style result rows.
+ *
+ * Usage:
+ *   TableWriter t({"workload", "perf", "power"});
+ *   t.AddRow({"Synthetic", "1.00", "0.52"});
+ *   t.Print(std::cout);
+ */
+class TableWriter
+{
+  public:
+    explicit TableWriter(std::vector<std::string> headers);
+
+    void AddRow(std::vector<std::string> cells);
+    void Print(std::ostream& os) const;
+
+    /** Formats a double with fixed precision. */
+    static std::string Num(double v, int precision = 3);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sol::telemetry

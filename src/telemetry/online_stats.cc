@@ -1,0 +1,113 @@
+#include "telemetry/online_stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sol::telemetry {
+
+void
+OnlineStats::Add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+OnlineStats::Reset()
+{
+    *this = OnlineStats();
+}
+
+double
+OnlineStats::variance() const
+{
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Ewma::Add(double x)
+{
+    if (!seeded_) {
+        value_ = x;
+        seeded_ = true;
+        return;
+    }
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+}
+
+void
+Ewma::Reset()
+{
+    value_ = 0.0;
+    seeded_ = false;
+}
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : data_(capacity)
+{
+    assert(capacity > 0);
+}
+
+void
+SlidingWindow::Add(double x)
+{
+    data_[head_] = x;
+    head_ = (head_ + 1) % data_.size();
+    if (count_ < data_.size()) {
+        ++count_;
+    }
+}
+
+void
+SlidingWindow::Reset()
+{
+    head_ = 0;
+    count_ = 0;
+}
+
+double
+SlidingWindow::Mean() const
+{
+    if (count_ == 0) {
+        return 0.0;
+    }
+    double total = 0.0;
+    for (std::size_t i = 0; i < count_; ++i) {
+        total += data_[i];
+    }
+    return total / static_cast<double>(count_);
+}
+
+double
+SlidingWindow::Quantile(double q) const
+{
+    if (count_ == 0) {
+        return 0.0;
+    }
+    q = std::clamp(q, 0.0, 1.0);
+    std::vector<double> sorted(data_.begin(), data_.begin() + count_);
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(count_ - 1) + 0.5);
+    return sorted[rank];
+}
+
+}  // namespace sol::telemetry

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Streaming statistics used by agent models and safeguards.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sol::telemetry {
+
+/** Welford online mean/variance accumulator. */
+class OnlineStats
+{
+  public:
+    /** Adds one observation. */
+    void Add(double x);
+
+    /** Removes all state. */
+    void Reset();
+
+    std::size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Sample variance (n - 1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Exponentially weighted moving average. */
+class Ewma
+{
+  public:
+    /** @param alpha Weight of the newest sample, in (0, 1]. */
+    explicit Ewma(double alpha) : alpha_(alpha) {}
+
+    void Add(double x);
+    void Reset();
+
+    double value() const { return value_; }
+    bool empty() const { return !seeded_; }
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool seeded_ = false;
+};
+
+/**
+ * Fixed-capacity ring of recent observations with rank queries. Backs the
+ * "average over last N epochs" style safeguard checks.
+ */
+class SlidingWindow
+{
+  public:
+    explicit SlidingWindow(std::size_t capacity);
+
+    void Add(double x);
+    void Reset();
+
+    std::size_t count() const { return count_; }
+    bool full() const { return count_ == data_.size(); }
+    double Mean() const;
+
+    /** Quantile in [0, 1] by nearest-rank over the current contents. */
+    double Quantile(double q) const;
+
+  private:
+    std::vector<double> data_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+}  // namespace sol::telemetry

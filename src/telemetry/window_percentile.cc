@@ -1,0 +1,51 @@
+#include "telemetry/window_percentile.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sol::telemetry {
+
+void
+WindowPercentile::Add(sim::TimePoint now, double value)
+{
+    Evict(now);
+    samples_.push_back(Sample{now, value});
+}
+
+double
+WindowPercentile::Quantile(sim::TimePoint now, double q)
+{
+    Evict(now);
+    if (samples_.empty()) {
+        return 0.0;
+    }
+    q = std::clamp(q, 0.0, 1.0);
+    std::vector<double> values;
+    values.reserve(samples_.size());
+    for (const auto& s : samples_) {
+        values.push_back(s.value);
+    }
+    std::sort(values.begin(), values.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1) + 0.5);
+    return values[rank];
+}
+
+std::size_t
+WindowPercentile::Count(sim::TimePoint now)
+{
+    Evict(now);
+    return samples_.size();
+}
+
+void
+WindowPercentile::Evict(sim::TimePoint now)
+{
+    const sim::TimePoint cutoff =
+        now > window_ ? now - window_ : sim::TimePoint(0);
+    while (!samples_.empty() && samples_.front().at < cutoff) {
+        samples_.pop_front();
+    }
+}
+
+}  // namespace sol::telemetry

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Time-window percentile tracking.
+ *
+ * The SOL actuator safeguards are specified over trailing *time* windows
+ * ("P90 of alpha over the past 100 seconds", "P99 vCPU wait"), not sample
+ * counts. This tracker retains timestamped samples and answers quantile
+ * queries over exactly the samples inside the window.
+ */
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "sim/time.h"
+
+namespace sol::telemetry {
+
+/** Quantile over the samples observed in a trailing time window. */
+class WindowPercentile
+{
+  public:
+    /** @param window Length of the trailing window. */
+    explicit WindowPercentile(sim::Duration window) : window_(window) {}
+
+    /** Records a sample observed at the given time. */
+    void Add(sim::TimePoint now, double value);
+
+    /**
+     * Quantile in [0, 1] over samples in (now - window, now]. Samples
+     * older than the window are evicted first.
+     */
+    double Quantile(sim::TimePoint now, double q);
+
+    /** Number of samples currently inside the window. */
+    std::size_t Count(sim::TimePoint now);
+
+    void Reset() { samples_.clear(); }
+
+    sim::Duration window() const { return window_; }
+
+  private:
+    void Evict(sim::TimePoint now);
+
+    struct Sample {
+        sim::TimePoint at;
+        double value;
+    };
+
+    sim::Duration window_;
+    std::deque<Sample> samples_;
+};
+
+}  // namespace sol::telemetry

@@ -1,0 +1,19 @@
+#include "workloads/best_effort.h"
+
+namespace sol::workloads {
+
+void
+BestEffort::Advance(sim::TimePoint /*now*/, sim::Duration dt,
+                    const node::CpuResources& res)
+{
+    const double cores = static_cast<double>(res.granted_cores);
+    const double secs = sim::ToSeconds(dt);
+    work_done_gcycles_ += cores * res.freq_ghz * secs;
+    core_seconds_ += cores * secs;
+    activity_.utilization = res.granted_cores > 0 ? 1.0 : 0.0;
+    activity_.cores_demand = 64.0;  // Unbounded appetite.
+    activity_.ipc = 1.0;
+    activity_.stall_fraction = 0.1;
+}
+
+}  // namespace sol::workloads

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Best-effort batch workload for the ElasticVM in the SmartHarvest
+ * experiments: it consumes every core it is granted, so the useful work
+ * it completes measures how much capacity harvesting recovered.
+ */
+#pragma once
+
+#include "node/cpu_workload.h"
+
+namespace sol::workloads {
+
+/** Always-busy filler workload (the ElasticVM's batch job). */
+class BestEffort : public node::CpuWorkload
+{
+  public:
+    BestEffort() = default;
+
+    void Advance(sim::TimePoint now, sim::Duration dt,
+                 const node::CpuResources& res) override;
+    node::CpuActivity Activity() const override { return activity_; }
+    std::string name() const override { return "BestEffort"; }
+
+    /** Giga-cycles of work completed (higher is better). */
+    double PerformanceValue() const override { return work_done_gcycles_; }
+    std::string PerformanceUnit() const override { return "Gcycles"; }
+    bool PerformanceHigherIsBetter() const override { return true; }
+
+    /** Core-seconds of borrowed capacity actually used. */
+    double core_seconds() const { return core_seconds_; }
+
+  private:
+    double work_done_gcycles_ = 0.0;
+    double core_seconds_ = 0.0;
+    node::CpuActivity activity_;
+};
+
+}  // namespace sol::workloads

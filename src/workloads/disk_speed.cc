@@ -1,0 +1,40 @@
+#include "workloads/disk_speed.h"
+
+namespace sol::workloads {
+
+DiskSpeed::DiskSpeed(const DiskSpeedConfig& config) : config_(config)
+{
+    activity_.utilization = config_.cpu_utilization;
+    activity_.ipc = config_.ipc;
+    activity_.stall_fraction = config_.stall_fraction;
+}
+
+void
+DiskSpeed::Advance(sim::TimePoint /*now*/, sim::Duration dt,
+                   const node::CpuResources& res)
+{
+    // Throughput is device-limited: frequency does not enter.
+    fractional_ += config_.disk_rate_per_sec * sim::ToSeconds(dt);
+    const auto whole = static_cast<std::uint64_t>(fractional_);
+    completed_ += whole;
+    fractional_ -= static_cast<double>(whole);
+    elapsed_ += dt;
+
+    activity_.utilization = config_.cpu_utilization;
+    activity_.cores_demand =
+        config_.cpu_utilization * static_cast<double>(res.granted_cores);
+    activity_.ipc = config_.ipc;
+    activity_.stall_fraction = config_.stall_fraction;
+}
+
+double
+DiskSpeed::PerformanceValue() const
+{
+    const double secs = sim::ToSeconds(elapsed_);
+    if (secs <= 0.0) {
+        return 0.0;
+    }
+    return static_cast<double>(completed_) / secs;
+}
+
+}  // namespace sol::workloads

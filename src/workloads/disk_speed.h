@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The paper's "DiskSpeed" workload: a disk-bound server whose throughput
+ * is limited by the storage device, not the CPU. Overclocking it only
+ * wastes power — the workload SmartOverclock must learn to leave alone.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "node/cpu_workload.h"
+
+namespace sol::workloads {
+
+/** Configuration for DiskSpeed. */
+struct DiskSpeedConfig {
+    double disk_rate_per_sec = 800.0;  ///< Device-limited request rate.
+    double cpu_utilization = 0.12;     ///< Small fixed CPU footprint.
+    double stall_fraction = 0.85;      ///< Mostly waiting on IO.
+    double ipc = 0.4;
+};
+
+/** IO-bound workload with frequency-independent throughput. */
+class DiskSpeed : public node::CpuWorkload
+{
+  public:
+    explicit DiskSpeed(const DiskSpeedConfig& config = {});
+
+    void Advance(sim::TimePoint now, sim::Duration dt,
+                 const node::CpuResources& res) override;
+    node::CpuActivity Activity() const override { return activity_; }
+    std::string name() const override { return "DiskSpeed"; }
+
+    /** Mean throughput in requests per second (higher is better). */
+    double PerformanceValue() const override;
+    std::string PerformanceUnit() const override { return "req/s"; }
+    bool PerformanceHigherIsBetter() const override { return true; }
+
+    std::uint64_t completed_requests() const { return completed_; }
+
+  private:
+    DiskSpeedConfig config_;
+    std::uint64_t completed_ = 0;
+    double fractional_ = 0.0;
+    sim::Duration elapsed_{0};
+    node::CpuActivity activity_;
+};
+
+}  // namespace sol::workloads

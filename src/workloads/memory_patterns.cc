@@ -1,0 +1,125 @@
+#include "workloads/memory_patterns.h"
+
+namespace sol::workloads {
+
+ZipfMemoryPattern::ZipfMemoryPattern(const ZipfMemoryConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      zipf_(config.num_batches, config.skew),
+      perm_(config.num_batches, rng_),
+      next_churn_(config.churn_interval.count() > 0 ? config.churn_interval
+                                                    : sim::kTimeInfinity),
+      next_shift_(config.shift_interval.count() > 0 ? config.shift_interval
+                                                    : sim::kTimeInfinity),
+      next_sweep_(config.sweep_interval.count() > 0 ? config.sweep_interval
+                                                    : sim::kTimeInfinity)
+{
+}
+
+void
+ZipfMemoryPattern::GenerateAccesses(sim::TimePoint now, sim::Duration dt,
+                                    node::TieredMemory& mem)
+{
+    const sim::TimePoint tick_end = now + dt;
+
+    while (next_churn_ <= tick_end) {
+        perm_.Churn(config_.churn_fraction, rng_);
+        next_churn_ += config_.churn_interval;
+    }
+    while (next_shift_ <= tick_end) {
+        perm_.Shuffle(rng_);
+        next_shift_ += config_.shift_interval;
+    }
+    while (next_sweep_ <= tick_end) {
+        // GC-style sweep: touch every batch once.
+        for (std::size_t b = 0; b < config_.num_batches; ++b) {
+            mem.RecordAccess(b, next_sweep_, 1);
+        }
+        next_sweep_ += config_.sweep_interval;
+    }
+
+    carry_ += config_.accesses_per_sec * sim::ToSeconds(dt);
+    auto count = static_cast<std::uint64_t>(carry_);
+    carry_ -= static_cast<double>(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::size_t rank = zipf_.Sample(rng_);
+        mem.RecordAccess(perm_.ItemFor(rank), tick_end, 1);
+    }
+}
+
+ZipfMemoryConfig
+ObjectStoreMemConfig(std::uint64_t seed)
+{
+    ZipfMemoryConfig config;
+    config.name = "ObjectStore";
+    config.skew = 0.99;
+    config.churn_interval = sim::Seconds(60);
+    config.churn_fraction = 0.05;
+    config.seed = seed;
+    return config;
+}
+
+ZipfMemoryConfig
+SqlOltpMemConfig(std::uint64_t seed)
+{
+    ZipfMemoryConfig config;
+    config.name = "SQL";
+    config.skew = 1.15;
+    config.churn_interval = sim::Seconds(30);
+    config.churn_fraction = 0.02;
+    config.shift_interval = sim::Seconds(300);
+    config.seed = seed;
+    return config;
+}
+
+ZipfMemoryConfig
+SpecJbbMemConfig(std::uint64_t seed)
+{
+    ZipfMemoryConfig config;
+    config.name = "SpecJBB";
+    config.skew = 0.7;
+    config.churn_interval = sim::Seconds(45);
+    config.churn_fraction = 0.08;
+    config.sweep_interval = sim::Seconds(40);
+    config.seed = seed;
+    return config;
+}
+
+OscillatingPattern::OscillatingPattern(
+    std::unique_ptr<ZipfMemoryPattern> inner, sim::Duration active,
+    sim::Duration idle)
+    : inner_(std::move(inner)),
+      active_span_(active),
+      idle_span_(idle),
+      phase_end_(active)
+{
+}
+
+void
+OscillatingPattern::GenerateAccesses(sim::TimePoint now, sim::Duration dt,
+                                     node::TieredMemory& mem)
+{
+    const sim::TimePoint tick_end = now + dt;
+    while (phase_end_ <= tick_end) {
+        active_now_ = !active_now_;
+        phase_end_ += active_now_ ? active_span_ : idle_span_;
+        if (active_now_) {
+            // Each reactivation starts a new phase with a different hot
+            // set, making the access pattern shift frequently and rapidly
+            // (the property that makes Figure 8's workload hard).
+            inner_->Reshuffle();
+        }
+    }
+    if (active_now_) {
+        inner_->GenerateAccesses(now, dt, mem);
+    }
+    // While sleeping: no accesses at all (the paper's workload sleeps).
+}
+
+std::string
+OscillatingPattern::name() const
+{
+    return "Oscillating(" + inner_->name() + ")";
+}
+
+}  // namespace sol::workloads

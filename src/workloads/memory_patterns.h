@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Memory access pattern generators for the SmartMemory experiments.
+ *
+ * Each generator drives a node::TieredMemory with a stream of batch
+ * accesses reproducing the published characteristics of the paper's
+ * workloads: highly skewed page popularity (ObjectStore), skewed with
+ * periodic working-set shifts (SQL OLTP), flatter popularity with
+ * GC-style full sweeps (SpecJBB), and an oscillating run/sleep wrapper
+ * (the intentionally hard Figure 8 workload).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "node/tiered_memory.h"
+#include "sim/rng.h"
+#include "sim/samplers.h"
+
+namespace sol::workloads {
+
+/** Drives a TieredMemory with accesses over simulated time. */
+class MemoryPattern
+{
+  public:
+    virtual ~MemoryPattern() = default;
+
+    /** Generates the accesses for the (now, now + dt] interval. */
+    virtual void GenerateAccesses(sim::TimePoint now, sim::Duration dt,
+                                  node::TieredMemory& mem) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Configuration for ZipfMemoryPattern. */
+struct ZipfMemoryConfig {
+    std::string name = "ObjectStore";
+    std::size_t num_batches = 256;
+    double skew = 0.99;
+    /**
+     * Total access intensity. Calibrated so the zipf head saturates the
+     * 300 ms access bit while the tail does not — the regime in which
+     * variable-rate scanning both saves scans and ranks batches better
+     * than saturated max-frequency bits.
+     */
+    double accesses_per_sec = 2500.0;
+    /** Interval between popularity churn events; zero disables churn. */
+    sim::Duration churn_interval = sim::Seconds(60);
+    /** Fraction of the rank->batch mapping re-assigned per churn. */
+    double churn_fraction = 0.05;
+    /** Interval between full working-set shifts; zero disables. */
+    sim::Duration shift_interval{0};
+    /** Interval between full sweeps touching every batch; zero disables. */
+    sim::Duration sweep_interval{0};
+    std::uint64_t seed = 13;
+};
+
+/** Zipf-popularity access generator with churn, shifts, and sweeps. */
+class ZipfMemoryPattern : public MemoryPattern
+{
+  public:
+    explicit ZipfMemoryPattern(const ZipfMemoryConfig& config);
+
+    void GenerateAccesses(sim::TimePoint now, sim::Duration dt,
+                          node::TieredMemory& mem) override;
+    std::string name() const override { return config_.name; }
+
+    /** Batch id currently mapped to a popularity rank (for tests). */
+    std::size_t BatchForRank(std::size_t rank) const
+    {
+        return perm_.ItemFor(rank);
+    }
+
+    /** Forces a full popularity reshuffle (phase change). */
+    void Reshuffle() { perm_.Shuffle(rng_); }
+
+  private:
+    ZipfMemoryConfig config_;
+    sim::Rng rng_;
+    sim::ZipfSampler zipf_;
+    sim::RankPermutation perm_;
+    sim::TimePoint next_churn_;
+    sim::TimePoint next_shift_;
+    sim::TimePoint next_sweep_;
+    double carry_ = 0.0;
+};
+
+/** The paper's three Figure 7 patterns. */
+ZipfMemoryConfig ObjectStoreMemConfig(std::uint64_t seed = 13);
+ZipfMemoryConfig SqlOltpMemConfig(std::uint64_t seed = 17);
+ZipfMemoryConfig SpecJbbMemConfig(std::uint64_t seed = 19);
+
+/**
+ * Figure 8 wrapper: runs the inner pattern for `active` time, then sleeps
+ * for `idle` time, reshuffling the inner pattern's popularity at each
+ * reactivation so access patterns shift frequently and rapidly.
+ */
+class OscillatingPattern : public MemoryPattern
+{
+  public:
+    OscillatingPattern(std::unique_ptr<ZipfMemoryPattern> inner,
+                       sim::Duration active, sim::Duration idle);
+
+    void GenerateAccesses(sim::TimePoint now, sim::Duration dt,
+                          node::TieredMemory& mem) override;
+    std::string name() const override;
+
+    bool active() const { return active_now_; }
+
+  private:
+    std::unique_ptr<ZipfMemoryPattern> inner_;
+    sim::Duration active_span_;
+    sim::Duration idle_span_;
+    bool active_now_ = true;
+    sim::TimePoint phase_end_;
+};
+
+}  // namespace sol::workloads

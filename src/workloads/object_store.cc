@@ -1,0 +1,96 @@
+#include "workloads/object_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sol::workloads {
+
+ObjectStore::ObjectStore(const ObjectStoreConfig& config)
+    : config_(config), rng_(config.seed)
+{
+    // Stagger the initial requests across one think interval.
+    thinking_.reserve(static_cast<std::size_t>(config_.num_clients));
+    for (int i = 0; i < config_.num_clients; ++i) {
+        thinking_.push_back(sim::SecondsF(
+            rng_.NextDouble() * sim::ToSeconds(config_.think_mean)));
+    }
+    activity_.ipc = config_.ipc;
+    activity_.stall_fraction = config_.stall_fraction;
+}
+
+void
+ObjectStore::Advance(sim::TimePoint now, sim::Duration dt,
+                     const node::CpuResources& res)
+{
+    const sim::TimePoint tick_end = now + dt;
+    elapsed_ += dt;
+
+    // Clients whose think time expired issue their next request.
+    std::size_t write_pos = 0;
+    for (std::size_t i = 0; i < thinking_.size(); ++i) {
+        if (thinking_[i] <= tick_end) {
+            const double demand = config_.request_gcycles *
+                                  (0.5 + rng_.NextExponential(2.0));
+            queue_.push_back(Request{thinking_[i], demand});
+        } else {
+            thinking_[write_pos++] = thinking_[i];
+        }
+    }
+    thinking_.resize(write_pos);
+
+    // Serve the head of the queue, one request per core.
+    const auto servers = std::min<std::size_t>(
+        queue_.size(),
+        static_cast<std::size_t>(std::max(res.granted_cores, 0)));
+    const double per_core_capacity =
+        res.freq_ghz * sim::ToSeconds(dt);  // Gcycles per core per tick.
+    std::size_t completed = 0;
+    for (std::size_t i = 0; i < servers; ++i) {
+        Request& req = queue_[i];
+        req.remaining_gcycles -= per_core_capacity;
+        if (req.remaining_gcycles <= 0.0) {
+            latencies_.push_back(sim::ToMillis(tick_end - req.arrival));
+            // The client thinks, then issues its next request.
+            const double think = rng_.NextExponential(
+                1.0 / sim::ToSeconds(config_.think_mean));
+            thinking_.push_back(tick_end + sim::SecondsF(think));
+            ++completed;
+        }
+    }
+    for (std::size_t i = 0; i < completed; ++i) {
+        queue_.pop_front();
+    }
+
+    const double granted =
+        std::max(1.0, static_cast<double>(res.granted_cores));
+    activity_.utilization = static_cast<double>(servers) / granted;
+    activity_.cores_demand = static_cast<double>(
+        std::min<std::size_t>(queue_.size() + completed, 64));
+    activity_.ipc = config_.ipc;
+    activity_.stall_fraction = config_.stall_fraction;
+}
+
+double
+ObjectStore::PerformanceValue() const
+{
+    if (latencies_.empty()) {
+        return 0.0;
+    }
+    std::vector<double> sorted(latencies_);
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        0.99 * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[rank];
+}
+
+double
+ObjectStore::ThroughputPerSec() const
+{
+    const double secs = sim::ToSeconds(elapsed_);
+    if (secs <= 0.0) {
+        return 0.0;
+    }
+    return static_cast<double>(latencies_.size()) / secs;
+}
+
+}  // namespace sol::workloads

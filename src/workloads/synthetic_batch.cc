@@ -1,0 +1,60 @@
+#include "workloads/synthetic_batch.h"
+
+#include <algorithm>
+
+namespace sol::workloads {
+
+SyntheticBatch::SyntheticBatch(const SyntheticBatchConfig& config)
+    : config_(config), next_arrival_(config.first_arrival)
+{
+    activity_.ipc = config_.ipc;
+    activity_.stall_fraction = config_.stall_fraction;
+    activity_.utilization = config_.idle_utilization;
+}
+
+void
+SyntheticBatch::Advance(sim::TimePoint now, sim::Duration dt,
+                        const node::CpuResources& res)
+{
+    const sim::TimePoint tick_end = now + dt;
+    if (pending_work_ <= 0.0 && next_arrival_ <= tick_end) {
+        pending_work_ = config_.work_gcycles;
+        current_batch_arrival_ = next_arrival_;
+        next_arrival_ += config_.period;
+    }
+
+    if (pending_work_ > 0.0) {
+        const double capacity = res.freq_ghz *
+                                static_cast<double>(res.granted_cores) *
+                                sim::ToSeconds(dt);
+        pending_work_ -= capacity;
+        if (pending_work_ <= 0.0) {
+            pending_work_ = 0.0;
+            completions_.push_back(
+                sim::ToSeconds(tick_end - current_batch_arrival_));
+        }
+        activity_.utilization = 1.0;
+        activity_.cores_demand = static_cast<double>(res.granted_cores);
+    } else {
+        activity_.utilization = config_.idle_utilization;
+        activity_.cores_demand = config_.idle_utilization;
+    }
+    activity_.ipc = config_.ipc;
+    activity_.stall_fraction =
+        pending_work_ > 0.0 ? config_.stall_fraction : 0.9;
+}
+
+double
+SyntheticBatch::PerformanceValue() const
+{
+    if (completions_.empty()) {
+        return 0.0;
+    }
+    double total = 0.0;
+    for (const double c : completions_) {
+        total += c;
+    }
+    return total / static_cast<double>(completions_.size());
+}
+
+}  // namespace sol::workloads

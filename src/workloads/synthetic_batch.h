@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The paper's "Synthetic" workload (section 6.2): a server that
+ * periodically receives a batch of compute-intensive requests, processes
+ * it as fast as the granted cores and frequency allow, then idles until
+ * the next batch. It only benefits from overclocking during the
+ * processing phases.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "node/cpu_workload.h"
+
+namespace sol::workloads {
+
+/** Configuration for SyntheticBatch. */
+struct SyntheticBatchConfig {
+    /** Interval between batch arrivals. */
+    sim::Duration period = sim::Seconds(100);
+    /**
+     * Work per batch in giga-cycles of core time. At nominal frequency
+     * f GHz with c cores the batch takes work / (f * c) seconds.
+     */
+    double work_gcycles = 60.0;
+    /** Time of the first batch arrival. */
+    sim::Duration first_arrival = sim::Seconds(1);
+    double ipc = 2.0;
+    double stall_fraction = 0.05;
+    /** Background activity while idle (telemetry daemons etc.). */
+    double idle_utilization = 0.01;
+};
+
+/** Periodic compute-burst workload. */
+class SyntheticBatch : public node::CpuWorkload
+{
+  public:
+    explicit SyntheticBatch(const SyntheticBatchConfig& config = {});
+
+    void Advance(sim::TimePoint now, sim::Duration dt,
+                 const node::CpuResources& res) override;
+    node::CpuActivity Activity() const override { return activity_; }
+    std::string name() const override { return "Synthetic"; }
+
+    /** Mean batch completion time (arrival to finish), seconds. */
+    double PerformanceValue() const override;
+    std::string PerformanceUnit() const override { return "s/batch"; }
+    bool PerformanceHigherIsBetter() const override { return false; }
+
+    std::uint64_t batches_completed() const { return completions_.size(); }
+    bool busy() const { return pending_work_ > 0.0; }
+
+  private:
+    SyntheticBatchConfig config_;
+    sim::TimePoint next_arrival_;
+    sim::TimePoint current_batch_arrival_{0};
+    double pending_work_ = 0.0;
+    std::vector<double> completions_;  ///< Completion latencies, seconds.
+    node::CpuActivity activity_;
+};
+
+}  // namespace sol::workloads

@@ -1,0 +1,151 @@
+#include "workloads/tailbench.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sol::workloads {
+
+TailBenchConfig
+ImageDnnConfig(std::uint64_t seed)
+{
+    TailBenchConfig config;
+    config.name = "image-dnn";
+    config.mean_service_ms = 20.0;
+    config.on_rate_per_sec = 150.0;
+    config.off_rate_per_sec = 10.0;
+    config.mean_on = sim::Millis(2000);
+    config.mean_off = sim::Millis(2000);
+    config.vcpus = 6;
+    config.seed = seed;
+    return config;
+}
+
+TailBenchConfig
+MosesConfig(std::uint64_t seed)
+{
+    TailBenchConfig config;
+    config.name = "moses";
+    config.mean_service_ms = 8.0;
+    config.on_rate_per_sec = 420.0;
+    config.off_rate_per_sec = 30.0;
+    config.mean_on = sim::Millis(600);
+    config.mean_off = sim::Millis(700);
+    config.vcpus = 6;
+    config.stall_fraction = 0.3;
+    config.seed = seed;
+    return config;
+}
+
+TailBench::TailBench(const TailBenchConfig& config)
+    : config_(config), rng_(config.seed)
+{
+    phase_end_ = sim::SecondsF(
+        rng_.NextExponential(1.0 / sim::ToSeconds(config_.mean_off)));
+    next_arrival_ = sim::SecondsF(
+        rng_.NextExponential(config_.off_rate_per_sec));
+    activity_.ipc = config_.ipc;
+    activity_.stall_fraction = config_.stall_fraction;
+}
+
+void
+TailBench::MaybeTogglePhase(sim::TimePoint tick_end)
+{
+    while (phase_end_ <= tick_end) {
+        in_burst_ = !in_burst_;
+        const sim::Duration mean =
+            in_burst_ ? config_.mean_on : config_.mean_off;
+        phase_end_ += sim::SecondsF(
+            rng_.NextExponential(1.0 / sim::ToSeconds(mean)));
+    }
+}
+
+void
+TailBench::Advance(sim::TimePoint now, sim::Duration dt,
+                   const node::CpuResources& res)
+{
+    const sim::TimePoint tick_end = now + dt;
+    MaybeTogglePhase(tick_end);
+
+    const double rate =
+        in_burst_ ? config_.on_rate_per_sec : config_.off_rate_per_sec;
+    while (next_arrival_ <= tick_end) {
+        const double service_secs =
+            rng_.NextExponential(1000.0 / config_.mean_service_ms);
+        queue_.push_back(Request{next_arrival_, service_secs});
+        next_arrival_ += sim::SecondsF(rng_.NextExponential(rate));
+    }
+
+    const auto servers = std::min<std::size_t>(
+        queue_.size(),
+        static_cast<std::size_t>(std::max(res.granted_cores, 0)));
+    // Service rate scales mildly with frequency relative to nominal.
+    const double speed = res.freq_ghz / 1.5;
+    const double slice = sim::ToSeconds(dt) * speed;
+    std::size_t completed = 0;
+    for (std::size_t i = 0; i < servers; ++i) {
+        Request& req = queue_[i];
+        req.remaining_secs -= slice;
+        if (req.remaining_secs <= 0.0) {
+            const double latency_ms = sim::ToMillis(tick_end - req.arrival);
+            all_latencies_.push_back(latency_ms);
+            recent_.emplace_back(tick_end, latency_ms);
+            ++completed;
+        }
+    }
+    for (std::size_t i = 0; i < completed; ++i) {
+        queue_.pop_front();
+    }
+    total_completed_ += completed;
+
+    // Trim the windowed history so memory stays bounded.
+    const sim::TimePoint keep_after =
+        tick_end > sim::Seconds(30) ? tick_end - sim::Seconds(30)
+                                    : sim::TimePoint(0);
+    while (!recent_.empty() && recent_.front().first < keep_after) {
+        recent_.pop_front();
+    }
+
+    const double granted =
+        std::max(1.0, static_cast<double>(res.granted_cores));
+    activity_.utilization = static_cast<double>(servers) / granted;
+    activity_.cores_demand = static_cast<double>(
+        std::min<std::size_t>(queue_.size() + completed,
+                              static_cast<std::size_t>(config_.vcpus)));
+    activity_.ipc = config_.ipc;
+    activity_.stall_fraction = config_.stall_fraction;
+}
+
+double
+TailBench::PerformanceValue() const
+{
+    if (all_latencies_.empty()) {
+        return 0.0;
+    }
+    std::vector<double> sorted(all_latencies_);
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        0.99 * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[rank];
+}
+
+double
+TailBench::P99InWindow(sim::TimePoint now, sim::Duration window) const
+{
+    const sim::TimePoint cutoff =
+        now > window ? now - window : sim::TimePoint(0);
+    std::vector<double> values;
+    for (const auto& [done, ms] : recent_) {
+        if (done >= cutoff) {
+            values.push_back(ms);
+        }
+    }
+    if (values.empty()) {
+        return 0.0;
+    }
+    std::sort(values.begin(), values.end());
+    const auto rank = static_cast<std::size_t>(
+        0.99 * static_cast<double>(values.size() - 1) + 0.5);
+    return values[rank];
+}
+
+}  // namespace sol::workloads

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * TailBench-style latency-critical workloads (image-dnn, moses).
+ *
+ * These model the primary-VM workloads in the SmartHarvest experiments
+ * (paper section 6.3): bursty ON/OFF request arrivals, each request
+ * occupying one core for an exponentially distributed service time. When
+ * the harvesting agent grants the VM too few cores, requests queue and
+ * P99 latency degrades — the QoS signal the safeguards protect.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "node/cpu_workload.h"
+#include "sim/rng.h"
+
+namespace sol::workloads {
+
+/** Configuration for a TailBench-style workload. */
+struct TailBenchConfig {
+    std::string name = "image-dnn";
+    double mean_service_ms = 20.0;     ///< Per-request core time.
+    double on_rate_per_sec = 150.0;    ///< Arrival rate in bursts.
+    double off_rate_per_sec = 10.0;    ///< Arrival rate between bursts.
+    sim::Duration mean_on = sim::Millis(2000);
+    sim::Duration mean_off = sim::Millis(2000);
+    int vcpus = 6;                     ///< Virtual cores of the VM.
+    double ipc = 1.0;
+    double stall_fraction = 0.2;
+    std::uint64_t seed = 7;
+};
+
+/** Returns the paper's image-dnn profile. */
+TailBenchConfig ImageDnnConfig(std::uint64_t seed = 7);
+
+/** Returns the paper's moses profile (shorter, burstier requests). */
+TailBenchConfig MosesConfig(std::uint64_t seed = 11);
+
+/** Bursty latency-critical request server. */
+class TailBench : public node::CpuWorkload
+{
+  public:
+    explicit TailBench(const TailBenchConfig& config);
+
+    void Advance(sim::TimePoint now, sim::Duration dt,
+                 const node::CpuResources& res) override;
+    node::CpuActivity Activity() const override { return activity_; }
+    std::string name() const override { return config_.name; }
+
+    /** P99 request latency over the whole run, milliseconds. */
+    double PerformanceValue() const override;
+    std::string PerformanceUnit() const override { return "ms(P99)"; }
+    bool PerformanceHigherIsBetter() const override { return false; }
+
+    /** P99 latency over a trailing window ending at `now`. */
+    double P99InWindow(sim::TimePoint now, sim::Duration window) const;
+
+    std::uint64_t completed_requests() const { return total_completed_; }
+    std::size_t queue_length() const { return queue_.size(); }
+    bool in_burst() const { return in_burst_; }
+
+  private:
+    struct Request {
+        sim::TimePoint arrival;
+        double remaining_secs;  ///< Core-seconds of service left.
+    };
+
+    void MaybeTogglePhase(sim::TimePoint tick_end);
+
+    TailBenchConfig config_;
+    sim::Rng rng_;
+    bool in_burst_ = false;
+    sim::TimePoint phase_end_{0};
+    sim::TimePoint next_arrival_{0};
+    std::deque<Request> queue_;
+    std::deque<std::pair<sim::TimePoint, double>> recent_;  ///< (done, ms).
+    std::vector<double> all_latencies_;
+    std::uint64_t total_completed_ = 0;
+    node::CpuActivity activity_;
+};
+
+}  // namespace sol::workloads

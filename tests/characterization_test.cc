@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the Table 1 / Table 2 characterization registries.
+ */
+#include <gtest/gtest.h>
+
+#include "characterization/taxonomy.h"
+
+namespace sol::characterization {
+namespace {
+
+TEST(TaxonomyTest, SeventySevenAgents)
+{
+    EXPECT_EQ(TotalAgents(), 77u);
+}
+
+TEST(TaxonomyTest, SixClasses)
+{
+    EXPECT_EQ(Taxonomy().size(), 6u);
+}
+
+TEST(TaxonomyTest, BenefitClassesMatchPaper)
+{
+    // Monitoring/logging, watchdogs, and resource control benefit.
+    for (const auto& row : Taxonomy()) {
+        const bool expected = row.cls == AgentClass::kMonitoring ||
+                              row.cls == AgentClass::kWatchdogs ||
+                              row.cls == AgentClass::kResourceControl;
+        EXPECT_EQ(row.benefits_from_ml, expected) << ToString(row.cls);
+    }
+}
+
+TEST(TaxonomyTest, ThirtyFivePercentBenefit)
+{
+    EXPECT_EQ(AgentsBenefiting(), 27u);  // 18 + 7 + 2.
+    EXPECT_NEAR(BenefitFraction(), 0.35, 0.005);
+}
+
+TEST(TaxonomyTest, ClassCountsMatchPaper)
+{
+    for (const auto& row : Taxonomy()) {
+        switch (row.cls) {
+          case AgentClass::kConfiguration:
+            EXPECT_EQ(row.count, 25u);
+            break;
+          case AgentClass::kServices:
+            EXPECT_EQ(row.count, 23u);
+            break;
+          case AgentClass::kMonitoring:
+            EXPECT_EQ(row.count, 18u);
+            break;
+          case AgentClass::kWatchdogs:
+            EXPECT_EQ(row.count, 7u);
+            break;
+          case AgentClass::kResourceControl:
+            EXPECT_EQ(row.count, 2u);
+            break;
+          case AgentClass::kAccess:
+            EXPECT_EQ(row.count, 2u);
+            break;
+        }
+    }
+}
+
+TEST(TaxonomyTest, NamesAreDistinct)
+{
+    EXPECT_NE(ToString(AgentClass::kConfiguration),
+              ToString(AgentClass::kServices));
+    EXPECT_EQ(ToString(AgentClass::kMonitoring), "Monitoring/logging");
+}
+
+TEST(LearningAgentsTest, TableTwoHasSixRows)
+{
+    EXPECT_EQ(LearningAgents().size(), 6u);
+}
+
+TEST(LearningAgentsTest, ImplementedAgentsPresent)
+{
+    bool harvest = false;
+    bool overclock = false;
+    bool disaggregation = false;
+    for (const auto& row : LearningAgents()) {
+        harvest |= row.name == "SmartHarvest";
+        overclock |= row.name == "Overclocking";
+        disaggregation |= row.name == "Disaggregation";
+    }
+    EXPECT_TRUE(harvest);
+    EXPECT_TRUE(overclock);
+    EXPECT_TRUE(disaggregation);
+}
+
+TEST(LearningAgentsTest, FrequenciesMatchPaper)
+{
+    for (const auto& row : LearningAgents()) {
+        if (row.name == "SmartHarvest") {
+            EXPECT_EQ(row.frequency, sim::Millis(25));
+        }
+        if (row.name == "Overclocking") {
+            EXPECT_EQ(row.frequency, sim::Seconds(1));
+        }
+        if (row.name == "Disaggregation") {
+            EXPECT_EQ(row.frequency, sim::Millis(100));
+        }
+    }
+}
+
+}  // namespace
+}  // namespace sol::characterization

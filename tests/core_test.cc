@@ -1,0 +1,646 @@
+/**
+ * @file
+ * Tests for the SOL core: schedule validation/parsing, prediction
+ * expiry, the agent registry, and — most importantly — the SimRuntime's
+ * learning-epoch and safeguard semantics, using an instrumented fake
+ * agent.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/agent_registry.h"
+#include "core/prediction.h"
+#include "core/schedule.h"
+#include "core/sim_runtime.h"
+#include "sim/event_queue.h"
+
+namespace sol::core {
+namespace {
+
+using sim::EventQueue;
+using sim::Millis;
+using sim::Seconds;
+
+// ---------------------------------------------------------------------------
+// Prediction
+// ---------------------------------------------------------------------------
+
+TEST(PredictionTest, FreshUntilExpiry)
+{
+    const auto pred = MakePrediction(42, Millis(100), Millis(50));
+    EXPECT_TRUE(pred.FreshAt(Millis(100)));
+    EXPECT_TRUE(pred.FreshAt(Millis(150)));
+    EXPECT_FALSE(pred.FreshAt(Millis(151)));
+    EXPECT_FALSE(pred.is_default);
+}
+
+TEST(PredictionTest, DefaultFlagSet)
+{
+    const auto pred = MakeDefaultPrediction(7, Millis(0), Millis(10));
+    EXPECT_TRUE(pred.is_default);
+    EXPECT_EQ(pred.value, 7);
+}
+
+// ---------------------------------------------------------------------------
+// Schedule
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleTest, DefaultIsValid)
+{
+    EXPECT_TRUE(Schedule{}.IsValid());
+}
+
+TEST(ScheduleTest, DetectsEveryInvalidField)
+{
+    Schedule schedule;
+    schedule.data_per_epoch = 0;
+    EXPECT_FALSE(schedule.IsValid());
+
+    schedule = Schedule{};
+    schedule.data_collect_interval = Millis(0);
+    EXPECT_FALSE(schedule.IsValid());
+
+    schedule = Schedule{};
+    schedule.max_epoch_time = Millis(0);
+    EXPECT_FALSE(schedule.IsValid());
+
+    schedule = Schedule{};
+    schedule.max_epoch_time = Millis(10);
+    schedule.data_collect_interval = Millis(20);
+    EXPECT_FALSE(schedule.IsValid());
+
+    schedule = Schedule{};
+    schedule.assess_model_every_epochs = 0;
+    EXPECT_FALSE(schedule.IsValid());
+
+    schedule = Schedule{};
+    schedule.max_actuation_delay = Millis(0);
+    EXPECT_FALSE(schedule.IsValid());
+
+    schedule = Schedule{};
+    schedule.assess_actuator_interval = Millis(0);
+    EXPECT_FALSE(schedule.IsValid());
+}
+
+TEST(ScheduleTest, ValidateListsAllProblems)
+{
+    Schedule schedule;
+    schedule.data_per_epoch = -1;
+    schedule.max_actuation_delay = Millis(0);
+    EXPECT_EQ(schedule.Validate().size(), 2u);
+}
+
+TEST(ParseDurationTest, AllUnits)
+{
+    EXPECT_EQ(ParseDuration("250ns"), sim::Nanos(250));
+    EXPECT_EQ(ParseDuration("50us"), sim::Micros(50));
+    EXPECT_EQ(ParseDuration("100ms"), Millis(100));
+    EXPECT_EQ(ParseDuration("2s"), Seconds(2));
+    EXPECT_EQ(ParseDuration("1.5s"), Millis(1500));
+}
+
+TEST(ParseDurationTest, RejectsGarbage)
+{
+    EXPECT_THROW(ParseDuration("abc"), std::invalid_argument);
+    EXPECT_THROW(ParseDuration("10years"), std::invalid_argument);
+}
+
+TEST(ParseScheduleTest, ParsesListing3StyleConfig)
+{
+    std::istringstream in(
+        "# SmartOverclock schedule\n"
+        "data_per_epoch = 10\n"
+        "data_collect_interval = 100ms\n"
+        "max_epoch_time = 1500ms\n"
+        "assess_model_every_epochs = 1\n"
+        "max_actuation_delay = 5s\n"
+        "assess_actuator_interval = 1s\n");
+    const Schedule schedule = ParseSchedule(in);
+    EXPECT_EQ(schedule.data_per_epoch, 10);
+    EXPECT_EQ(schedule.data_collect_interval, Millis(100));
+    EXPECT_EQ(schedule.max_epoch_time, Millis(1500));
+    EXPECT_EQ(schedule.max_actuation_delay, Seconds(5));
+    EXPECT_TRUE(schedule.IsValid());
+}
+
+TEST(ParseScheduleTest, RejectsUnknownKey)
+{
+    std::istringstream in("bogus_key = 12\n");
+    EXPECT_THROW(ParseSchedule(in), std::invalid_argument);
+}
+
+TEST(ParseScheduleTest, RejectsMalformedLine)
+{
+    std::istringstream in("data_per_epoch 10\n");
+    EXPECT_THROW(ParseSchedule(in), std::invalid_argument);
+}
+
+TEST(ParseScheduleTest, EmptyInputKeepsDefaults)
+{
+    std::istringstream in("\n# comment only\n");
+    const Schedule schedule = ParseSchedule(in);
+    EXPECT_EQ(schedule.data_per_epoch, Schedule{}.data_per_epoch);
+}
+
+// ---------------------------------------------------------------------------
+// AgentRegistry
+// ---------------------------------------------------------------------------
+
+TEST(AgentRegistryTest, CleanUpRunsCallback)
+{
+    AgentRegistry registry;
+    int cleanups = 0;
+    registry.Register("agent", [&] { ++cleanups; });
+    EXPECT_TRUE(registry.CleanUp("agent"));
+    EXPECT_TRUE(registry.CleanUp("agent"));  // Idempotent by contract.
+    EXPECT_EQ(cleanups, 2);
+}
+
+TEST(AgentRegistryTest, UnknownAgentReturnsFalse)
+{
+    AgentRegistry registry;
+    EXPECT_FALSE(registry.CleanUp("ghost"));
+}
+
+TEST(AgentRegistryTest, CleanUpAllRunsEverything)
+{
+    AgentRegistry registry;
+    int total = 0;
+    registry.Register("a", [&] { total += 1; });
+    registry.Register("b", [&] { total += 10; });
+    registry.CleanUpAll();
+    EXPECT_EQ(total, 11);
+}
+
+TEST(AgentRegistryTest, UnregisterRemoves)
+{
+    AgentRegistry registry;
+    registry.Register("a", [] {});
+    EXPECT_TRUE(registry.Contains("a"));
+    registry.Unregister("a");
+    EXPECT_FALSE(registry.Contains("a"));
+    EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(AgentRegistryTest, ReRegisterReplaces)
+{
+    AgentRegistry registry;
+    int which = 0;
+    registry.Register("a", [&] { which = 1; });
+    registry.Register("a", [&] { which = 2; });
+    registry.CleanUp("a");
+    EXPECT_EQ(which, 2);
+    EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(AgentRegistryTest, NamesSorted)
+{
+    AgentRegistry registry;
+    registry.Register("zeta", [] {});
+    registry.Register("alpha", [] {});
+    const auto names = registry.Names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "zeta");
+}
+
+// ---------------------------------------------------------------------------
+// SimRuntime semantics, via an instrumented fake agent.
+// ---------------------------------------------------------------------------
+
+/** Scripted model: integers as data, integers as predictions. */
+class FakeModel : public Model<int, int>
+{
+  public:
+    explicit FakeModel(const sim::Clock& clock) : clock_(clock) {}
+
+    int
+    CollectData() override
+    {
+        ++collects;
+        return next_data;
+    }
+
+    bool
+    ValidateData(const int& data) override
+    {
+        ++validations;
+        return data >= 0;  // Negative data is invalid.
+    }
+
+    void
+    CommitData(sim::TimePoint, const int& data) override
+    {
+        committed.push_back(data);
+    }
+
+    void
+    UpdateModel() override
+    {
+        ++updates;
+    }
+
+    Prediction<int>
+    ModelPredict() override
+    {
+        ++predicts;
+        return MakePrediction(100 + predicts, clock_.Now(), ttl);
+    }
+
+    Prediction<int>
+    DefaultPredict() override
+    {
+        ++defaults;
+        return MakeDefaultPrediction(-1, clock_.Now(), ttl);
+    }
+
+    bool
+    AssessModel() override
+    {
+        ++assessments;
+        return model_healthy;
+    }
+
+    bool
+    ShortCircuitEpoch() override
+    {
+        return short_circuit;
+    }
+
+    const sim::Clock& clock_;
+    sim::Duration ttl = Seconds(10);
+    int next_data = 1;
+    bool model_healthy = true;
+    bool short_circuit = false;
+    int collects = 0;
+    int validations = 0;
+    int updates = 0;
+    int predicts = 0;
+    int defaults = 0;
+    int assessments = 0;
+    std::vector<int> committed;
+};
+
+/** Recording actuator. */
+class FakeActuator : public Actuator<int>
+{
+  public:
+    void
+    TakeAction(std::optional<Prediction<int>> pred) override
+    {
+        actions.push_back(pred);
+    }
+
+    bool
+    AssessPerformance() override
+    {
+        ++assessments;
+        return performance_ok;
+    }
+
+    void
+    Mitigate() override
+    {
+        ++mitigations;
+    }
+
+    void
+    CleanUp() override
+    {
+        ++cleanups;
+    }
+
+    std::vector<std::optional<Prediction<int>>> actions;
+    bool performance_ok = true;
+    int assessments = 0;
+    int mitigations = 0;
+    int cleanups = 0;
+};
+
+Schedule
+FastSchedule()
+{
+    Schedule schedule;
+    schedule.data_per_epoch = 4;
+    schedule.data_collect_interval = Millis(10);
+    schedule.max_epoch_time = Millis(100);
+    schedule.assess_model_every_epochs = 1;
+    schedule.max_actuation_delay = Millis(200);
+    schedule.assess_actuator_interval = Millis(50);
+    return schedule;
+}
+
+class SimRuntimeTest : public ::testing::Test
+{
+  protected:
+    SimRuntimeTest() : model(queue) {}
+
+    void
+    Start(RuntimeOptions options = {})
+    {
+        runtime = std::make_unique<SimRuntime<int, int>>(
+            queue, model, actuator, FastSchedule(), options);
+        runtime->Start();
+    }
+
+    EventQueue queue;
+    FakeModel model;
+    FakeActuator actuator;
+    std::unique_ptr<SimRuntime<int, int>> runtime;
+};
+
+TEST_F(SimRuntimeTest, RejectsInvalidSchedule)
+{
+    Schedule bad;
+    bad.data_per_epoch = 0;
+    EXPECT_THROW((SimRuntime<int, int>(queue, model, actuator, bad)),
+                 std::invalid_argument);
+}
+
+TEST_F(SimRuntimeTest, EpochCollectsExactlyDataPerEpoch)
+{
+    Start();
+    // One epoch: 4 collects at 10 ms -> prediction at t=40ms.
+    queue.RunUntil(Millis(45));
+    EXPECT_EQ(model.collects, 4);
+    EXPECT_EQ(model.updates, 1);
+    EXPECT_EQ(model.predicts, 1);
+    EXPECT_EQ(runtime->stats().epochs, 1u);
+}
+
+TEST_F(SimRuntimeTest, PredictionsReachActuatorImmediately)
+{
+    Start();
+    queue.RunUntil(Millis(45));
+    ASSERT_EQ(actuator.actions.size(), 1u);
+    ASSERT_TRUE(actuator.actions[0].has_value());
+    EXPECT_EQ(actuator.actions[0]->value, 101);
+}
+
+TEST_F(SimRuntimeTest, EpochsRepeat)
+{
+    Start();
+    queue.RunUntil(Millis(400));
+    EXPECT_EQ(runtime->stats().epochs, 10u);
+    EXPECT_EQ(model.updates, 10);
+}
+
+TEST_F(SimRuntimeTest, InvalidDataDiscardedAndRetried)
+{
+    Start();
+    model.next_data = -1;  // Everything invalid.
+    queue.RunUntil(Millis(95));
+    EXPECT_TRUE(model.committed.empty());
+    EXPECT_GT(runtime->stats().invalid_samples, 0u);
+    // Epoch short-circuits at max_epoch_time with a default prediction.
+    queue.RunUntil(Millis(160));
+    EXPECT_GE(model.defaults, 1);
+    EXPECT_GE(runtime->stats().short_circuit_epochs, 1u);
+    ASSERT_FALSE(actuator.actions.empty());
+    EXPECT_TRUE(actuator.actions[0].has_value());
+    EXPECT_TRUE(actuator.actions[0]->is_default);
+}
+
+TEST_F(SimRuntimeTest, PartialInvalidDataExtendsEpoch)
+{
+    Start();
+    // First two samples invalid, rest valid: the epoch still completes
+    // with 4 valid samples, just later.
+    model.next_data = -1;
+    queue.RunUntil(Millis(25));
+    model.next_data = 5;
+    queue.RunUntil(Millis(65));
+    // Two invalid samples (t=10,20) then four valid (t=30..60): the
+    // epoch completes late but with full data, not short-circuited.
+    EXPECT_EQ(runtime->stats().epochs, 1u);
+    EXPECT_EQ(model.committed.size(), 4u);
+    EXPECT_EQ(runtime->stats().short_circuit_epochs, 0u);
+}
+
+TEST_F(SimRuntimeTest, DisableValidationCommitsBadData)
+{
+    RuntimeOptions options;
+    options.disable_data_validation = true;
+    Start(options);
+    model.next_data = -7;
+    queue.RunUntil(Millis(45));
+    ASSERT_EQ(model.committed.size(), 4u);
+    EXPECT_EQ(model.committed[0], -7);
+    EXPECT_EQ(runtime->stats().invalid_samples, 0u);
+}
+
+TEST_F(SimRuntimeTest, DataFaultAppliedBeforeValidation)
+{
+    Start();
+    runtime->SetDataFault([](int& data) { data = -99; });
+    queue.RunUntil(Millis(45));
+    EXPECT_TRUE(model.committed.empty());
+    EXPECT_GT(runtime->stats().invalid_samples, 0u);
+}
+
+TEST_F(SimRuntimeTest, FailedAssessmentInterceptsPredictions)
+{
+    Start();
+    model.model_healthy = false;
+    queue.RunUntil(Millis(45));
+    // The model still updates and predicts, but the actuator sees the
+    // default.
+    EXPECT_EQ(model.updates, 1);
+    EXPECT_EQ(model.predicts, 1);
+    EXPECT_EQ(model.defaults, 1);
+    ASSERT_EQ(actuator.actions.size(), 1u);
+    EXPECT_TRUE(actuator.actions[0]->is_default);
+    EXPECT_EQ(runtime->stats().intercepted_predictions, 1u);
+    EXPECT_TRUE(runtime->model_assessment_failing());
+}
+
+TEST_F(SimRuntimeTest, ModelRecoversWhenAssessmentPasses)
+{
+    Start();
+    model.model_healthy = false;
+    queue.RunUntil(Millis(45));
+    model.model_healthy = true;
+    queue.RunUntil(Millis(90));
+    ASSERT_EQ(actuator.actions.size(), 2u);
+    EXPECT_FALSE(actuator.actions[1]->is_default);
+    EXPECT_FALSE(runtime->model_assessment_failing());
+}
+
+TEST_F(SimRuntimeTest, DisableModelAssessmentNeverIntercepts)
+{
+    RuntimeOptions options;
+    options.disable_model_assessment = true;
+    Start(options);
+    model.model_healthy = false;
+    queue.RunUntil(Millis(95));
+    EXPECT_EQ(model.assessments, 0);
+    EXPECT_EQ(runtime->stats().intercepted_predictions, 0u);
+}
+
+TEST_F(SimRuntimeTest, AssessmentCadenceEveryKEpochs)
+{
+    Schedule schedule = FastSchedule();
+    schedule.assess_model_every_epochs = 3;
+    runtime = std::make_unique<SimRuntime<int, int>>(queue, model,
+                                                     actuator, schedule);
+    runtime->Start();
+    queue.RunUntil(Millis(400));  // 10 epochs.
+    EXPECT_EQ(model.assessments, 3);  // Epochs 3, 6, 9.
+}
+
+TEST_F(SimRuntimeTest, ShortCircuitEndsEpochWithDefault)
+{
+    Start();
+    model.short_circuit = true;
+    queue.RunUntil(Millis(15));
+    EXPECT_EQ(runtime->stats().epochs, 1u);
+    EXPECT_EQ(model.updates, 0);
+    EXPECT_EQ(model.defaults, 1);
+}
+
+TEST_F(SimRuntimeTest, ActuatorTimeoutDeliversEmpty)
+{
+    Start();
+    model.short_circuit = false;
+    // Stall the model so no predictions arrive at all.
+    runtime->StallModelFor(Seconds(10));
+    queue.RunUntil(Millis(450));
+    // Timeouts every 200 ms: at 200 and 400 ms.
+    ASSERT_GE(actuator.actions.size(), 2u);
+    for (const auto& action : actuator.actions) {
+        EXPECT_FALSE(action.has_value());
+    }
+    EXPECT_GE(runtime->stats().actuator_timeouts, 2u);
+}
+
+TEST_F(SimRuntimeTest, StallDefersCollects)
+{
+    Start();
+    runtime->StallModelFor(Millis(500));
+    queue.RunUntil(Millis(490));
+    EXPECT_EQ(model.collects, 0);
+    queue.RunUntil(Millis(600));
+    EXPECT_GT(model.collects, 0);
+}
+
+TEST_F(SimRuntimeTest, ExpiredPredictionsDroppedByActuator)
+{
+    Start();
+    // Already-expired predictions (e.g. built from stale telemetry)
+    // must never reach TakeAction.
+    model.ttl = Millis(-1);
+    queue.RunUntil(Millis(250));
+    EXPECT_GT(runtime->stats().expired_predictions, 0u);
+    for (const auto& action : actuator.actions) {
+        EXPECT_FALSE(action.has_value());
+    }
+}
+
+TEST_F(SimRuntimeTest, BlockingActuatorUsesStalePredictions)
+{
+    RuntimeOptions options;
+    options.blocking_actuator = true;
+    Start(options);
+    model.ttl = Millis(1);
+    queue.RunUntil(Millis(250));
+    // The blocking ablation acts on whatever arrives, however stale,
+    // and never times out.
+    EXPECT_EQ(runtime->stats().actuator_timeouts, 0u);
+    ASSERT_FALSE(actuator.actions.empty());
+    for (const auto& action : actuator.actions) {
+        EXPECT_TRUE(action.has_value());
+    }
+}
+
+TEST_F(SimRuntimeTest, SafeguardHaltsActuationAndMitigates)
+{
+    Start();
+    actuator.performance_ok = false;
+    queue.RunUntil(Millis(500));
+    EXPECT_TRUE(runtime->actuator_halted());
+    EXPECT_GT(actuator.mitigations, 0);
+    EXPECT_EQ(runtime->stats().safeguard_triggers, 1u);
+    // Actions stop after the halt (only pre-halt actions recorded).
+    const auto actions_at_halt = actuator.actions.size();
+    queue.RunUntil(Millis(900));
+    EXPECT_EQ(actuator.actions.size(), actions_at_halt);
+}
+
+TEST_F(SimRuntimeTest, SafeguardResumesWhenHealthy)
+{
+    Start();
+    actuator.performance_ok = false;
+    queue.RunUntil(Millis(300));
+    EXPECT_TRUE(runtime->actuator_halted());
+    actuator.performance_ok = true;
+    queue.RunUntil(Millis(600));
+    EXPECT_FALSE(runtime->actuator_halted());
+    EXPECT_GT(runtime->stats().halted_time.count(), 0);
+    // Actions flow again.
+    EXPECT_GT(actuator.actions.size(), 0u);
+}
+
+TEST_F(SimRuntimeTest, DisableActuatorSafeguardNeverAssesses)
+{
+    RuntimeOptions options;
+    options.disable_actuator_safeguard = true;
+    Start(options);
+    actuator.performance_ok = false;
+    queue.RunUntil(Millis(500));
+    EXPECT_EQ(actuator.assessments, 0);
+    EXPECT_FALSE(runtime->actuator_halted());
+}
+
+TEST_F(SimRuntimeTest, StopHaltsBothLoops)
+{
+    Start();
+    queue.RunUntil(Millis(45));
+    runtime->Stop();
+    const int collects = model.collects;
+    const auto actions = actuator.actions.size();
+    queue.RunUntil(Millis(500));
+    EXPECT_EQ(model.collects, collects);
+    EXPECT_EQ(actuator.actions.size(), actions);
+    EXPECT_FALSE(runtime->running());
+}
+
+TEST_F(SimRuntimeTest, QueueBoundEvictsOldest)
+{
+    RuntimeOptions options;
+    options.max_queued_predictions = 2;
+    // Halt the actuator... instead: use blocking actuator that never
+    // wakes? Simplest: stall nothing; predictions are consumed
+    // immediately in sim, so force eviction by halting actuation.
+    Start(options);
+    actuator.performance_ok = false;
+    queue.RunUntil(Millis(500));
+    // While halted, deliveries are dropped rather than queued.
+    EXPECT_GT(runtime->stats().dropped_while_halted, 0u);
+    EXPECT_EQ(runtime->queued_predictions(), 0u);
+}
+
+TEST_F(SimRuntimeTest, StatsCountersConsistent)
+{
+    Start();
+    queue.RunUntil(Seconds(2));
+    const RuntimeStats& stats = runtime->stats();
+    EXPECT_EQ(stats.epochs,
+              stats.model_updates + stats.short_circuit_epochs);
+    EXPECT_EQ(stats.predictions_delivered, stats.epochs);
+    EXPECT_EQ(stats.actions_taken,
+              stats.actions_with_prediction + stats.actuator_timeouts);
+}
+
+TEST_F(SimRuntimeTest, RuntimeStatsPrintable)
+{
+    Start();
+    queue.RunUntil(Millis(100));
+    std::ostringstream out;
+    out << runtime->stats();
+    EXPECT_NE(out.str().find("epochs = "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sol::core

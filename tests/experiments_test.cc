@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Integration tests: full agent + node + workload + runtime scenarios
+ * through the experiment harness. These are shortened versions of the
+ * paper's experiments asserting the qualitative relationships each
+ * figure relies on (who wins, directions of safeguard effects), plus
+ * determinism of the whole stack.
+ */
+#include <gtest/gtest.h>
+
+#include "experiments/harvest_experiments.h"
+#include "experiments/memory_experiments.h"
+#include "experiments/overclock_experiments.h"
+
+namespace sol::experiments {
+namespace {
+
+using sim::Seconds;
+
+// ---------------------------------------------------------------------------
+// Overclock scenarios
+// ---------------------------------------------------------------------------
+
+TEST(OverclockIntegrationTest, StaticFrequencySpeedsUpSynthetic)
+{
+    OverclockRunConfig config;
+    config.workload = OverclockWorkload::kSynthetic;
+    config.duration = Seconds(300);
+    config.synthetic.work_gcycles = 240;
+    config.static_freq_ghz = 1.5;
+    const auto nominal = RunOverclock(config);
+    config.static_freq_ghz = 2.3;
+    const auto overclocked = RunOverclock(config);
+    EXPECT_GT(NormalizedPerf(overclocked, nominal), 1.3);
+    EXPECT_GT(overclocked.avg_power_watts, 2.0 * nominal.avg_power_watts);
+}
+
+TEST(OverclockIntegrationTest, DiskSpeedGainsNothing)
+{
+    OverclockRunConfig config;
+    config.workload = OverclockWorkload::kDiskSpeed;
+    config.duration = Seconds(200);
+    config.static_freq_ghz = 1.5;
+    const auto nominal = RunOverclock(config);
+    config.static_freq_ghz = 2.3;
+    const auto overclocked = RunOverclock(config);
+    EXPECT_DOUBLE_EQ(nominal.perf_value, overclocked.perf_value);
+}
+
+TEST(OverclockIntegrationTest, AgentKeepsDiskSpeedNearNominalPower)
+{
+    OverclockRunConfig config;
+    config.workload = OverclockWorkload::kDiskSpeed;
+    config.duration = Seconds(400);
+    const auto agent = RunOverclock(config);
+    config.static_freq_ghz = 1.5;
+    const auto nominal = RunOverclock(config);
+    EXPECT_LT(agent.avg_power_watts, 1.1 * nominal.avg_power_watts);
+}
+
+TEST(OverclockIntegrationTest, DeterministicForSameSeed)
+{
+    OverclockRunConfig config;
+    config.workload = OverclockWorkload::kSynthetic;
+    config.duration = Seconds(200);
+    const auto a = RunOverclock(config);
+    const auto b = RunOverclock(config);
+    EXPECT_DOUBLE_EQ(a.perf_value, b.perf_value);
+    EXPECT_DOUBLE_EQ(a.energy_joules, b.energy_joules);
+    EXPECT_EQ(a.stats.epochs, b.stats.epochs);
+}
+
+TEST(OverclockIntegrationTest, BrokenModelWastesPowerUnguarded)
+{
+    OverclockRunConfig config;
+    config.workload = OverclockWorkload::kDiskSpeed;
+    config.duration = Seconds(400);
+    config.runtime.disable_actuator_safeguard = true;
+
+    OverclockRunConfig broken_unguarded = config;
+    broken_unguarded.broken_model = true;
+    broken_unguarded.runtime.disable_model_assessment = true;
+
+    OverclockRunConfig broken_guarded = config;
+    broken_guarded.broken_model = true;
+
+    const auto ideal = RunOverclock(config);
+    const auto unguarded = RunOverclock(broken_unguarded);
+    const auto guarded = RunOverclock(broken_guarded);
+
+    // The unguarded broken model wastes far more power than the guarded.
+    EXPECT_GT(unguarded.avg_power_watts, 2.0 * ideal.avg_power_watts);
+    EXPECT_LT(guarded.avg_power_watts, 1.3 * ideal.avg_power_watts);
+    EXPECT_GT(guarded.stats.intercepted_predictions, 0u);
+}
+
+TEST(OverclockIntegrationTest, ValidationProtectsAgainstBadData)
+{
+    OverclockRunConfig base;
+    base.workload = OverclockWorkload::kSynthetic;
+    base.duration = Seconds(600);
+    base.synthetic.work_gcycles = 240;
+    base.bad_data_prob = 0.05;
+
+    const auto guarded = RunOverclock(base);
+    OverclockRunConfig unguarded_config = base;
+    unguarded_config.runtime.disable_data_validation = true;
+    const auto unguarded = RunOverclock(unguarded_config);
+
+    EXPECT_GT(guarded.stats.invalid_samples, 0u);
+    EXPECT_EQ(unguarded.stats.invalid_samples, 0u);
+}
+
+TEST(OverclockIntegrationTest, TraceRecordsWhenEnabled)
+{
+    OverclockRunConfig config;
+    config.workload = OverclockWorkload::kSynthetic;
+    config.duration = Seconds(50);
+    config.record_trace = true;
+    const auto run = RunOverclock(config);
+    EXPECT_NEAR(static_cast<double>(run.trace.size()), 50.0, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Harvest scenarios
+// ---------------------------------------------------------------------------
+
+TEST(HarvestIntegrationTest, HarvestingRecoversCores)
+{
+    HarvestRunConfig config;
+    config.duration = Seconds(20);
+    const auto run = RunHarvest(config);
+    EXPECT_GT(run.harvested_core_seconds, 1.0);
+    EXPECT_GT(run.stats.epochs, 100u);
+}
+
+TEST(HarvestIntegrationTest, QoSImpactBounded)
+{
+    HarvestRunConfig config;
+    config.duration = Seconds(30);
+    HarvestRunConfig baseline_config = config;
+    baseline_config.harvesting = false;
+    const auto baseline = RunHarvest(baseline_config);
+    const auto run = RunHarvest(config);
+    // The guarded agent keeps the P99 impact moderate.
+    EXPECT_LT(LatencyIncreasePct(run, baseline), 60.0);
+}
+
+TEST(HarvestIntegrationTest, BrokenModelCaughtByAssessment)
+{
+    HarvestRunConfig config;
+    config.duration = Seconds(20);
+    config.broken_model = true;
+    config.runtime.disable_actuator_safeguard = true;
+    const auto guarded = RunHarvest(config);
+    EXPECT_GT(guarded.stats.intercepted_predictions, 0u);
+
+    HarvestRunConfig unguarded_config = config;
+    unguarded_config.runtime.disable_model_assessment = true;
+    const auto unguarded = RunHarvest(unguarded_config);
+    // Without the safeguard the primary suffers more.
+    EXPECT_GT(unguarded.p99_latency_ms, guarded.p99_latency_ms);
+}
+
+TEST(HarvestIntegrationTest, DeterministicForSameSeed)
+{
+    HarvestRunConfig config;
+    config.duration = Seconds(10);
+    const auto a = RunHarvest(config);
+    const auto b = RunHarvest(config);
+    EXPECT_DOUBLE_EQ(a.p99_latency_ms, b.p99_latency_ms);
+    EXPECT_EQ(a.completed_requests, b.completed_requests);
+}
+
+TEST(HarvestIntegrationTest, MosesAndImageDnnBothRun)
+{
+    for (const auto wl :
+         {HarvestWorkload::kImageDnn, HarvestWorkload::kMoses}) {
+        HarvestRunConfig config;
+        config.workload = wl;
+        config.duration = Seconds(10);
+        const auto run = RunHarvest(config);
+        EXPECT_GT(run.completed_requests, 100u) << ToString(wl);
+        EXPECT_GT(run.p99_latency_ms, 0.0) << ToString(wl);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory scenarios
+// ---------------------------------------------------------------------------
+
+TEST(MemoryIntegrationTest, SmartMemoryMeetsSloOnStationaryPattern)
+{
+    MemoryRunConfig config;
+    config.workload = MemoryWorkload::kObjectStore;
+    config.duration = Seconds(300);
+    config.agent.mitigation_batches = 16;
+    const auto run = RunMemory(config);
+    EXPECT_GT(run.slo_attainment, 0.8);
+    EXPECT_GT(run.migrations, 0u);
+}
+
+TEST(MemoryIntegrationTest, AdaptiveScanningCheaperThanMax)
+{
+    MemoryRunConfig config;
+    config.workload = MemoryWorkload::kObjectStore;
+    config.duration = Seconds(300);
+    config.agent.mitigation_batches = 16;
+    const auto smart = RunMemory(config);
+
+    MemoryRunConfig max_config = config;
+    max_config.fixed_arm = 0;
+    max_config.runtime.disable_model_assessment = true;
+    max_config.runtime.disable_actuator_safeguard = true;
+    const auto max_run = RunMemory(max_config);
+
+    EXPECT_LT(smart.bit_resets, max_run.bit_resets);
+}
+
+TEST(MemoryIntegrationTest, MinFrequencyScanningHurtsSlo)
+{
+    MemoryRunConfig config;
+    config.workload = MemoryWorkload::kSpecJbb;
+    config.duration = Seconds(400);
+    config.fixed_arm = 5;
+    config.runtime.disable_model_assessment = true;
+    config.runtime.disable_actuator_safeguard = true;
+    const auto min_run = RunMemory(config);
+
+    MemoryRunConfig smart_config;
+    smart_config.workload = MemoryWorkload::kSpecJbb;
+    smart_config.duration = Seconds(400);
+    smart_config.agent.mitigation_batches = 16;
+    const auto smart = RunMemory(smart_config);
+
+    EXPECT_GT(smart.slo_attainment, min_run.slo_attainment);
+}
+
+TEST(MemoryIntegrationTest, SafeguardsImproveOscillatingSlo)
+{
+    MemoryRunConfig base;
+    base.workload = MemoryWorkload::kOscillating;
+    base.duration = Seconds(500);
+    base.agent.mitigation_batches = 16;
+
+    MemoryRunConfig none = base;
+    none.runtime.disable_model_assessment = true;
+    none.runtime.disable_actuator_safeguard = true;
+
+    const auto with_safeguards = RunMemory(base);
+    const auto without = RunMemory(none);
+    EXPECT_GT(with_safeguards.slo_attainment,
+              without.slo_attainment + 0.2);
+}
+
+TEST(MemoryIntegrationTest, DeterministicForSameSeed)
+{
+    MemoryRunConfig config;
+    config.duration = Seconds(100);
+    const auto a = RunMemory(config);
+    const auto b = RunMemory(config);
+    EXPECT_EQ(a.scans, b.scans);
+    EXPECT_EQ(a.bit_resets, b.bit_resets);
+    EXPECT_DOUBLE_EQ(a.slo_attainment, b.slo_attainment);
+}
+
+TEST(MemoryIntegrationTest, TraceMatchesDuration)
+{
+    MemoryRunConfig config;
+    config.duration = Seconds(100);
+    const auto run = RunMemory(config);
+    // One trace point per 2 s window.
+    EXPECT_NEAR(static_cast<double>(run.trace.size()), 50.0, 2.0);
+}
+
+}  // namespace
+}  // namespace sol::experiments

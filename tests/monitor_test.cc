@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Tests for the SmartMonitor extension: the channel substrate, the
+ * sampling policy, the agent's safeguards, and the end-to-end
+ * coverage-vs-uniform result.
+ */
+#include <gtest/gtest.h>
+
+#include "agents/smartmonitor/smartmonitor.h"
+#include "experiments/monitor_experiments.h"
+#include "node/channel_array.h"
+#include "sim/event_queue.h"
+
+namespace sol::agents {
+namespace {
+
+using sim::EventQueue;
+using sim::Millis;
+using sim::Seconds;
+using sim::TimePoint;
+
+// ---------------------------------------------------------------------------
+// ChannelArray
+// ---------------------------------------------------------------------------
+
+TEST(ChannelArrayTest, RejectsBadConfig)
+{
+    EXPECT_THROW(node::ChannelArray(0, Seconds(1)), std::invalid_argument);
+    EXPECT_THROW(node::ChannelArray(4, Seconds(0)), std::invalid_argument);
+}
+
+TEST(ChannelArrayTest, IncidentsGeneratedAtConfiguredRate)
+{
+    node::ChannelArray channels(2, Seconds(1000));
+    channels.SetIncidentRate(0, 5.0);
+    sim::Rng rng(3);
+    for (TimePoint t(0); t < Seconds(100); t += Millis(20)) {
+        channels.Advance(t, Millis(20), rng);
+    }
+    // ~500 incidents on channel 0, none on channel 1.
+    EXPECT_NEAR(static_cast<double>(channels.stats().generated), 500.0,
+                80.0);
+}
+
+TEST(ChannelArrayTest, SampleDetectsAndClears)
+{
+    node::ChannelArray channels(2, Seconds(1000));
+    channels.SetIncidentRate(0, 50.0);
+    sim::Rng rng(3);
+    for (TimePoint t(0); t < Seconds(1); t += Millis(20)) {
+        channels.Advance(t, Millis(20), rng);
+    }
+    const int found = channels.Sample(0, Seconds(1));
+    EXPECT_GT(found, 0);
+    EXPECT_EQ(channels.Sample(0, Seconds(1)), 0);  // Already detected.
+    EXPECT_EQ(channels.stats().detected,
+              static_cast<std::uint64_t>(found));
+}
+
+TEST(ChannelArrayTest, UnsampledIncidentsAgeOut)
+{
+    node::ChannelArray channels(1, Millis(500));
+    channels.SetIncidentRate(0, 50.0);
+    sim::Rng rng(5);
+    for (TimePoint t(0); t < Seconds(5); t += Millis(20)) {
+        channels.Advance(t, Millis(20), rng);
+    }
+    EXPECT_GT(channels.stats().missed, 0u);
+    EXPECT_LT(channels.stats().Coverage(), 0.5);
+}
+
+TEST(ChannelArrayTest, SampleErrorInjection)
+{
+    node::ChannelArray channels(1, Seconds(10));
+    channels.InjectSampleErrors(1);
+    bool error = false;
+    EXPECT_EQ(channels.Sample(0, Seconds(1), &error), -1);
+    EXPECT_TRUE(error);
+    channels.Sample(0, Seconds(1), &error);
+    EXPECT_FALSE(error);
+}
+
+TEST(ChannelArrayTest, DetectionLatencyRecorded)
+{
+    node::ChannelArray channels(1, Seconds(100));
+    channels.SetIncidentRate(0, 100.0);
+    sim::Rng rng(7);
+    channels.Advance(TimePoint(0), Millis(20), rng);
+    ASSERT_EQ(channels.stats().generated, 1u);
+    channels.Sample(0, Seconds(2));
+    ASSERT_EQ(channels.detection_latencies().size(), 1u);
+    EXPECT_NEAR(channels.detection_latencies()[0], 2.0, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// SamplingPolicy
+// ---------------------------------------------------------------------------
+
+TEST(SamplingPolicyTest, UniformCoversAllChannels)
+{
+    SamplingPolicy policy(8);
+    sim::Rng rng(9);
+    std::vector<int> counts(8, 0);
+    for (int i = 0; i < 8000; ++i) {
+        ++counts[policy.Pick(rng)];
+    }
+    for (const int c : counts) {
+        EXPECT_NEAR(c, 1000, 150);
+    }
+}
+
+TEST(SamplingPolicyTest, WeightsSkewPicks)
+{
+    SamplingPolicy policy(4);
+    policy.SetWeights({8.0, 1.0, 1.0, 0.0});
+    sim::Rng rng(11);
+    std::vector<int> counts(4, 0);
+    for (int i = 0; i < 10000; ++i) {
+        ++counts[policy.Pick(rng)];
+    }
+    EXPECT_GT(counts[0], 7000);
+    EXPECT_EQ(counts[3], 0);
+    EXPECT_FALSE(policy.is_uniform());
+}
+
+TEST(SamplingPolicyTest, RejectsBadWeights)
+{
+    SamplingPolicy policy(3);
+    EXPECT_THROW(policy.SetWeights({1.0}), std::invalid_argument);
+    EXPECT_THROW(policy.SetWeights({1.0, -1.0, 0.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(policy.SetWeights({0.0, 0.0, 0.0}),
+                 std::invalid_argument);
+}
+
+TEST(SamplingPolicyTest, StarvationTracksUnvisitedChannels)
+{
+    SamplingPolicy policy(10, 100);
+    EXPECT_DOUBLE_EQ(policy.StarvedFraction(), 0.0);  // No data yet.
+    for (int i = 0; i < 50; ++i) {
+        policy.RecordVisit(0);
+    }
+    EXPECT_NEAR(policy.StarvedFraction(), 0.9, 1e-9);
+    for (node::ChannelId c = 0; c < 10; ++c) {
+        policy.RecordVisit(c);
+    }
+    EXPECT_DOUBLE_EQ(policy.StarvedFraction(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// MonitorModel / MonitorActuator
+// ---------------------------------------------------------------------------
+
+class SmartMonitorTest : public ::testing::Test
+{
+  protected:
+    SmartMonitorTest()
+        : channels(8, Seconds(2)),
+          policy(8),
+          model(channels, policy, queue),
+          actuator(policy)
+    {
+    }
+
+    EventQueue queue;
+    node::ChannelArray channels;
+    SamplingPolicy policy;
+    MonitorModel model;
+    MonitorActuator actuator;
+};
+
+TEST_F(SmartMonitorTest, ScheduleValid)
+{
+    EXPECT_TRUE(SmartMonitorSchedule().IsValid());
+}
+
+TEST_F(SmartMonitorTest, RejectsTinyBudget)
+{
+    SmartMonitorConfig config;
+    config.budget_per_round = 1;
+    EXPECT_THROW(MonitorModel(channels, policy, queue, config),
+                 std::invalid_argument);
+}
+
+TEST_F(SmartMonitorTest, CollectRespectsBudget)
+{
+    const MonitorRound round = model.CollectData();
+    EXPECT_EQ(round.samples, 3);  // Default budget.
+    EXPECT_EQ(channels.samples_taken(), 3u);
+}
+
+TEST_F(SmartMonitorTest, ValidationRejectsCorruptedRounds)
+{
+    EXPECT_TRUE(model.ValidateData(MonitorRound{3, 0, 1}));
+    EXPECT_FALSE(model.ValidateData(MonitorRound{3, 1, 0}));
+}
+
+TEST_F(SmartMonitorTest, CorruptedDriverDetected)
+{
+    channels.InjectSampleErrors(100);
+    const MonitorRound round = model.CollectData();
+    EXPECT_GT(round.errors, 0);
+}
+
+TEST_F(SmartMonitorTest, LearnsHotChannelPropensity)
+{
+    channels.SetIncidentRate(3, 20.0);
+    sim::Rng rng(13);
+    for (int round = 0; round < 400; ++round) {
+        channels.Advance(queue.Now(), Millis(100), rng);
+        queue.RunFor(Millis(100));
+        const MonitorRound r = model.CollectData();
+        if (model.ValidateData(r)) {
+            model.CommitData(queue.Now(), r);
+        }
+        if (round % 10 == 9) {
+            model.UpdateModel();
+        }
+    }
+    EXPECT_GT(model.Propensity(3), 2.0 * model.Propensity(0));
+}
+
+TEST_F(SmartMonitorTest, DefaultPredictionIsUniform)
+{
+    const auto pred = model.DefaultPredict();
+    EXPECT_TRUE(pred.is_default);
+    for (const double w : pred.value) {
+        EXPECT_DOUBLE_EQ(w, 1.0 / 8.0);
+    }
+}
+
+TEST_F(SmartMonitorTest, PredictionHasUniformFloor)
+{
+    const auto pred = model.ModelPredict();
+    ASSERT_EQ(pred.value.size(), 8u);
+    for (const double w : pred.value) {
+        EXPECT_GE(w, 0.15 / 8.0 - 1e-12);
+    }
+}
+
+TEST_F(SmartMonitorTest, ActuatorAppliesAndResets)
+{
+    std::vector<double> weights(8, 0.0);
+    weights[2] = 1.0;
+    actuator.TakeAction(
+        core::MakePrediction(weights, queue.Now(), Seconds(5)));
+    EXPECT_FALSE(policy.is_uniform());
+    actuator.TakeAction(std::nullopt);
+    EXPECT_TRUE(policy.is_uniform());
+}
+
+TEST_F(SmartMonitorTest, StarvationSafeguardMitigates)
+{
+    std::vector<double> weights(8, 0.0);
+    weights[0] = 1.0;
+    policy.SetWeights(weights);
+    sim::Rng rng(15);
+    for (int i = 0; i < 200; ++i) {
+        policy.Pick(rng);
+    }
+    EXPECT_FALSE(actuator.AssessPerformance());
+    EXPECT_GT(actuator.last_starved_fraction(), 0.5);
+    actuator.Mitigate();
+    EXPECT_TRUE(policy.is_uniform());
+}
+
+TEST_F(SmartMonitorTest, CleanUpIdempotent)
+{
+    std::vector<double> weights(8, 1.0);
+    policy.SetWeights(weights);
+    actuator.CleanUp();
+    actuator.CleanUp();
+    EXPECT_TRUE(policy.is_uniform());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end extension scenario
+// ---------------------------------------------------------------------------
+
+TEST(MonitorIntegrationTest, BeatsUniformAtSameBudget)
+{
+    experiments::MonitorRunConfig config;
+    config.duration = Seconds(300);
+    experiments::MonitorRunConfig uniform = config;
+    uniform.uniform_baseline = true;
+
+    const auto smart = experiments::RunMonitor(config);
+    const auto base = experiments::RunMonitor(uniform);
+
+    EXPECT_EQ(smart.samples, base.samples);  // Same budget.
+    EXPECT_GT(smart.coverage, base.coverage);
+    EXPECT_LT(smart.mean_latency_s, base.mean_latency_s);
+}
+
+TEST(MonitorIntegrationTest, DeterministicForSameSeed)
+{
+    experiments::MonitorRunConfig config;
+    config.duration = Seconds(100);
+    const auto a = experiments::RunMonitor(config);
+    const auto b = experiments::RunMonitor(config);
+    EXPECT_DOUBLE_EQ(a.coverage, b.coverage);
+    EXPECT_EQ(a.incidents, b.incidents);
+}
+
+TEST(MonitorIntegrationTest, SurvivesHotSetShifts)
+{
+    experiments::MonitorRunConfig config;
+    config.duration = Seconds(400);
+    config.shift_interval = Seconds(100);
+    const auto run = experiments::RunMonitor(config);
+    EXPECT_GT(run.coverage, 0.85);
+}
+
+}  // namespace
+}  // namespace sol::agents

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Tests for the node substrate: power model, counters, VM management,
+ * harvesting, and the two-tier memory system.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "node/node.h"
+#include "node/power_model.h"
+#include "node/tiered_memory.h"
+#include "workloads/best_effort.h"
+#include "workloads/disk_speed.h"
+
+namespace sol::node {
+namespace {
+
+using sim::Millis;
+using sim::Seconds;
+using sim::TimePoint;
+
+// ---------------------------------------------------------------------------
+// PowerModel
+// ---------------------------------------------------------------------------
+
+TEST(PowerModelTest, CubicInFrequency)
+{
+    PowerModel model;
+    const double p15 = model.CorePower(1.5, 0.0);
+    const double p23 = model.CorePower(2.3, 0.0);
+    const double ratio = (2.3 * 2.3 * 2.3) / (1.5 * 1.5 * 1.5);
+    EXPECT_NEAR(p23 / p15, ratio, 1e-9);
+}
+
+TEST(PowerModelTest, UtilizationAddsDynamicPower)
+{
+    PowerModel model;
+    EXPECT_GT(model.CorePower(1.5, 1.0), model.CorePower(1.5, 0.0));
+    // Dynamic term is linear in utilization.
+    const double idle = model.CorePower(1.5, 0.0);
+    const double half = model.CorePower(1.5, 0.5);
+    const double full = model.CorePower(1.5, 1.0);
+    EXPECT_NEAR(full - half, half - idle, 1e-9);
+}
+
+TEST(PowerModelTest, UtilizationClamped)
+{
+    PowerModel model;
+    EXPECT_DOUBLE_EQ(model.CorePower(1.5, 2.0),
+                     model.CorePower(1.5, 1.0));
+    EXPECT_DOUBLE_EQ(model.CorePower(1.5, -1.0),
+                     model.CorePower(1.5, 0.0));
+}
+
+TEST(PowerModelTest, NodePowerIncludesBase)
+{
+    PowerModelConfig config;
+    config.base_watts = 7.0;
+    PowerModel model(config);
+    EXPECT_NEAR(model.NodePower(1.5, 0.5, 4) -
+                    4.0 * model.CorePower(1.5, 0.5),
+                7.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Counter deltas
+// ---------------------------------------------------------------------------
+
+TEST(CounterDeltaTest, IpsAndAlpha)
+{
+    CpuCounterSnapshot a;
+    a.at = TimePoint(0);
+    CpuCounterSnapshot b;
+    b.instructions = 3e9;
+    b.total_cycles = 2e9;
+    b.unhalted_cycles = 1e9;
+    b.stalled_cycles = 0.25e9;
+    b.at = Seconds(2);
+    const CpuCounterDelta delta = Diff(a, b);
+    EXPECT_DOUBLE_EQ(delta.Ips(), 1.5e9);
+    EXPECT_DOUBLE_EQ(delta.Alpha(), 0.375);
+}
+
+TEST(CounterDeltaTest, ZeroSpanIsSafe)
+{
+    CpuCounterSnapshot a;
+    const CpuCounterDelta delta = Diff(a, a);
+    EXPECT_DOUBLE_EQ(delta.Ips(), 0.0);
+    EXPECT_DOUBLE_EQ(delta.Alpha(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Node
+// ---------------------------------------------------------------------------
+
+NodeConfig
+SmallNode()
+{
+    NodeConfig config;
+    config.total_cores = 8;
+    return config;
+}
+
+TEST(NodeTest, RejectsBadConfig)
+{
+    NodeConfig config;
+    config.total_cores = 0;
+    EXPECT_THROW(Node{config}, std::invalid_argument);
+    config = NodeConfig{};
+    config.allowed_freqs_ghz.clear();
+    EXPECT_THROW(Node{config}, std::invalid_argument);
+}
+
+TEST(NodeTest, AddVmValidatesCores)
+{
+    Node node(SmallNode());
+    auto wl = std::make_shared<workloads::DiskSpeed>();
+    EXPECT_THROW(node.AddVm(VmConfig{"x", 0}, wl), std::invalid_argument);
+    EXPECT_THROW(node.AddVm(VmConfig{"x", 9}, wl), std::invalid_argument);
+    EXPECT_THROW(node.AddVm(VmConfig{"x", 4}, nullptr),
+                 std::invalid_argument);
+    const VmId vm = node.AddVm(VmConfig{"x", 8}, wl);
+    EXPECT_EQ(vm, 0u);
+    // Node is now full.
+    EXPECT_THROW(node.AddVm(VmConfig{"y", 1}, wl), std::invalid_argument);
+}
+
+TEST(NodeTest, FrequencyControlValidatesDvfsSet)
+{
+    Node node(SmallNode());
+    const VmId vm = node.AddVm(VmConfig{"x", 4},
+                               std::make_shared<workloads::DiskSpeed>());
+    EXPECT_DOUBLE_EQ(node.VmFrequency(vm), 1.5);
+    node.SetVmFrequency(vm, 2.3);
+    EXPECT_DOUBLE_EQ(node.VmFrequency(vm), 2.3);
+    EXPECT_THROW(node.SetVmFrequency(vm, 3.1), std::invalid_argument);
+    node.ResetVmFrequency(vm);
+    EXPECT_DOUBLE_EQ(node.VmFrequency(vm), 1.5);
+}
+
+TEST(NodeTest, GrantCoresClampsToAllocation)
+{
+    Node node(SmallNode());
+    const VmId vm = node.AddVm(VmConfig{"x", 4},
+                               std::make_shared<workloads::BestEffort>());
+    node.GrantCores(vm, 2);
+    EXPECT_EQ(node.GrantedCores(vm), 2);
+    node.GrantCores(vm, 100);
+    EXPECT_EQ(node.GrantedCores(vm), 4);
+    node.GrantCores(vm, -3);
+    EXPECT_EQ(node.GrantedCores(vm), 0);
+    node.ResetGrants();
+    EXPECT_EQ(node.GrantedCores(vm), 4);
+}
+
+TEST(NodeTest, CountersAccumulateWithWorkload)
+{
+    Node node(SmallNode());
+    const VmId vm = node.AddVm(VmConfig{"x", 4},
+                               std::make_shared<workloads::BestEffort>());
+    node.Advance(TimePoint(0), Seconds(1));
+    const CpuCounterSnapshot snap = node.ReadCounters(vm);
+    // BestEffort runs at util 1.0: 4 cores * 1.5 GHz * 1 s cycles.
+    EXPECT_NEAR(snap.total_cycles, 4 * 1.5e9, 1e6);
+    EXPECT_NEAR(snap.unhalted_cycles, 4 * 1.5e9, 1e6);
+    EXPECT_GT(snap.instructions, 0.0);
+}
+
+TEST(NodeTest, IpsScalesWithFrequency)
+{
+    Node node_a(SmallNode());
+    Node node_b(SmallNode());
+    const VmId a = node_a.AddVm(VmConfig{"x", 4},
+                                std::make_shared<workloads::BestEffort>());
+    const VmId b = node_b.AddVm(VmConfig{"x", 4},
+                                std::make_shared<workloads::BestEffort>());
+    node_b.SetVmFrequency(b, 2.3);
+    node_a.Advance(TimePoint(0), Seconds(1));
+    node_b.Advance(TimePoint(0), Seconds(1));
+    const auto delta_a = Diff(CpuCounterSnapshot{},
+                              node_a.ReadCounters(a));
+    const auto delta_b = Diff(CpuCounterSnapshot{},
+                              node_b.ReadCounters(b));
+    EXPECT_NEAR(delta_b.instructions / delta_a.instructions, 2.3 / 1.5,
+                1e-6);
+}
+
+TEST(NodeTest, VcpuWaitAccumulatesWhenStarved)
+{
+    Node node(SmallNode());
+    // BestEffort demands 64 cores; grant only 1 of 4.
+    const VmId vm = node.AddVm(VmConfig{"x", 4},
+                               std::make_shared<workloads::BestEffort>());
+    node.GrantCores(vm, 1);
+    node.Advance(TimePoint(0), Seconds(1));
+    EXPECT_GT(node.VcpuWaitTime(vm), sim::Duration::zero());
+
+    // Fully granted and demand within allocation: no extra wait.
+    Node node2(SmallNode());
+    const VmId vm2 = node2.AddVm(
+        VmConfig{"x", 4}, std::make_shared<workloads::DiskSpeed>());
+    node2.Advance(TimePoint(0), Seconds(1));
+    EXPECT_EQ(node2.VcpuWaitTime(vm2), sim::Duration::zero());
+}
+
+TEST(NodeTest, EnergyIntegratesPower)
+{
+    Node node(SmallNode());
+    node.AddVm(VmConfig{"x", 4},
+               std::make_shared<workloads::BestEffort>());
+    node.Advance(TimePoint(0), Seconds(1));
+    const double e1 = node.EnergyJoules();
+    node.Advance(Seconds(1), Seconds(1));
+    EXPECT_NEAR(node.EnergyJoules(), 2.0 * e1, 1e-6);
+    EXPECT_GT(node.LastPowerWatts(), 0.0);
+}
+
+TEST(NodeTest, HigherFrequencyDrawsMorePower)
+{
+    Node node_a(SmallNode());
+    Node node_b(SmallNode());
+    const VmId a = node_a.AddVm(VmConfig{"x", 4},
+                                std::make_shared<workloads::DiskSpeed>());
+    (void)a;
+    const VmId b = node_b.AddVm(VmConfig{"x", 4},
+                                std::make_shared<workloads::DiskSpeed>());
+    node_b.SetVmFrequency(b, 2.3);
+    node_a.Advance(TimePoint(0), Seconds(1));
+    node_b.Advance(TimePoint(0), Seconds(1));
+    EXPECT_GT(node_b.EnergyJoules(), 2.0 * node_a.EnergyJoules());
+}
+
+TEST(NodeTest, OutOfRangeVmThrows)
+{
+    Node node(SmallNode());
+    EXPECT_THROW(node.ReadCounters(0), std::out_of_range);
+    EXPECT_THROW(node.GrantCores(3, 1), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// TieredMemory
+// ---------------------------------------------------------------------------
+
+TEST(TieredMemoryTest, RejectsBadConfig)
+{
+    EXPECT_THROW(TieredMemory(0, 1), std::invalid_argument);
+    EXPECT_THROW(TieredMemory(4, 0), std::invalid_argument);
+}
+
+TEST(TieredMemoryTest, InitialPlacementFillsFastTierFirst)
+{
+    TieredMemory memory(8, 4);
+    for (BatchId b = 0; b < 4; ++b) {
+        EXPECT_EQ(memory.TierOf(b), Tier::kFast);
+    }
+    for (BatchId b = 4; b < 8; ++b) {
+        EXPECT_EQ(memory.TierOf(b), Tier::kSlow);
+    }
+    EXPECT_EQ(memory.fast_tier_used(), 4u);
+}
+
+TEST(TieredMemoryTest, AccessAccountingByTier)
+{
+    TieredMemory memory(4, 2);
+    memory.RecordAccess(0, Millis(1), 10);  // Fast.
+    memory.RecordAccess(3, Millis(2), 5);   // Slow.
+    EXPECT_EQ(memory.stats().local_accesses, 10u);
+    EXPECT_EQ(memory.stats().remote_accesses, 5u);
+    EXPECT_NEAR(memory.stats().RemoteFraction(), 5.0 / 15.0, 1e-12);
+}
+
+TEST(TieredMemoryTest, RemoteFractionEmptyIsZero)
+{
+    TieredMemory memory(2, 1);
+    EXPECT_DOUBLE_EQ(memory.stats().RemoteFraction(), 0.0);
+}
+
+TEST(TieredMemoryTest, ScanReadsAndClearsBit)
+{
+    TieredMemory memory(2, 2);
+    memory.RecordAccess(0, Millis(1));
+    EXPECT_TRUE(memory.AccessBit(0));
+    EXPECT_TRUE(memory.ScanAndReset(0));
+    EXPECT_FALSE(memory.AccessBit(0));
+    EXPECT_FALSE(memory.ScanAndReset(0));  // Now clear.
+    EXPECT_EQ(memory.scans(), 2u);
+    EXPECT_EQ(memory.bit_resets(), 1u);
+    EXPECT_EQ(memory.tlb_flushes(), kPagesPerBatch);
+}
+
+TEST(TieredMemoryTest, ScanErrorInjection)
+{
+    TieredMemory memory(2, 2);
+    memory.RecordAccess(0, Millis(1));
+    memory.InjectScanErrors(1);
+    bool error = false;
+    EXPECT_FALSE(memory.ScanAndReset(0, &error));
+    EXPECT_TRUE(error);
+    // The bit survives an errored scan.
+    EXPECT_TRUE(memory.AccessBit(0));
+    EXPECT_TRUE(memory.ScanAndReset(0, &error));
+    EXPECT_FALSE(error);
+}
+
+TEST(TieredMemoryTest, MigrationRespectsCapacity)
+{
+    TieredMemory memory(4, 2);
+    EXPECT_FALSE(memory.FastTierHasRoom());
+    memory.Migrate(0, Tier::kSlow);
+    EXPECT_TRUE(memory.FastTierHasRoom());
+    memory.Migrate(2, Tier::kFast);
+    EXPECT_EQ(memory.TierOf(2), Tier::kFast);
+    EXPECT_THROW(memory.Migrate(3, Tier::kFast), std::runtime_error);
+    EXPECT_EQ(memory.migrations(), 2u);
+}
+
+TEST(TieredMemoryTest, MigrationToSameTierIsNoop)
+{
+    TieredMemory memory(2, 1);
+    memory.Migrate(0, Tier::kFast);
+    EXPECT_EQ(memory.migrations(), 0u);
+}
+
+TEST(TieredMemoryTest, LastAccessTracked)
+{
+    TieredMemory memory(2, 2);
+    memory.RecordAccess(1, Millis(42));
+    EXPECT_EQ(memory.LastAccess(1), Millis(42));
+    EXPECT_EQ(memory.LastAccess(0), TimePoint(0));
+}
+
+TEST(TieredMemoryTest, ResetAccessStatsKeepsPlacement)
+{
+    TieredMemory memory(2, 1);
+    memory.RecordAccess(1, Millis(1), 5);
+    memory.ResetAccessStats();
+    EXPECT_EQ(memory.stats().total(), 0u);
+    EXPECT_EQ(memory.TierOf(1), Tier::kSlow);
+}
+
+TEST(TieredMemoryTest, OutOfRangeBatchThrows)
+{
+    TieredMemory memory(2, 1);
+    EXPECT_THROW(memory.TierOf(2), std::out_of_range);
+    EXPECT_THROW(memory.RecordAccess(5, Millis(0)), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sol::node

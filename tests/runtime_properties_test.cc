@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Property-style parameterized sweeps over the SimRuntime: invariants
+ * that must hold for any valid schedule and failure pattern.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/sim_runtime.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace sol::core {
+namespace {
+
+using sim::EventQueue;
+using sim::Millis;
+using sim::Seconds;
+
+/** Simple counting agent reused across the sweeps. */
+class CountingModel : public Model<int, int>
+{
+  public:
+    explicit CountingModel(const sim::Clock& clock, double invalid_prob,
+                           std::uint64_t seed)
+        : clock_(clock), invalid_prob_(invalid_prob), rng_(seed)
+    {
+    }
+
+    int
+    CollectData() override
+    {
+        ++collects;
+        return rng_.NextBool(invalid_prob_) ? -1 : 1;
+    }
+
+    bool
+    ValidateData(const int& data) override
+    {
+        return data >= 0;
+    }
+
+    void
+    CommitData(sim::TimePoint, const int&) override
+    {
+        ++commits;
+    }
+
+    void
+    UpdateModel() override
+    {
+        ++updates;
+    }
+
+    Prediction<int>
+    ModelPredict() override
+    {
+        return MakePrediction(1, clock_.Now(), Seconds(1));
+    }
+
+    Prediction<int>
+    DefaultPredict() override
+    {
+        return MakeDefaultPrediction(0, clock_.Now(), Seconds(1));
+    }
+
+    bool
+    AssessModel() override
+    {
+        return true;
+    }
+
+    const sim::Clock& clock_;
+    double invalid_prob_;
+    sim::Rng rng_;
+    int collects = 0;
+    int commits = 0;
+    int updates = 0;
+};
+
+class CountingActuator : public Actuator<int>
+{
+  public:
+    void
+    TakeAction(std::optional<Prediction<int>> pred) override
+    {
+        ++actions;
+        with_pred += pred.has_value() ? 1 : 0;
+    }
+
+    bool
+    AssessPerformance() override
+    {
+        return true;
+    }
+
+    void
+    Mitigate() override
+    {
+    }
+
+    void
+    CleanUp() override
+    {
+    }
+
+    int actions = 0;
+    int with_pred = 0;
+};
+
+// Sweep over (data_per_epoch, collect_interval_ms, invalid_prob).
+using SweepParam = std::tuple<int, int, double>;
+
+class RuntimeSweepTest : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(RuntimeSweepTest, InvariantsHoldUnderAnyConfiguration)
+{
+    const auto [per_epoch, interval_ms, invalid_prob] = GetParam();
+    EventQueue queue;
+    CountingModel model(queue, invalid_prob, 99);
+    CountingActuator actuator;
+
+    Schedule schedule;
+    schedule.data_per_epoch = per_epoch;
+    schedule.data_collect_interval = Millis(interval_ms);
+    schedule.max_epoch_time = Millis(interval_ms * per_epoch * 3);
+    schedule.max_actuation_delay = Millis(interval_ms * per_epoch * 5);
+    schedule.assess_actuator_interval = Millis(50);
+
+    SimRuntime<int, int> runtime(queue, model, actuator, schedule);
+    runtime.Start();
+    queue.RunUntil(Seconds(20));
+    runtime.Stop();
+
+    const RuntimeStats& stats = runtime.stats();
+
+    // Every epoch ends in exactly one of: update+predict or default.
+    EXPECT_EQ(stats.epochs,
+              stats.model_updates + stats.short_circuit_epochs);
+
+    // Every delivered prediction came from an epoch.
+    EXPECT_EQ(stats.predictions_delivered, stats.epochs);
+
+    // Every full epoch commits exactly data_per_epoch samples; epochs
+    // that short-circuited at the deadline (and the in-flight epoch at
+    // Stop) may add up to per_epoch - 1 partial commits each.
+    const int full_commits =
+        static_cast<int>(stats.model_updates) * per_epoch;
+    EXPECT_GE(model.commits, full_commits);
+    EXPECT_LE(model.commits,
+              full_commits +
+                  static_cast<int>(stats.short_circuit_epochs + 1) *
+                      (per_epoch - 1));
+
+    // Collect accounting: every collect is either committed or invalid.
+    EXPECT_EQ(static_cast<std::uint64_t>(model.collects),
+              static_cast<std::uint64_t>(model.commits) +
+                  stats.invalid_samples);
+
+    // Actions = prediction-driven + timeout fallbacks.
+    EXPECT_EQ(stats.actions_taken,
+              stats.actions_with_prediction + stats.actuator_timeouts);
+
+    // With no safeguard failures, nothing was halted or mitigated.
+    EXPECT_EQ(stats.safeguard_triggers, 0u);
+    EXPECT_EQ(stats.mitigations, 0u);
+
+    // Progress: something must have happened in 20 s.
+    EXPECT_GT(stats.epochs, 0u);
+    EXPECT_GT(stats.actions_taken, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, RuntimeSweepTest,
+    ::testing::Values(SweepParam{1, 10, 0.0}, SweepParam{4, 10, 0.0},
+                      SweepParam{10, 5, 0.0}, SweepParam{4, 10, 0.2},
+                      SweepParam{4, 10, 0.5}, SweepParam{10, 5, 0.3},
+                      SweepParam{2, 50, 0.1}, SweepParam{25, 2, 0.05}));
+
+// Sweep over stall patterns: the actuator must keep acting regardless.
+class StallSweepTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StallSweepTest, ActuatorKeepsActingThroughStalls)
+{
+    const int stall_ms = GetParam();
+    EventQueue queue;
+    CountingModel model(queue, 0.0, 7);
+    CountingActuator actuator;
+
+    Schedule schedule;
+    schedule.data_per_epoch = 4;
+    schedule.data_collect_interval = Millis(10);
+    schedule.max_epoch_time = Millis(100);
+    schedule.max_actuation_delay = Millis(100);
+    schedule.assess_actuator_interval = Millis(50);
+
+    SimRuntime<int, int> runtime(queue, model, actuator, schedule);
+    runtime.Start();
+
+    // Stall the model every second.
+    for (int t = 1; t <= 10; ++t) {
+        queue.ScheduleAt(Seconds(t), [&runtime, stall_ms] {
+            runtime.StallModelFor(Millis(stall_ms));
+        });
+    }
+    queue.RunUntil(Seconds(12));
+    runtime.Stop();
+
+    // The non-blocking design guarantees an upper bound on the time
+    // between actions: in 12 s with a 100 ms max delay, at least ~100
+    // actions even if the model was stalled the whole time.
+    EXPECT_GT(actuator.actions, 100);
+    if (stall_ms > 200) {
+        // Long stalls force timeout actions.
+        EXPECT_GT(runtime.stats().actuator_timeouts, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stalls, StallSweepTest,
+                         ::testing::Values(50, 200, 500, 900));
+
+}  // namespace
+}  // namespace sol::core

@@ -1,0 +1,476 @@
+/**
+ * @file
+ * Tests for the simulation substrate: time, RNG, event queue, samplers.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/samplers.h"
+#include "sim/time.h"
+
+namespace sol::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Time helpers
+// ---------------------------------------------------------------------------
+
+TEST(TimeTest, ConstructorsAgree)
+{
+    EXPECT_EQ(Micros(1), Nanos(1000));
+    EXPECT_EQ(Millis(1), Micros(1000));
+    EXPECT_EQ(Seconds(1), Millis(1000));
+    EXPECT_EQ(SecondsF(0.5), Millis(500));
+}
+
+TEST(TimeTest, Conversions)
+{
+    EXPECT_DOUBLE_EQ(ToSeconds(Millis(1500)), 1.5);
+    EXPECT_DOUBLE_EQ(ToMillis(Micros(2500)), 2.5);
+    EXPECT_DOUBLE_EQ(ToSeconds(Duration::zero()), 0.0);
+}
+
+TEST(TimeTest, InfinityOrdersAfterEverything)
+{
+    EXPECT_GT(kTimeInfinity, Seconds(1'000'000'000));
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, Deterministic)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.NextU64(), b.NextU64());
+    }
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.NextU64() == b.NextU64()) {
+            ++same;
+        }
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, DoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.NextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(RngTest, NextBelowRespectsBound)
+{
+    Rng rng(9);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+        for (int i = 0; i < 1000; ++i) {
+            EXPECT_LT(rng.NextBelow(bound), bound);
+        }
+    }
+}
+
+TEST(RngTest, NextBelowCoversAllValues)
+{
+    Rng rng(11);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 6000; ++i) {
+        ++counts[rng.NextBelow(6)];
+    }
+    EXPECT_EQ(counts.size(), 6u);
+    for (const auto& [value, count] : counts) {
+        EXPECT_GT(count, 700) << "value " << value;  // ~1000 expected.
+    }
+}
+
+TEST(RngTest, NextInRangeInclusive)
+{
+    Rng rng(13);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.NextInRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliEdgeCases)
+{
+    Rng rng(15);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.NextBool(0.0));
+        EXPECT_TRUE(rng.NextBool(1.0));
+    }
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng rng(17);
+    int heads = 0;
+    for (int i = 0; i < 10000; ++i) {
+        heads += rng.NextBool(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, GaussianMoments)
+{
+    Rng rng(19);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.NextGaussian();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean)
+{
+    Rng rng(21);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.NextExponential(4.0);
+    }
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, GammaMeanMatchesAlpha)
+{
+    Rng rng(23);
+    for (const double alpha : {0.5, 1.0, 2.5, 9.0}) {
+        double sum = 0.0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i) {
+            sum += rng.NextGamma(alpha);
+        }
+        EXPECT_NEAR(sum / n, alpha, 0.08 * alpha + 0.02) << alpha;
+    }
+}
+
+TEST(RngTest, BetaMeanAndSupport)
+{
+    Rng rng(25);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.NextBeta(2.0, 6.0);
+        EXPECT_GE(x, 0.0);
+        EXPECT_LE(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsIndependent)
+{
+    Rng a(31);
+    Rng b = a.Fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.NextU64() == b.NextU64()) {
+            ++same;
+        }
+    }
+    EXPECT_LT(same, 3);
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+TEST(EventQueueTest, RunsInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.ScheduleAt(Millis(30), [&] { order.push_back(3); });
+    queue.ScheduleAt(Millis(10), [&] { order.push_back(1); });
+    queue.ScheduleAt(Millis(20), [&] { order.push_back(2); });
+    queue.RunUntil(Millis(100));
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameInstantRunsInInsertionOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        queue.ScheduleAt(Millis(5), [&order, i] { order.push_back(i); });
+    }
+    queue.RunUntil(Millis(10));
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST(EventQueueTest, ClockAdvancesToEventTime)
+{
+    EventQueue queue;
+    TimePoint seen{-1};
+    queue.ScheduleAt(Millis(42), [&] { seen = queue.Now(); });
+    queue.RunUntil(Seconds(1));
+    EXPECT_EQ(seen, Millis(42));
+    EXPECT_EQ(queue.Now(), Seconds(1));
+}
+
+TEST(EventQueueTest, HorizonRespected)
+{
+    EventQueue queue;
+    bool fired = false;
+    queue.ScheduleAt(Millis(500), [&] { fired = true; });
+    queue.RunUntil(Millis(499));
+    EXPECT_FALSE(fired);
+    queue.RunUntil(Millis(500));
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue queue;
+    TimePoint seen{-1};
+    queue.ScheduleAt(Millis(10), [&] {
+        queue.ScheduleAfter(Millis(5), [&] { seen = queue.Now(); });
+    });
+    queue.RunUntil(Millis(100));
+    EXPECT_EQ(seen, Millis(15));
+}
+
+TEST(EventQueueTest, PastEventsClampToNow)
+{
+    EventQueue queue;
+    queue.RunUntil(Millis(100));
+    TimePoint seen{-1};
+    queue.ScheduleAt(Millis(10), [&] { seen = queue.Now(); });
+    queue.RunUntil(Millis(200));
+    EXPECT_EQ(seen, Millis(100));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution)
+{
+    EventQueue queue;
+    bool fired = false;
+    EventHandle handle =
+        queue.ScheduleAt(Millis(10), [&] { fired = true; });
+    handle.Cancel();
+    queue.RunUntil(Millis(100));
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(handle.cancelled());
+}
+
+TEST(EventQueueTest, ExecutedCountsOnlyLiveEvents)
+{
+    EventQueue queue;
+    auto h1 = queue.ScheduleAt(Millis(1), [] {});
+    queue.ScheduleAt(Millis(2), [] {});
+    h1.Cancel();
+    queue.RunUntil(Millis(10));
+    EXPECT_EQ(queue.executed(), 1u);
+}
+
+TEST(EventQueueTest, StepExecutesOne)
+{
+    EventQueue queue;
+    int count = 0;
+    queue.ScheduleAt(Millis(1), [&] { ++count; });
+    queue.ScheduleAt(Millis(2), [&] { ++count; });
+    EXPECT_TRUE(queue.Step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(queue.Step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(queue.Step());
+}
+
+TEST(EventQueueTest, RunUntilIdleDrains)
+{
+    EventQueue queue;
+    int count = 0;
+    // Chain of events, each scheduling the next.
+    std::function<void()> chain = [&] {
+        if (++count < 50) {
+            queue.ScheduleAfter(Millis(1), chain);
+        }
+    };
+    queue.ScheduleAfter(Millis(1), chain);
+    queue.RunUntilIdle();
+    EXPECT_EQ(count, 50);
+}
+
+TEST(PeriodicTaskTest, TicksAtPeriod)
+{
+    EventQueue queue;
+    std::vector<TimePoint> ticks;
+    PeriodicTask task(queue, Millis(10),
+                      [&] { ticks.push_back(queue.Now()); });
+    queue.RunUntil(Millis(35));
+    ASSERT_EQ(ticks.size(), 3u);
+    EXPECT_EQ(ticks[0], Millis(10));
+    EXPECT_EQ(ticks[1], Millis(20));
+    EXPECT_EQ(ticks[2], Millis(30));
+}
+
+TEST(PeriodicTaskTest, StopHaltsTicks)
+{
+    EventQueue queue;
+    int count = 0;
+    PeriodicTask task(queue, Millis(10), [&] { ++count; });
+    queue.RunUntil(Millis(25));
+    task.Stop();
+    queue.RunUntil(Millis(100));
+    EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTaskTest, DestructionCancelsPending)
+{
+    EventQueue queue;
+    int count = 0;
+    {
+        PeriodicTask task(queue, Millis(10), [&] { ++count; });
+        queue.RunUntil(Millis(15));
+    }
+    queue.RunUntil(Millis(100));
+    EXPECT_EQ(count, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Samplers
+// ---------------------------------------------------------------------------
+
+TEST(ZipfSamplerTest, UniformWhenSkewZero)
+{
+    Rng rng(41);
+    ZipfSampler zipf(10, 0.0);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 20000; ++i) {
+        ++counts[zipf.Sample(rng)];
+    }
+    for (const int c : counts) {
+        EXPECT_NEAR(c, 2000, 250);
+    }
+}
+
+TEST(ZipfSamplerTest, SkewFavorsLowRanks)
+{
+    Rng rng(43);
+    ZipfSampler zipf(100, 1.0);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 50000; ++i) {
+        ++counts[zipf.Sample(rng)];
+    }
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOne)
+{
+    ZipfSampler zipf(64, 0.9);
+    double total = 0.0;
+    for (std::size_t i = 0; i < 64; ++i) {
+        total += zipf.Pmf(i);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, PmfMonotonicallyDecreasing)
+{
+    ZipfSampler zipf(32, 1.2);
+    for (std::size_t i = 1; i < 32; ++i) {
+        EXPECT_GE(zipf.Pmf(i - 1), zipf.Pmf(i) - 1e-12);
+    }
+}
+
+TEST(RankPermutationTest, IsAPermutation)
+{
+    Rng rng(47);
+    RankPermutation perm(50, rng);
+    std::vector<bool> seen(50, false);
+    for (std::size_t r = 0; r < 50; ++r) {
+        const auto item = perm.ItemFor(r);
+        ASSERT_LT(item, 50u);
+        EXPECT_FALSE(seen[item]);
+        seen[item] = true;
+    }
+}
+
+TEST(RankPermutationTest, ChurnPreservesPermutation)
+{
+    Rng rng(53);
+    RankPermutation perm(50, rng);
+    perm.Churn(0.2, rng);
+    std::vector<bool> seen(50, false);
+    for (std::size_t r = 0; r < 50; ++r) {
+        const auto item = perm.ItemFor(r);
+        EXPECT_FALSE(seen[item]);
+        seen[item] = true;
+    }
+}
+
+TEST(RankPermutationTest, ShuffleChangesMapping)
+{
+    Rng rng(59);
+    RankPermutation perm(100, rng);
+    std::vector<std::size_t> before(100);
+    for (std::size_t r = 0; r < 100; ++r) {
+        before[r] = perm.ItemFor(r);
+    }
+    perm.Shuffle(rng);
+    int moved = 0;
+    for (std::size_t r = 0; r < 100; ++r) {
+        if (perm.ItemFor(r) != before[r]) {
+            ++moved;
+        }
+    }
+    EXPECT_GT(moved, 50);
+}
+
+// Property sweep: zipf head coverage grows with skew.
+class ZipfSkewTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfSkewTest, Top10CoverageGrowsWithSkew)
+{
+    const double skew = GetParam();
+    ZipfSampler zipf(100, skew);
+    double top10 = 0.0;
+    for (std::size_t i = 0; i < 10; ++i) {
+        top10 += zipf.Pmf(i);
+    }
+    // Uniform coverage of the top 10 items is 0.10.
+    if (skew == 0.0) {
+        EXPECT_NEAR(top10, 0.10, 1e-9);
+    } else {
+        EXPECT_GT(top10, 0.10);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewTest,
+                         ::testing::Values(0.0, 0.5, 0.9, 1.2, 1.5));
+
+}  // namespace
+}  // namespace sol::sim

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Tests for the telemetry substrate: online stats, window percentiles,
+ * metric registry, and table rendering.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "telemetry/metric_registry.h"
+#include "telemetry/online_stats.h"
+#include "telemetry/window_percentile.h"
+
+namespace sol::telemetry {
+namespace {
+
+using sim::Millis;
+using sim::Seconds;
+using sim::TimePoint;
+
+// ---------------------------------------------------------------------------
+// OnlineStats
+// ---------------------------------------------------------------------------
+
+TEST(OnlineStatsTest, EmptyIsZero)
+{
+    OnlineStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleValue)
+{
+    OnlineStats stats;
+    stats.Add(5.0);
+    EXPECT_EQ(stats.count(), 1u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(OnlineStatsTest, MatchesClosedForm)
+{
+    OnlineStats stats;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        stats.Add(x);
+    }
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    // Sample variance with n-1 = 7: sum of squares = 32 -> 32/7.
+    EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, NegativeValues)
+{
+    OnlineStats stats;
+    stats.Add(-3.0);
+    stats.Add(3.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.min(), -3.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+}
+
+TEST(OnlineStatsTest, ResetClears)
+{
+    OnlineStats stats;
+    stats.Add(1.0);
+    stats.Add(2.0);
+    stats.Reset();
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.sum(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Ewma
+// ---------------------------------------------------------------------------
+
+TEST(EwmaTest, SeedsWithFirstValue)
+{
+    Ewma ewma(0.1);
+    EXPECT_TRUE(ewma.empty());
+    ewma.Add(10.0);
+    EXPECT_FALSE(ewma.empty());
+    EXPECT_DOUBLE_EQ(ewma.value(), 10.0);
+}
+
+TEST(EwmaTest, ConvergesToConstant)
+{
+    Ewma ewma(0.3);
+    ewma.Add(0.0);
+    for (int i = 0; i < 100; ++i) {
+        ewma.Add(8.0);
+    }
+    EXPECT_NEAR(ewma.value(), 8.0, 1e-6);
+}
+
+TEST(EwmaTest, AlphaOneTracksExactly)
+{
+    Ewma ewma(1.0);
+    ewma.Add(1.0);
+    ewma.Add(42.0);
+    EXPECT_DOUBLE_EQ(ewma.value(), 42.0);
+}
+
+TEST(EwmaTest, ResetForgets)
+{
+    Ewma ewma(0.5);
+    ewma.Add(100.0);
+    ewma.Reset();
+    EXPECT_TRUE(ewma.empty());
+    ewma.Add(1.0);
+    EXPECT_DOUBLE_EQ(ewma.value(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// SlidingWindow
+// ---------------------------------------------------------------------------
+
+TEST(SlidingWindowTest, FillsToCapacity)
+{
+    SlidingWindow window(3);
+    window.Add(1.0);
+    window.Add(2.0);
+    EXPECT_FALSE(window.full());
+    window.Add(3.0);
+    EXPECT_TRUE(window.full());
+    EXPECT_DOUBLE_EQ(window.Mean(), 2.0);
+}
+
+TEST(SlidingWindowTest, EvictsOldest)
+{
+    SlidingWindow window(3);
+    for (const double x : {1.0, 2.0, 3.0, 10.0}) {
+        window.Add(x);
+    }
+    EXPECT_DOUBLE_EQ(window.Mean(), 5.0);  // {10, 2, 3}.
+}
+
+TEST(SlidingWindowTest, QuantileNearestRank)
+{
+    SlidingWindow window(5);
+    for (const double x : {5.0, 1.0, 4.0, 2.0, 3.0}) {
+        window.Add(x);
+    }
+    EXPECT_DOUBLE_EQ(window.Quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(window.Quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(window.Quantile(1.0), 5.0);
+}
+
+TEST(SlidingWindowTest, EmptyQuantileIsZero)
+{
+    SlidingWindow window(4);
+    EXPECT_DOUBLE_EQ(window.Quantile(0.9), 0.0);
+    EXPECT_DOUBLE_EQ(window.Mean(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// WindowPercentile
+// ---------------------------------------------------------------------------
+
+TEST(WindowPercentileTest, QuantileOverWindow)
+{
+    WindowPercentile wp(Seconds(10));
+    for (int i = 1; i <= 10; ++i) {
+        wp.Add(Seconds(i), static_cast<double>(i));
+    }
+    EXPECT_DOUBLE_EQ(wp.Quantile(Seconds(10), 1.0), 10.0);
+    EXPECT_DOUBLE_EQ(wp.Quantile(Seconds(10), 0.0), 1.0);
+}
+
+TEST(WindowPercentileTest, OldSamplesEvicted)
+{
+    WindowPercentile wp(Seconds(5));
+    wp.Add(Seconds(0), 100.0);
+    wp.Add(Seconds(8), 1.0);
+    // At t=10 the window is (5, 10]; the t=0 sample is gone.
+    EXPECT_DOUBLE_EQ(wp.Quantile(Seconds(10), 1.0), 1.0);
+    EXPECT_EQ(wp.Count(Seconds(10)), 1u);
+}
+
+TEST(WindowPercentileTest, P90OfMixedSamples)
+{
+    WindowPercentile wp(Seconds(100));
+    // 95 low samples and 5 high ones: P90 should stay low.
+    for (int i = 0; i < 95; ++i) {
+        wp.Add(Millis(i * 100), 0.01);
+    }
+    for (int i = 95; i < 100; ++i) {
+        wp.Add(Millis(i * 100), 0.99);
+    }
+    EXPECT_LT(wp.Quantile(Seconds(10), 0.9), 0.5);
+    // 20 high samples tip the P90 over.
+    for (int i = 100; i < 120; ++i) {
+        wp.Add(Millis(i * 100), 0.99);
+    }
+    EXPECT_GT(wp.Quantile(Seconds(12), 0.9), 0.5);
+}
+
+TEST(WindowPercentileTest, EmptyReturnsZero)
+{
+    WindowPercentile wp(Seconds(1));
+    EXPECT_DOUBLE_EQ(wp.Quantile(Seconds(5), 0.9), 0.0);
+}
+
+TEST(WindowPercentileTest, ResetClears)
+{
+    WindowPercentile wp(Seconds(10));
+    wp.Add(Seconds(1), 5.0);
+    wp.Reset();
+    EXPECT_EQ(wp.Count(Seconds(1)), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry and TableWriter
+// ---------------------------------------------------------------------------
+
+TEST(MetricRegistryTest, CountersAccumulate)
+{
+    MetricRegistry registry;
+    registry.Increment("a");
+    registry.Increment("a", 4);
+    EXPECT_EQ(registry.Counter("a"), 5u);
+    EXPECT_EQ(registry.Counter("missing"), 0u);
+}
+
+TEST(MetricRegistryTest, GaugesOverwrite)
+{
+    MetricRegistry registry;
+    registry.SetGauge("g", 1.5);
+    registry.SetGauge("g", 2.5);
+    EXPECT_DOUBLE_EQ(registry.Gauge("g"), 2.5);
+    EXPECT_TRUE(registry.HasGauge("g"));
+    EXPECT_FALSE(registry.HasGauge("missing"));
+}
+
+TEST(MetricRegistryTest, SeriesAppend)
+{
+    MetricRegistry registry;
+    registry.AppendSeries("s", 1.0, 10.0);
+    registry.AppendSeries("s", 2.0, 20.0);
+    const auto& series = registry.Series("s");
+    ASSERT_EQ(series.size(), 2u);
+    EXPECT_DOUBLE_EQ(series[1].y, 20.0);
+    EXPECT_TRUE(registry.Series("missing").empty());
+}
+
+TEST(MetricRegistryTest, ClearRemovesEverything)
+{
+    MetricRegistry registry;
+    registry.Increment("c");
+    registry.SetGauge("g", 1.0);
+    registry.AppendSeries("s", 0.0, 0.0);
+    registry.Clear();
+    EXPECT_EQ(registry.Counter("c"), 0u);
+    EXPECT_FALSE(registry.HasGauge("g"));
+    EXPECT_TRUE(registry.Series("s").empty());
+}
+
+TEST(MetricRegistryTest, CsvOutput)
+{
+    MetricRegistry registry;
+    registry.AppendSeries("s", 1.0, 2.0);
+    std::ostringstream out;
+    registry.PrintSeriesCsv(out, "s");
+    EXPECT_EQ(out.str(), "1,2\n");
+}
+
+TEST(TableWriterTest, RejectsMismatchedRow)
+{
+    TableWriter table({"a", "b"});
+    EXPECT_THROW(table.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableWriterTest, RendersAlignedColumns)
+{
+    TableWriter table({"name", "value"});
+    table.AddRow({"x", "1"});
+    table.AddRow({"longer-name", "2"});
+    std::ostringstream out;
+    table.Print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("longer-name"), std::string::npos);
+    EXPECT_NE(text.find("name"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(text.find("|--"), std::string::npos);
+}
+
+TEST(TableWriterTest, NumFormatsPrecision)
+{
+    EXPECT_EQ(TableWriter::Num(1.23456, 2), "1.23");
+    EXPECT_EQ(TableWriter::Num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace sol::telemetry

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Tests for the workload generators: phase structure, frequency
+ * sensitivity (or lack of it), burstiness, and access-pattern skew.
+ */
+#include <gtest/gtest.h>
+
+#include "node/tiered_memory.h"
+#include "workloads/best_effort.h"
+#include "workloads/disk_speed.h"
+#include "workloads/memory_patterns.h"
+#include "workloads/object_store.h"
+#include "workloads/synthetic_batch.h"
+#include "workloads/tailbench.h"
+
+namespace sol::workloads {
+namespace {
+
+using node::CpuResources;
+using sim::Millis;
+using sim::Seconds;
+using sim::TimePoint;
+
+/** Drives a workload for `span` at a fixed tick. */
+void
+Drive(node::CpuWorkload& workload, TimePoint start, sim::Duration span,
+      const CpuResources& res, sim::Duration tick = Millis(2))
+{
+    for (TimePoint t = start; t < start + span; t += tick) {
+        workload.Advance(t, tick, res);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SyntheticBatch
+// ---------------------------------------------------------------------------
+
+TEST(SyntheticBatchTest, BatchCompletionTimeMatchesCapacity)
+{
+    SyntheticBatchConfig config;
+    config.work_gcycles = 60.0;
+    config.period = Seconds(100);
+    config.first_arrival = Seconds(1);
+    SyntheticBatch workload(config);
+    Drive(workload, TimePoint(0), Seconds(20), CpuResources{1.5, 8});
+    // 60 Gcycles at 12 Gcycles/s = 5 s per batch.
+    ASSERT_EQ(workload.batches_completed(), 1u);
+    EXPECT_NEAR(workload.PerformanceValue(), 5.0, 0.05);
+}
+
+TEST(SyntheticBatchTest, OverclockingShortensBatches)
+{
+    SyntheticBatchConfig config;
+    config.work_gcycles = 60.0;
+    SyntheticBatch nominal(config);
+    SyntheticBatch overclocked(config);
+    Drive(nominal, TimePoint(0), Seconds(90), CpuResources{1.5, 8});
+    Drive(overclocked, TimePoint(0), Seconds(90), CpuResources{2.3, 8});
+    EXPECT_LT(overclocked.PerformanceValue(), nominal.PerformanceValue());
+    EXPECT_NEAR(overclocked.PerformanceValue() /
+                    nominal.PerformanceValue(),
+                1.5 / 2.3, 0.05);
+}
+
+TEST(SyntheticBatchTest, IdleBetweenBatches)
+{
+    SyntheticBatchConfig config;
+    config.work_gcycles = 60.0;
+    config.first_arrival = Seconds(1);
+    SyntheticBatch workload(config);
+    Drive(workload, TimePoint(0), Seconds(10), CpuResources{1.5, 8});
+    EXPECT_FALSE(workload.busy());
+    EXPECT_LT(workload.Activity().utilization, 0.05);
+    // Alpha source: mostly stalled while idle.
+    EXPECT_GT(workload.Activity().stall_fraction, 0.5);
+}
+
+TEST(SyntheticBatchTest, BusyDuringBatch)
+{
+    SyntheticBatchConfig config;
+    config.work_gcycles = 600.0;
+    config.first_arrival = Seconds(1);
+    SyntheticBatch workload(config);
+    Drive(workload, TimePoint(0), Seconds(5), CpuResources{1.5, 8});
+    EXPECT_TRUE(workload.busy());
+    EXPECT_DOUBLE_EQ(workload.Activity().utilization, 1.0);
+    EXPECT_EQ(workload.PerformanceUnit(), "s/batch");
+    EXPECT_FALSE(workload.PerformanceHigherIsBetter());
+}
+
+TEST(SyntheticBatchTest, PeriodicArrivals)
+{
+    SyntheticBatchConfig config;
+    config.work_gcycles = 60.0;
+    config.period = Seconds(50);
+    config.first_arrival = Seconds(1);
+    SyntheticBatch workload(config);
+    Drive(workload, TimePoint(0), Seconds(200), CpuResources{1.5, 8});
+    EXPECT_EQ(workload.batches_completed(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// ObjectStore (closed-loop)
+// ---------------------------------------------------------------------------
+
+TEST(ObjectStoreTest, SaturatesAtNominalFrequency)
+{
+    ObjectStore workload;
+    Drive(workload, TimePoint(0), Seconds(30), CpuResources{1.5, 8});
+    // At nominal the closed loop saturates the server.
+    EXPECT_GT(workload.Activity().utilization, 0.9);
+    EXPECT_GT(workload.completed_requests(), 1000u);
+}
+
+TEST(ObjectStoreTest, ThroughputAndLatencyImproveWithFrequency)
+{
+    ObjectStore nominal;
+    ObjectStore overclocked;
+    Drive(nominal, TimePoint(0), Seconds(30), CpuResources{1.5, 8});
+    Drive(overclocked, TimePoint(0), Seconds(30), CpuResources{2.3, 8});
+    EXPECT_GT(overclocked.ThroughputPerSec(),
+              1.15 * nominal.ThroughputPerSec());
+    EXPECT_LT(overclocked.PerformanceValue(), nominal.PerformanceValue());
+}
+
+TEST(ObjectStoreTest, ClosedLoopBoundsOutstandingRequests)
+{
+    ObjectStoreConfig config;
+    config.num_clients = 16;
+    ObjectStore workload(config);
+    Drive(workload, TimePoint(0), Seconds(10), CpuResources{1.5, 2});
+    EXPECT_LE(workload.queue_length(), 16u);
+}
+
+TEST(ObjectStoreTest, DeterministicForSeed)
+{
+    ObjectStore a;
+    ObjectStore b;
+    Drive(a, TimePoint(0), Seconds(5), CpuResources{1.5, 8});
+    Drive(b, TimePoint(0), Seconds(5), CpuResources{1.5, 8});
+    EXPECT_EQ(a.completed_requests(), b.completed_requests());
+    EXPECT_DOUBLE_EQ(a.PerformanceValue(), b.PerformanceValue());
+}
+
+// ---------------------------------------------------------------------------
+// DiskSpeed
+// ---------------------------------------------------------------------------
+
+TEST(DiskSpeedTest, ThroughputIndependentOfFrequency)
+{
+    DiskSpeed nominal;
+    DiskSpeed overclocked;
+    Drive(nominal, TimePoint(0), Seconds(10), CpuResources{1.5, 8});
+    Drive(overclocked, TimePoint(0), Seconds(10), CpuResources{2.3, 8});
+    EXPECT_DOUBLE_EQ(nominal.PerformanceValue(),
+                     overclocked.PerformanceValue());
+    EXPECT_NEAR(nominal.PerformanceValue(), 800.0, 1.0);
+}
+
+TEST(DiskSpeedTest, LowActivityFactor)
+{
+    DiskSpeed workload;
+    Drive(workload, TimePoint(0), Seconds(1), CpuResources{1.5, 8});
+    const auto activity = workload.Activity();
+    // alpha = util * (1 - stall) must be tiny: this is the workload the
+    // actuator safeguard must refuse to overclock.
+    EXPECT_LT(activity.utilization * (1.0 - activity.stall_fraction),
+              0.05);
+}
+
+// ---------------------------------------------------------------------------
+// TailBench
+// ---------------------------------------------------------------------------
+
+TEST(TailBenchTest, ProfilesDiffer)
+{
+    const auto dnn = ImageDnnConfig();
+    const auto moses = MosesConfig();
+    EXPECT_GT(dnn.mean_service_ms, moses.mean_service_ms);
+    EXPECT_LT(dnn.on_rate_per_sec, moses.on_rate_per_sec);
+}
+
+TEST(TailBenchTest, CompletesRequestsAndTracksLatency)
+{
+    TailBench workload(ImageDnnConfig(3));
+    Drive(workload, TimePoint(0), Seconds(10), CpuResources{1.5, 6},
+          sim::Micros(250));
+    EXPECT_GT(workload.completed_requests(), 100u);
+    EXPECT_GT(workload.PerformanceValue(), 0.0);
+}
+
+TEST(TailBenchTest, StarvationRaisesTailLatency)
+{
+    TailBench full(ImageDnnConfig(3));
+    TailBench starved(ImageDnnConfig(3));
+    Drive(full, TimePoint(0), Seconds(20), CpuResources{1.5, 6},
+          sim::Micros(250));
+    Drive(starved, TimePoint(0), Seconds(20), CpuResources{1.5, 1},
+          sim::Micros(250));
+    EXPECT_GT(starved.PerformanceValue(), 2.0 * full.PerformanceValue());
+}
+
+TEST(TailBenchTest, DemandTracksBursts)
+{
+    TailBench workload(MosesConfig(5));
+    bool saw_high_demand = false;
+    bool saw_low_demand = false;
+    for (TimePoint t(0); t < Seconds(10); t += Millis(1)) {
+        workload.Advance(t, Millis(1), CpuResources{1.5, 6});
+        const double demand = workload.Activity().cores_demand;
+        saw_high_demand |= demand >= 4.0;
+        saw_low_demand |= demand <= 1.0;
+    }
+    EXPECT_TRUE(saw_high_demand);
+    EXPECT_TRUE(saw_low_demand);
+}
+
+TEST(TailBenchTest, WindowedP99Bounded)
+{
+    TailBench workload(MosesConfig(5));
+    Drive(workload, TimePoint(0), Seconds(10), CpuResources{1.5, 6},
+          sim::Micros(250));
+    const double p99_window =
+        workload.P99InWindow(Seconds(10), Seconds(5));
+    EXPECT_GT(p99_window, 0.0);
+    // Windowed P99 cannot exceed the max latency overall and must be
+    // a plausible millisecond value.
+    EXPECT_LT(p99_window, 10000.0);
+}
+
+// ---------------------------------------------------------------------------
+// BestEffort
+// ---------------------------------------------------------------------------
+
+TEST(BestEffortTest, ConsumesWhateverGranted)
+{
+    BestEffort workload;
+    Drive(workload, TimePoint(0), Seconds(10), CpuResources{1.5, 3});
+    EXPECT_NEAR(workload.core_seconds(), 30.0, 0.1);
+    EXPECT_NEAR(workload.PerformanceValue(), 45.0, 0.2);  // 3*1.5*10.
+}
+
+TEST(BestEffortTest, ZeroCoresZeroWork)
+{
+    BestEffort workload;
+    Drive(workload, TimePoint(0), Seconds(5), CpuResources{1.5, 0});
+    EXPECT_DOUBLE_EQ(workload.core_seconds(), 0.0);
+    EXPECT_DOUBLE_EQ(workload.Activity().utilization, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Memory patterns
+// ---------------------------------------------------------------------------
+
+TEST(MemoryPatternTest, GeneratesConfiguredRate)
+{
+    ZipfMemoryConfig config = ObjectStoreMemConfig(7);
+    config.num_batches = 64;
+    config.accesses_per_sec = 1000.0;
+    ZipfMemoryPattern pattern(config);
+    node::TieredMemory memory(64, 64);
+    for (TimePoint t(0); t < Seconds(10); t += Millis(100)) {
+        pattern.GenerateAccesses(t, Millis(100), memory);
+    }
+    EXPECT_NEAR(static_cast<double>(memory.stats().total()), 10000.0,
+                200.0);
+}
+
+TEST(MemoryPatternTest, SkewConcentratesAccesses)
+{
+    ZipfMemoryConfig config = ObjectStoreMemConfig(7);
+    config.num_batches = 64;
+    config.churn_interval = sim::Duration(0);  // Stationary.
+    ZipfMemoryPattern pattern(config);
+    node::TieredMemory memory(64, 64);
+    for (TimePoint t(0); t < Seconds(20); t += Millis(100)) {
+        pattern.GenerateAccesses(t, Millis(100), memory);
+    }
+    // The most popular batch must dominate the least popular one.
+    const auto hot = pattern.BatchForRank(0);
+    EXPECT_GT(memory.LastAccess(hot), TimePoint(0));
+}
+
+TEST(MemoryPatternTest, SweepTouchesEveryBatch)
+{
+    ZipfMemoryConfig config = SpecJbbMemConfig(9);
+    config.num_batches = 32;
+    config.accesses_per_sec = 10.0;  // Nearly nothing but the sweep.
+    config.sweep_interval = Seconds(5);
+    ZipfMemoryPattern pattern(config);
+    node::TieredMemory memory(32, 32);
+    for (TimePoint t(0); t < Seconds(6); t += Millis(100)) {
+        pattern.GenerateAccesses(t, Millis(100), memory);
+    }
+    for (node::BatchId b = 0; b < 32; ++b) {
+        EXPECT_GT(memory.LastAccess(b), TimePoint(0)) << "batch " << b;
+    }
+}
+
+TEST(OscillatingPatternTest, SleepsBetweenActivePhases)
+{
+    auto inner_config = SpecJbbMemConfig(11);
+    inner_config.num_batches = 32;
+    auto pattern = OscillatingPattern(
+        std::make_unique<ZipfMemoryPattern>(inner_config), Seconds(10),
+        Seconds(5));
+    node::TieredMemory memory(32, 32);
+    // Active phase: accesses flow.
+    for (TimePoint t(0); t < Seconds(9); t += Millis(100)) {
+        pattern.GenerateAccesses(t, Millis(100), memory);
+    }
+    const auto active_total = memory.stats().total();
+    EXPECT_GT(active_total, 0u);
+    EXPECT_TRUE(pattern.active());
+    // Idle phase: silence.
+    for (TimePoint t = Seconds(10); t < Seconds(14); t += Millis(100)) {
+        pattern.GenerateAccesses(t, Millis(100), memory);
+    }
+    EXPECT_FALSE(pattern.active());
+    EXPECT_EQ(memory.stats().total(), active_total);
+}
+
+TEST(OscillatingPatternTest, NameWrapsInner)
+{
+    auto inner_config = SpecJbbMemConfig(11);
+    auto pattern = OscillatingPattern(
+        std::make_unique<ZipfMemoryPattern>(inner_config), Seconds(10),
+        Seconds(5));
+    EXPECT_EQ(pattern.name(), "Oscillating(SpecJBB)");
+}
+
+}  // namespace
+}  // namespace sol::workloads
