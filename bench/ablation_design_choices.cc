@@ -1,8 +1,8 @@
 /**
  * @file
- * Ablations of the design choices DESIGN.md calls out — the knobs the
- * paper fixes by "experimental tuning" (section 5). Each sweep shows
- * why the default sits where it does:
+ * Ablations of the design choices docs/ARCHITECTURE.md calls out — the
+ * knobs the paper fixes by "experimental tuning" (section 5). Each sweep
+ * shows why the default sits where it does:
  *
  *  1. SmartOverclock reward power coefficient: too low overclocks
  *     everything (wasting power on DiskSpeed-like workloads), too high
