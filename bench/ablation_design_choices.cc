@@ -22,12 +22,13 @@
 #include "experiments/overclock_experiments.h"
 #include "telemetry/metric_registry.h"
 
+using sol::telemetry::BenchJson;
 using sol::telemetry::TableWriter;
 
 namespace {
 
 void
-PowerCoeffAblation()
+PowerCoeffAblation(BenchJson& json)
 {
     using namespace sol::experiments;
     std::cout << "--- SmartOverclock reward power coefficient ---\n";
@@ -62,10 +63,11 @@ PowerCoeffAblation()
                               disk_nominal.avg_power_watts)});
     }
     table.Print(std::cout);
+    json.AddTable("power_coeff", table);
 }
 
 void
-ExplorationAblation()
+ExplorationAblation(BenchJson& json)
 {
     using namespace sol::experiments;
     std::cout << "\n--- SmartOverclock exploration rate ---\n";
@@ -90,10 +92,11 @@ ExplorationAblation()
                           run.stats.intercepted_predictions)});
     }
     table.Print(std::cout);
+    json.AddTable("exploration", table);
 }
 
 void
-CostAsymmetryAblation()
+CostAsymmetryAblation(BenchJson& json)
 {
     using namespace sol::experiments;
     std::cout << "\n--- SmartHarvest under-prediction penalty ---\n";
@@ -115,13 +118,14 @@ CostAsymmetryAblation()
              TableWriter::Num(run.harvested_core_seconds, 1)});
     }
     table.Print(std::cout);
+    json.AddTable("under_penalty", table);
     std::cout << "(symmetric costs harvest more but hurt the primary;\n"
               << " the paper's asymmetry buys safety with a little"
               << " efficiency)\n";
 }
 
 void
-HotCoverageAblation()
+HotCoverageAblation(BenchJson& json)
 {
     using namespace sol::experiments;
     std::cout << "\n--- SmartMemory hot-coverage target ---\n";
@@ -141,6 +145,7 @@ HotCoverageAblation()
              TableWriter::Num(100 * run.overall_remote_fraction, 1)});
     }
     table.Print(std::cout);
+    json.AddTable("hot_coverage", table);
 }
 
 }  // namespace
@@ -149,9 +154,11 @@ int
 main()
 {
     std::cout << "=== Ablations of tuned design choices ===\n\n";
-    PowerCoeffAblation();
-    ExplorationAblation();
-    CostAsymmetryAblation();
-    HotCoverageAblation();
+    BenchJson json("ablation_design_choices");
+    PowerCoeffAblation(json);
+    ExplorationAblation(json);
+    CostAsymmetryAblation(json);
+    HotCoverageAblation(json);
+    json.WriteFile();
     return 0;
 }

@@ -61,5 +61,9 @@ main()
     std::cout << "\nSame budget, higher coverage and lower latency: the"
               << " opportunity the paper quantifies for 18 of Azure's 77"
               << " node agents.\n";
+
+    sol::telemetry::BenchJson json("extension_monitor_agent");
+    json.AddTable("results", table);
+    json.WriteFile();
     return 0;
 }

@@ -82,5 +82,9 @@ main()
     std::cout << "\nPaper reference: static-2.3 on Synthetic gains only"
               << " ~13% perf over SmartOverclock while using ~2x the"
               << " power; DiskSpeed sees no benefit from frequency.\n";
+
+    sol::telemetry::BenchJson json("fig1_overclock_vs_static");
+    json.AddTable("results", table);
+    json.WriteFile();
     return 0;
 }

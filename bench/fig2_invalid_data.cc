@@ -62,5 +62,9 @@ main()
     std::cout << "\nPaper reference: 5% invalid readings cost ~17% perf"
               << " without validation; with validation the workload keeps"
               << " optimal performance.\n";
+
+    sol::telemetry::BenchJson json("fig2_invalid_data");
+    json.AddTable("results", table);
+    json.WriteFile();
     return 0;
 }

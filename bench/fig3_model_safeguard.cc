@@ -74,5 +74,9 @@ main()
     std::cout << "\nPaper reference: DiskSpeed +268% power unguarded vs"
               << " +18% guarded; ObjectStore tolerates a broken"
               << " always-overclock policy.\n";
+
+    sol::telemetry::BenchJson json("fig3_model_safeguard");
+    json.AddTable("results", table);
+    json.WriteFile();
     return 0;
 }

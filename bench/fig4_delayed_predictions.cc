@@ -67,5 +67,9 @@ main()
     std::cout << "\nPaper reference: the blocking agent overclocks 30 s"
               << " into each idle phase (+36% power); the non-blocking"
               << " agent restores nominal within 5 s (+3%).\n";
+
+    sol::telemetry::BenchJson json("fig4_delayed_predictions");
+    json.AddTable("results", table);
+    json.WriteFile();
     return 0;
 }

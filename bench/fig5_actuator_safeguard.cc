@@ -84,5 +84,17 @@ main()
     std::cout << "\nPaper reference: the safeguard disables the agent"
               << " during low-activity periods and re-enables it quickly"
               << " when activity returns.\n";
+
+    sol::telemetry::BenchJson json("fig5_actuator_safeguard");
+    json.AddTable("results", table);
+    sol::telemetry::MetricRegistry trace;
+    for (const auto& p : guarded.trace) {
+        trace.AppendSeries("freq_ghz", p.time_s, p.freq_ghz);
+        trace.AppendSeries("alpha", p.time_s, p.alpha);
+        trace.AppendSeries("safeguard_active", p.time_s,
+                           p.safeguard_active ? 1.0 : 0.0);
+    }
+    json.AddMetrics("guarded_trace", trace);
+    json.WriteFile();
     return 0;
 }

@@ -99,5 +99,9 @@ main()
     std::cout << "\nPaper reference: each safeguard reduces the P99"
               << " impact by roughly 3-4x versus its unguarded"
               << " counterpart.\n";
+
+    sol::telemetry::BenchJson json("fig6_harvest_safeguards");
+    json.AddTable("results", table);
+    json.WriteFile();
     return 0;
 }

@@ -89,5 +89,9 @@ main()
               << " resets by up to ~48% while shrinking local memory by"
               << " 51-64%; min-frequency scanning drops SLO attainment"
               << " as low as 9%.\n";
+
+    sol::telemetry::BenchJson json("fig7_memory_scanning");
+    json.AddTable("results", table);
+    json.WriteFile();
     return 0;
 }

@@ -86,5 +86,17 @@ main()
     }
     std::cout << "\nPaper reference: 66% SLO attainment without"
               << " safeguards vs 90% with all safeguards.\n";
+
+    sol::telemetry::BenchJson json("fig8_memory_safeguards");
+    json.AddTable("results", table);
+    sol::telemetry::MetricRegistry trace;
+    for (std::size_t i = 0; i < n; ++i) {
+        trace.AppendSeries("remote_none", none_run.trace[i].time_s,
+                           none_run.trace[i].remote_fraction);
+        trace.AppendSeries("remote_all", all_run.trace[i].time_s,
+                           all_run.trace[i].remote_fraction);
+    }
+    json.AddMetrics("remote_fraction_trace", trace);
+    json.WriteFile();
     return 0;
 }

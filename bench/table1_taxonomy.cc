@@ -33,5 +33,9 @@ main()
               << AgentsBenefiting() << " ("
               << TableWriter::Num(100.0 * BenefitFraction(), 0)
               << "%, paper: 35%)\n";
+
+    sol::telemetry::BenchJson json("table1_taxonomy");
+    json.AddTable("results", table);
+    json.WriteFile();
     return 0;
 }

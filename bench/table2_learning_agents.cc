@@ -37,5 +37,9 @@ main()
     std::cout << "\nThis repository implements SmartHarvest (sec 5.2),"
               << " Overclocking (sec 5.1), and Disaggregation/SmartMemory"
               << " (sec 5.3) in SOL.\n";
+
+    sol::telemetry::BenchJson json("table2_learning_agents");
+    json.AddTable("results", table);
+    json.WriteFile();
     return 0;
 }

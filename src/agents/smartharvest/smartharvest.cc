@@ -247,6 +247,20 @@ HarvestActuator::TakeAction(std::optional<core::Prediction<int>> pred)
         // Conservative: no fresh prediction means no harvesting.
         grant = allocated;
     }
+    if (grant < allocated &&
+        !core::AdmitActuation(governor_, kSmartHarvestName,
+                              core::ActuationDomain::kCpuCores,
+                              core::ActuationIntent::kExpand,
+                              allocated - grant)) {
+        // Denied: another agent holds a coupled resource; do not take
+        // cores away from the primary this round.
+        grant = allocated;
+    }
+    if (grant == allocated) {
+        core::AdmitActuation(governor_, kSmartHarvestName,
+                             core::ActuationDomain::kCpuCores,
+                             core::ActuationIntent::kRestore, 0.0);
+    }
     node_.GrantCores(primary_, grant);
     node_.GrantCores(elastic_, allocated - grant);
 }
@@ -282,6 +296,9 @@ void
 HarvestActuator::Mitigate()
 {
     // Give every core back to the primary VM.
+    core::AdmitActuation(governor_, kSmartHarvestName,
+                         core::ActuationDomain::kCpuCores,
+                         core::ActuationIntent::kRestore, 0.0);
     const int allocated = node_.AllocatedCores(primary_);
     node_.GrantCores(primary_, allocated);
     node_.GrantCores(elastic_, 0);
@@ -290,6 +307,9 @@ HarvestActuator::Mitigate()
 void
 HarvestActuator::CleanUp()
 {
+    core::AdmitActuation(governor_, kSmartHarvestName,
+                         core::ActuationDomain::kCpuCores,
+                         core::ActuationIntent::kRestore, 0.0);
     const int allocated = node_.AllocatedCores(primary_);
     node_.GrantCores(primary_, allocated);
     node_.GrantCores(elastic_, 0);

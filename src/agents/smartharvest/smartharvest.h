@@ -30,6 +30,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/actuation.h"
 #include "core/actuator.h"
 #include "core/model.h"
 #include "core/schedule.h"
@@ -38,6 +39,9 @@
 #include "telemetry/window_percentile.h"
 
 namespace sol::agents {
+
+/** Canonical registry name of the SmartHarvest agent. */
+inline constexpr const char* kSmartHarvestName = "smart-harvest";
 
 /** One 50 us hypervisor usage sample. */
 struct HarvestSample {
@@ -143,12 +147,19 @@ class HarvestActuator : public core::Actuator<int>
 
     bool safeguard_active() const { return safeguard_active_; }
 
+    /** Installs the shared-node governor; nullptr acts ungoverned. */
+    void SetGovernor(core::ActuationGovernor* governor)
+    {
+        governor_ = governor;
+    }
+
   private:
     node::Node& node_;
     node::VmId primary_;
     node::VmId elastic_;
     const sim::Clock& clock_;
     SmartHarvestConfig config_;
+    core::ActuationGovernor* governor_ = nullptr;
     telemetry::WindowPercentile wait_p99_;
     sim::Duration last_wait_{0};
     sim::TimePoint last_check_{0};

@@ -344,9 +344,25 @@ MemoryActuator::TakeAction(
         return;
     }
     const MemoryPlan& plan = pred->value;
+    // Demoting working memory to the slow tier spends the node's shared
+    // QoS headroom; promotions only restore locality and always run.
+    bool demote = !plan.slow.empty();
+    if (demote) {
+        demote = core::AdmitActuation(
+            governor_, kSmartMemoryName,
+            core::ActuationDomain::kMemoryPlacement,
+            core::ActuationIntent::kExpand,
+            static_cast<double>(plan.slow.size()));
+    } else {
+        core::AdmitActuation(governor_, kSmartMemoryName,
+                             core::ActuationDomain::kMemoryPlacement,
+                             core::ActuationIntent::kRestore, 0.0);
+    }
     // Demote first to free first-tier room, then promote hottest-first.
-    for (const node::BatchId b : plan.slow) {
-        memory_.Migrate(b, node::Tier::kSlow);
+    if (demote) {
+        for (const node::BatchId b : plan.slow) {
+            memory_.Migrate(b, node::Tier::kSlow);
+        }
     }
     for (const node::BatchId b : plan.fast) {
         if (memory_.TierOf(b) == node::Tier::kFast) {
@@ -377,6 +393,9 @@ MemoryActuator::AssessPerformance()
 void
 MemoryActuator::Mitigate()
 {
+    core::AdmitActuation(governor_, kSmartMemoryName,
+                         core::ActuationDomain::kMemoryPlacement,
+                         core::ActuationIntent::kRestore, 0.0);
     // Immediately migrate the hottest second-tier batches back to DRAM,
     // hottest (most recently accessed) first, as many as fit.
     std::vector<node::BatchId> slow_batches;
@@ -403,6 +422,9 @@ MemoryActuator::Mitigate()
 void
 MemoryActuator::CleanUp()
 {
+    core::AdmitActuation(governor_, kSmartMemoryName,
+                         core::ActuationDomain::kMemoryPlacement,
+                         core::ActuationIntent::kRestore, 0.0);
     // Restore second-tier batches to DRAM until all are back or the
     // first tier is full, most recently used first.
     std::vector<node::BatchId> slow_batches;

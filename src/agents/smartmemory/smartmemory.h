@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/actuation.h"
 #include "core/actuator.h"
 #include "core/model.h"
 #include "core/schedule.h"
@@ -40,6 +41,9 @@
 #include "sim/rng.h"
 
 namespace sol::agents {
+
+/** Canonical registry name of the SmartMemory agent. */
+inline constexpr const char* kSmartMemoryName = "smart-memory";
 
 /** Result of one 300 ms scan round. */
 struct ScanRound {
@@ -167,10 +171,17 @@ class MemoryActuator : public core::Actuator<MemoryPlan>
     /** Remote fraction over the last safeguard interval. */
     double last_remote_fraction() const { return last_remote_fraction_; }
 
+    /** Installs the shared-node governor; nullptr acts ungoverned. */
+    void SetGovernor(core::ActuationGovernor* governor)
+    {
+        governor_ = governor;
+    }
+
   private:
     node::TieredMemory& memory_;
     const sim::Clock& clock_;
     SmartMemoryConfig config_;
+    core::ActuationGovernor* governor_ = nullptr;
     std::uint64_t last_local_ = 0;
     std::uint64_t last_remote_ = 0;
     double last_remote_fraction_ = 0.0;

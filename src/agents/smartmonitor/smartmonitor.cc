@@ -297,10 +297,17 @@ void
 MonitorActuator::TakeAction(
     std::optional<core::Prediction<std::vector<double>>> pred)
 {
-    if (pred.has_value()) {
+    if (pred.has_value() &&
+        core::AdmitActuation(governor_, kSmartMonitorName,
+                             core::ActuationDomain::kTelemetryBudget,
+                             core::ActuationIntent::kExpand,
+                             static_cast<double>(pred->value.size()))) {
         policy_.SetWeights(pred->value);
     } else {
-        // Stale or missing prediction: uniform is always safe.
+        // Stale, missing, or denied prediction: uniform is always safe.
+        core::AdmitActuation(governor_, kSmartMonitorName,
+                             core::ActuationDomain::kTelemetryBudget,
+                             core::ActuationIntent::kRestore, 0.0);
         policy_.Reset();
     }
 }
@@ -315,12 +322,18 @@ MonitorActuator::AssessPerformance()
 void
 MonitorActuator::Mitigate()
 {
+    core::AdmitActuation(governor_, kSmartMonitorName,
+                         core::ActuationDomain::kTelemetryBudget,
+                         core::ActuationIntent::kRestore, 0.0);
     policy_.Reset();
 }
 
 void
 MonitorActuator::CleanUp()
 {
+    core::AdmitActuation(governor_, kSmartMonitorName,
+                         core::ActuationDomain::kTelemetryBudget,
+                         core::ActuationIntent::kRestore, 0.0);
     policy_.Reset();
 }
 

@@ -35,6 +35,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/actuation.h"
 #include "core/actuator.h"
 #include "core/model.h"
 #include "core/schedule.h"
@@ -42,6 +43,9 @@
 #include "sim/rng.h"
 
 namespace sol::agents {
+
+/** Canonical registry name of the SmartMonitor agent. */
+inline constexpr const char* kSmartMonitorName = "smart-monitor";
 
 /**
  * Shared sampling policy: the knob the Actuator sets and the Model's
@@ -175,9 +179,16 @@ class MonitorActuator : public core::Actuator<std::vector<double>>
 
     double last_starved_fraction() const { return last_starved_; }
 
+    /** Installs the shared-node governor; nullptr acts ungoverned. */
+    void SetGovernor(core::ActuationGovernor* governor)
+    {
+        governor_ = governor;
+    }
+
   private:
     SamplingPolicy& policy_;
     SmartMonitorConfig config_;
+    core::ActuationGovernor* governor_ = nullptr;
     double last_starved_ = 0.0;
 };
 

@@ -280,6 +280,24 @@ OverclockActuator::OverclockActuator(node::Node& node, node::VmId vm,
 void
 OverclockActuator::TakeAction(std::optional<core::Prediction<double>> pred)
 {
+    const double nominal = node_.NominalFrequency();
+    if (pred.has_value() && pred->value > nominal) {
+        // Boosting above nominal spends the node's shared power/QoS
+        // headroom and must be admitted on a multi-agent node.
+        if (core::AdmitActuation(governor_, kSmartOverclockName,
+                                 core::ActuationDomain::kCpuFrequency,
+                                 core::ActuationIntent::kExpand,
+                                 pred->value)) {
+            node_.SetVmFrequency(vm_, pred->value);
+            return;
+        }
+        // Denied: another agent holds a coupled resource. Fall through
+        // to the same conservative action a missing prediction takes.
+        pred.reset();
+    }
+    core::AdmitActuation(governor_, kSmartOverclockName,
+                         core::ActuationDomain::kCpuFrequency,
+                         core::ActuationIntent::kRestore, nominal);
     if (pred.has_value()) {
         node_.SetVmFrequency(vm_, pred->value);
     } else {
@@ -323,6 +341,10 @@ void
 OverclockActuator::Mitigate()
 {
     // Overclocking would waste power in this low-activity phase.
+    core::AdmitActuation(governor_, kSmartOverclockName,
+                         core::ActuationDomain::kCpuFrequency,
+                         core::ActuationIntent::kRestore,
+                         node_.NominalFrequency());
     node_.ResetVmFrequency(vm_);
 }
 
@@ -330,6 +352,10 @@ void
 OverclockActuator::CleanUp()
 {
     // Idempotent: restore the node to its clean state.
+    core::AdmitActuation(governor_, kSmartOverclockName,
+                         core::ActuationDomain::kCpuFrequency,
+                         core::ActuationIntent::kRestore,
+                         node_.NominalFrequency());
     node_.ResetVmFrequency(vm_);
 }
 

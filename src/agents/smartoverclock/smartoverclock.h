@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/actuation.h"
 #include "core/actuator.h"
 #include "core/model.h"
 #include "core/schedule.h"
@@ -38,6 +39,9 @@
 #include "telemetry/window_percentile.h"
 
 namespace sol::agents {
+
+/** Canonical registry name of the SmartOverclock agent. */
+inline constexpr const char* kSmartOverclockName = "smart-overclock";
 
 /** One telemetry sample: counter deltas over a 100 ms window. */
 struct OverclockSample {
@@ -164,11 +168,18 @@ class OverclockActuator : public core::Actuator<double>
     /** Last alpha sample observed by the safeguard. */
     double last_alpha() const { return last_alpha_; }
 
+    /** Installs the shared-node governor; nullptr acts ungoverned. */
+    void SetGovernor(core::ActuationGovernor* governor)
+    {
+        governor_ = governor;
+    }
+
   private:
     node::Node& node_;
     node::VmId vm_;
     const sim::Clock& clock_;
     SmartOverclockConfig config_;
+    core::ActuationGovernor* governor_ = nullptr;
     telemetry::WindowPercentile alpha_p90_;
     node::CpuCounterSnapshot last_snapshot_;
     bool have_snapshot_ = false;

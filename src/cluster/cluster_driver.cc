@@ -1,0 +1,106 @@
+#include "cluster/cluster_driver.h"
+
+#include <string>
+
+#include "sim/rng.h"
+
+namespace sol::cluster {
+
+std::uint64_t
+ClusterDriver::DeriveNodeSeed(std::uint64_t base_seed,
+                              std::size_t node_index)
+{
+    return sim::DeriveStreamSeed(base_seed, node_index);
+}
+
+ClusterDriver::ClusterDriver(const ClusterConfig& config)
+    : config_(config)
+{
+    nodes_.reserve(config_.num_nodes);
+    for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+        MultiAgentNodeConfig node_config = config_.node;
+        node_config.name = "node" + std::to_string(i);
+        node_config.seed = DeriveNodeSeed(config_.base_seed, i);
+        nodes_.push_back(
+            std::make_unique<MultiAgentNode>(queue_, node_config));
+    }
+}
+
+void
+ClusterDriver::Run(sim::Duration span)
+{
+    if (!started_) {
+        started_ = true;
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            MultiAgentNode* node = nodes_[i].get();
+            const sim::Duration offset = config_.start_stagger * i;
+            if (offset <= sim::Duration::zero()) {
+                node->Start();
+            } else {
+                queue_.ScheduleAfter(offset, [node] { node->Start(); });
+            }
+        }
+    }
+    queue_.RunFor(span);
+}
+
+void
+ClusterDriver::Stop()
+{
+    for (auto& node : nodes_) {
+        node->Stop();
+    }
+}
+
+void
+ClusterDriver::CleanUpAll()
+{
+    for (auto& node : nodes_) {
+        node->CleanUpAll();
+    }
+}
+
+FleetStats
+ClusterDriver::Stats() const
+{
+    FleetStats fleet;
+    for (const auto& node : nodes_) {
+        fleet.total_epochs += node->TotalEpochs();
+        for (const core::RuntimeStats& stats :
+             {node->OverclockStats(), node->HarvestStats(),
+              node->MemoryStats(), node->MonitorStats()}) {
+            fleet.total_actions += stats.actions_taken;
+            fleet.safeguard_triggers += stats.safeguard_triggers;
+        }
+        fleet.arbiter_requests += node->arbiter().requests();
+        fleet.conflicts_observed += node->arbiter().conflicts_observed();
+        fleet.conflicts_resolved += node->arbiter().conflicts_resolved();
+    }
+    return fleet;
+}
+
+void
+ClusterDriver::CollectFleetMetrics(telemetry::MetricRegistry& out)
+{
+    for (auto& node : nodes_) {
+        node->CollectMetrics();
+        out.MergeFrom(node->metrics(), node->name());
+    }
+    const FleetStats fleet = Stats();
+    telemetry::MetricScope scope(out, "fleet");
+    scope.SetGauge("num_nodes", static_cast<double>(nodes_.size()));
+    scope.SetGauge("total_epochs",
+                   static_cast<double>(fleet.total_epochs));
+    scope.SetGauge("total_actions",
+                   static_cast<double>(fleet.total_actions));
+    scope.SetGauge("safeguard_triggers",
+                   static_cast<double>(fleet.safeguard_triggers));
+    scope.SetGauge("arbiter_requests",
+                   static_cast<double>(fleet.arbiter_requests));
+    scope.SetGauge("conflicts_observed",
+                   static_cast<double>(fleet.conflicts_observed));
+    scope.SetGauge("conflicts_resolved",
+                   static_cast<double>(fleet.conflicts_resolved));
+}
+
+}  // namespace sol::cluster

@@ -1,0 +1,121 @@
+#include "cluster/interference_arbiter.h"
+
+namespace sol::cluster {
+
+namespace {
+
+std::size_t
+DomainIndex(core::ActuationDomain domain)
+{
+    return static_cast<std::size_t>(domain);
+}
+
+}  // namespace
+
+InterferenceArbiter::InterferenceArbiter(InterferenceArbiterConfig config,
+                                         telemetry::MetricScope scope)
+    : config_(std::move(config)), scope_(std::move(scope))
+{
+}
+
+bool
+InterferenceArbiter::Coupled(core::ActuationDomain a,
+                             core::ActuationDomain b) const
+{
+    if (a == b) {
+        return true;
+    }
+    for (const auto& [x, y] : config_.couplings) {
+        if ((x == a && y == b) || (x == b && y == a)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t
+InterferenceArbiter::PriorityRank(const std::string& agent) const
+{
+    for (std::size_t i = 0; i < config_.priority.size(); ++i) {
+        if (config_.priority[i] == agent) {
+            return i;
+        }
+    }
+    return config_.priority.size();  // Unlisted ranks last.
+}
+
+const InterferenceArbiter::Hold*
+InterferenceArbiter::BlockingHold(
+    const core::ActuationRequest& request) const
+{
+    for (std::size_t d = 0; d < holds_.size(); ++d) {
+        const auto& hold = holds_[d];
+        if (!hold.has_value() || hold->agent == request.agent) {
+            continue;
+        }
+        if (!Coupled(static_cast<core::ActuationDomain>(d),
+                     request.domain)) {
+            continue;
+        }
+        if (config_.policy == ArbitrationPolicy::kStaticPriority &&
+            PriorityRank(request.agent) < PriorityRank(hold->agent)) {
+            // The requester outranks this holder; the holder's own next
+            // expand will be the one denied.
+            continue;
+        }
+        return &*hold;
+    }
+    return nullptr;
+}
+
+core::ActuationDecision
+InterferenceArbiter::Admit(const core::ActuationRequest& request)
+{
+    ++requests_;
+    scope_.Increment(request.agent + ".requests");
+
+    if (request.intent == core::ActuationIntent::kRestore) {
+        auto& hold = holds_[DomainIndex(request.domain)];
+        if (hold.has_value() && hold->agent == request.agent) {
+            hold.reset();
+        }
+        scope_.Increment(request.agent + ".restores");
+        scope_.Increment(request.agent + ".admitted");
+        return {true, ""};
+    }
+
+    const Hold* blocking = BlockingHold(request);
+    if (blocking != nullptr) {
+        ++conflicts_observed_;
+        scope_.Increment("conflicts");
+        scope_.Increment("denial." + request.agent + ".by." +
+                         blocking->agent);
+        if (config_.enabled) {
+            ++conflicts_resolved_;
+            scope_.Increment(request.agent + ".denied");
+            return {false, blocking->agent};
+        }
+        // Disabled (ungoverned baseline): observe but admit.
+    }
+
+    auto& hold = holds_[DomainIndex(request.domain)];
+    if (!hold.has_value() || hold->agent != request.agent) {
+        hold = Hold{request.agent, request.magnitude, 0};
+    }
+    hold->magnitude = request.magnitude;
+    ++hold->admissions;
+    scope_.Increment(request.agent + ".admitted");
+    return {true, ""};
+}
+
+std::optional<std::string>
+InterferenceArbiter::HolderOf(core::ActuationDomain domain) const
+{
+    const auto& hold = holds_[DomainIndex(domain)];
+    if (!hold.has_value()) {
+        return std::nullopt;
+    }
+    return hold->agent;
+}
+
+}  // namespace sol::cluster

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Admission control for conflicting actuations on a shared node.
+ *
+ * When several learning agents run on one node, their actuators contend
+ * for the same physical envelope even when they write different knobs:
+ * SmartOverclock boosting a VM's frequency while SmartHarvest loans that
+ * VM's cores away stacks two efficiency bets on one power/QoS budget,
+ * and two agents writing one knob oscillate it. The paper (section 5)
+ * studies exactly this deployment risk; the arbiter is the mechanism
+ * that makes it safe.
+ *
+ * Model: an admitted kExpand request takes a *hold* on its resource
+ * domain. A later kExpand from a different agent on the same or a
+ * coupled domain is a conflict, resolved deterministically by policy —
+ * the denied actuator falls back to its conservative action (the same
+ * path it takes for a missing prediction), so denial is always safe.
+ * A kRestore releases the agent's hold and is never blocked. All
+ * decisions depend only on the sequence of prior requests, so a fixed
+ * seed reproduces a multi-agent run exactly.
+ *
+ * Accounting lands in a telemetry::MetricScope, namespaced per agent:
+ *   <prefix>.<agent>.requests / .admitted / .denied / .restores
+ *   <prefix>.conflicts, <prefix>.denial.<agent>.by.<holder>
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/actuation.h"
+#include "telemetry/metric_registry.h"
+
+namespace sol::cluster {
+
+/** How a conflicting expand request is resolved. */
+enum class ArbitrationPolicy {
+    /** The agent already holding the resource keeps it; later
+     *  conflicting expands are denied until the holder restores. */
+    kFirstHolderWins,
+    /** A static priority order (config.priority, most important first)
+     *  decides: an expand is denied only when a holder of a coupled
+     *  domain has equal or higher priority. Lower-priority holders keep
+     *  their hold but their next refresh is denied, which drives them
+     *  back to the safe baseline. */
+    kStaticPriority,
+};
+
+/** Tunables for the InterferenceArbiter. */
+struct InterferenceArbiterConfig {
+    /** When false, every request is admitted (the ungoverned baseline
+     *  the interference figure compares against). Accounting still
+     *  runs, so conflicts can be counted without being resolved. */
+    bool enabled = true;
+
+    ArbitrationPolicy policy = ArbitrationPolicy::kFirstHolderWins;
+
+    /** Priority order for kStaticPriority, most important first.
+     *  Agents not listed rank below all listed ones. */
+    std::vector<std::string> priority;
+
+    /**
+     * Domain pairs that contend for one shared envelope. The default
+     * couples CPU frequency and core grants: boosting frequency while
+     * cores are harvested away both stresses the node power budget and
+     * overclocks capacity the primary does not own anymore.
+     */
+    std::vector<std::pair<core::ActuationDomain, core::ActuationDomain>>
+        couplings = {{core::ActuationDomain::kCpuFrequency,
+                      core::ActuationDomain::kCpuCores}};
+};
+
+/** Detects and resolves conflicting actuations on one node. */
+class InterferenceArbiter : public core::ActuationGovernor
+{
+  public:
+    /**
+     * @param config Policy and coupling matrix.
+     * @param scope Metric namespace the arbiter accounts into.
+     */
+    InterferenceArbiter(InterferenceArbiterConfig config,
+                        telemetry::MetricScope scope);
+
+    core::ActuationDecision
+    Admit(const core::ActuationRequest& request) override;
+
+    /** Agent currently holding a domain, if any. */
+    std::optional<std::string> HolderOf(core::ActuationDomain domain) const;
+
+    /** Conflicting expands denied so far (0 when disabled). */
+    std::uint64_t conflicts_resolved() const { return conflicts_resolved_; }
+
+    /** Conflicting expands observed (counted even when disabled). */
+    std::uint64_t conflicts_observed() const { return conflicts_observed_; }
+
+    std::uint64_t requests() const { return requests_; }
+
+    const InterferenceArbiterConfig& config() const { return config_; }
+
+  private:
+    struct Hold {
+        std::string agent;
+        double magnitude = 0.0;
+        std::uint64_t admissions = 0;  ///< Times taken or refreshed.
+    };
+
+    bool Coupled(core::ActuationDomain a, core::ActuationDomain b) const;
+
+    /** Rank in the priority list; lower is more important. */
+    std::size_t PriorityRank(const std::string& agent) const;
+
+    /** The holder blocking `request`, if any. */
+    const Hold* BlockingHold(const core::ActuationRequest& request) const;
+
+    InterferenceArbiterConfig config_;
+    telemetry::MetricScope scope_;
+    std::array<std::optional<Hold>, core::kNumActuationDomains> holds_;
+    std::uint64_t requests_ = 0;
+    std::uint64_t conflicts_observed_ = 0;
+    std::uint64_t conflicts_resolved_ = 0;
+};
+
+}  // namespace sol::cluster

@@ -1,0 +1,286 @@
+#include "cluster/multi_agent_node.h"
+
+#include <utility>
+
+namespace sol::cluster {
+
+namespace {
+
+using sim::DeriveStreamSeed;
+
+node::NodeConfig
+MakeNodeConfig(const MultiAgentNodeConfig& config)
+{
+    node::NodeConfig node_config;
+    node_config.total_cores = config.total_cores;
+    return node_config;
+}
+
+/** Snapshots one agent's runtime counters into its metric namespace. */
+void
+WriteRuntimeStats(telemetry::MetricScope scope,
+                  const core::RuntimeStats& stats)
+{
+    scope.SetGauge("epochs", static_cast<double>(stats.epochs));
+    scope.SetGauge("samples_collected",
+                   static_cast<double>(stats.samples_collected));
+    scope.SetGauge("invalid_samples",
+                   static_cast<double>(stats.invalid_samples));
+    scope.SetGauge("model_updates",
+                   static_cast<double>(stats.model_updates));
+    scope.SetGauge("short_circuit_epochs",
+                   static_cast<double>(stats.short_circuit_epochs));
+    scope.SetGauge("model_assessments",
+                   static_cast<double>(stats.model_assessments));
+    scope.SetGauge("failed_assessments",
+                   static_cast<double>(stats.failed_assessments));
+    scope.SetGauge("intercepted_predictions",
+                   static_cast<double>(stats.intercepted_predictions));
+    scope.SetGauge("predictions_delivered",
+                   static_cast<double>(stats.predictions_delivered));
+    scope.SetGauge("default_predictions",
+                   static_cast<double>(stats.default_predictions));
+    scope.SetGauge("expired_predictions",
+                   static_cast<double>(stats.expired_predictions));
+    scope.SetGauge("dropped_while_halted",
+                   static_cast<double>(stats.dropped_while_halted));
+    scope.SetGauge("actions_taken",
+                   static_cast<double>(stats.actions_taken));
+    scope.SetGauge("actions_with_prediction",
+                   static_cast<double>(stats.actions_with_prediction));
+    scope.SetGauge("actuator_timeouts",
+                   static_cast<double>(stats.actuator_timeouts));
+    scope.SetGauge("actuator_assessments",
+                   static_cast<double>(stats.actuator_assessments));
+    scope.SetGauge("safeguard_triggers",
+                   static_cast<double>(stats.safeguard_triggers));
+    scope.SetGauge("mitigations", static_cast<double>(stats.mitigations));
+    scope.SetGauge("halted_seconds", sim::ToSeconds(stats.halted_time));
+}
+
+}  // namespace
+
+MultiAgentNode::MultiAgentNode(sim::EventQueue& queue,
+                               MultiAgentNodeConfig config)
+    : queue_(queue),
+      config_(std::move(config)),
+      rng_(DeriveStreamSeed(config_.seed, 0)),
+      node_(MakeNodeConfig(config_)),
+      memory_(config_.memory_batches, config_.fast_tier_batches),
+      channels_(config_.num_channels, config_.channel_visibility),
+      policy_(config_.num_channels),
+      arbiter_(config_.arbiter,
+               telemetry::MetricScope(metrics_, "arbiter")),
+      incident_rng_(DeriveStreamSeed(config_.seed, 1))
+{
+    // --- Shared CPU substrate: one primary VM, one elastic VM. --------
+    workloads::TailBenchConfig primary_config =
+        workloads::ImageDnnConfig(DeriveStreamSeed(config_.seed, 2));
+    primary_workload_ =
+        std::make_shared<workloads::TailBench>(primary_config);
+    elastic_workload_ = std::make_shared<workloads::BestEffort>();
+    primary_ = node_.AddVm(
+        node::VmConfig{"primary", primary_config.vcpus},
+        primary_workload_);
+    elastic_ = node_.AddVm(
+        node::VmConfig{"elastic", primary_config.vcpus},
+        elastic_workload_);
+    node_.GrantCores(elastic_, 0);  // Nothing harvested yet.
+
+    // --- Memory substrate. --------------------------------------------
+    workloads::ZipfMemoryConfig pattern_config =
+        workloads::ObjectStoreMemConfig(DeriveStreamSeed(config_.seed, 3));
+    pattern_config.num_batches = config_.memory_batches;
+    memory_pattern_ =
+        std::make_unique<workloads::ZipfMemoryPattern>(pattern_config);
+
+    // --- Telemetry-channel substrate: a few hot channels. -------------
+    for (node::ChannelId c = 0; c < channels_.num_channels(); ++c) {
+        channels_.SetIncidentRate(c, config_.cold_rate_per_sec);
+    }
+    for (std::size_t picked = 0; picked < config_.hot_channels;) {
+        const auto c = static_cast<node::ChannelId>(
+            rng_.NextBelow(config_.num_channels));
+        if (channels_.IncidentRate(c) < config_.hot_rate_per_sec) {
+            channels_.SetIncidentRate(c, config_.hot_rate_per_sec);
+            ++picked;
+        }
+    }
+
+    // --- Agents: concurrent registration on the shared node. ----------
+    if (config_.run_overclock) {
+        agents::SmartOverclockConfig cfg = config_.overclock;
+        cfg.seed = DeriveStreamSeed(config_.seed, 4);
+        overclock_model_ = std::make_unique<agents::OverclockModel>(
+            node_, primary_, queue_, cfg);
+        overclock_actuator_ = std::make_unique<agents::OverclockActuator>(
+            node_, primary_, queue_, cfg);
+        overclock_actuator_->SetGovernor(&arbiter_);
+        overclock_runtime_ = std::make_unique<OverclockRuntime>(
+            queue_, *overclock_model_, *overclock_actuator_,
+            agents::SmartOverclockSchedule(), config_.runtime);
+        AddAgentSlot(agents::kSmartOverclockName, overclock_runtime_.get(),
+                     overclock_actuator_.get());
+    }
+    if (config_.run_harvest) {
+        agents::SmartHarvestConfig cfg = config_.harvest;
+        cfg.seed = DeriveStreamSeed(config_.seed, 5);
+        harvest_model_ = std::make_unique<agents::HarvestModel>(
+            node_, primary_, queue_, cfg);
+        harvest_actuator_ = std::make_unique<agents::HarvestActuator>(
+            node_, primary_, elastic_, queue_, cfg);
+        harvest_actuator_->SetGovernor(&arbiter_);
+        harvest_runtime_ = std::make_unique<HarvestRuntime>(
+            queue_, *harvest_model_, *harvest_actuator_,
+            agents::SmartHarvestSchedule(), config_.runtime);
+        AddAgentSlot(agents::kSmartHarvestName, harvest_runtime_.get(),
+                     harvest_actuator_.get());
+    }
+    if (config_.run_memory) {
+        agents::SmartMemoryConfig cfg = config_.memory;
+        cfg.seed = DeriveStreamSeed(config_.seed, 6);
+        memory_model_ = std::make_unique<agents::MemoryModel>(
+            memory_, queue_, cfg);
+        memory_actuator_ = std::make_unique<agents::MemoryActuator>(
+            memory_, queue_, cfg);
+        memory_actuator_->SetGovernor(&arbiter_);
+        memory_runtime_ = std::make_unique<MemoryRuntime>(
+            queue_, *memory_model_, *memory_actuator_,
+            agents::SmartMemorySchedule(), config_.runtime);
+        AddAgentSlot(agents::kSmartMemoryName, memory_runtime_.get(),
+                     memory_actuator_.get());
+    }
+    if (config_.run_monitor) {
+        agents::SmartMonitorConfig cfg = config_.monitor;
+        cfg.seed = DeriveStreamSeed(config_.seed, 7);
+        monitor_model_ = std::make_unique<agents::MonitorModel>(
+            channels_, policy_, queue_, cfg);
+        monitor_actuator_ = std::make_unique<agents::MonitorActuator>(
+            policy_, cfg);
+        monitor_actuator_->SetGovernor(&arbiter_);
+        monitor_runtime_ = std::make_unique<MonitorRuntime>(
+            queue_, *monitor_model_, *monitor_actuator_,
+            agents::SmartMonitorSchedule(), config_.runtime);
+        AddAgentSlot(agents::kSmartMonitorName, monitor_runtime_.get(),
+                     monitor_actuator_.get());
+    }
+}
+
+MultiAgentNode::~MultiAgentNode() = default;
+
+void
+MultiAgentNode::Start()
+{
+    if (started_) {
+        return;
+    }
+    started_ = true;
+
+    const sim::Duration node_tick = config_.node_tick;
+    node_driver_ = std::make_unique<sim::PeriodicTask>(
+        queue_, node_tick,
+        [this, node_tick] { node_.Advance(queue_.Now(), node_tick); });
+    const sim::Duration memory_tick = config_.memory_tick;
+    memory_driver_ = std::make_unique<sim::PeriodicTask>(
+        queue_, memory_tick, [this, memory_tick] {
+            memory_pattern_->GenerateAccesses(queue_.Now() - memory_tick,
+                                              memory_tick, memory_);
+        });
+    const sim::Duration channel_tick = config_.channel_tick;
+    channel_driver_ = std::make_unique<sim::PeriodicTask>(
+        queue_, channel_tick, [this, channel_tick] {
+            channels_.Advance(queue_.Now() - channel_tick, channel_tick,
+                              incident_rng_);
+        });
+
+    for (const AgentSlot& slot : slots_) {
+        slot.start();
+    }
+}
+
+void
+MultiAgentNode::Stop()
+{
+    for (const AgentSlot& slot : slots_) {
+        slot.stop();
+    }
+}
+
+void
+MultiAgentNode::CleanUpAll()
+{
+    registry_.CleanUpAll();
+}
+
+std::uint64_t
+MultiAgentNode::TotalEpochs() const
+{
+    std::uint64_t epochs = 0;
+    for (const AgentSlot& slot : slots_) {
+        epochs += slot.stats().epochs;
+    }
+    return epochs;
+}
+
+core::RuntimeStats
+MultiAgentNode::StatsFor(const std::string& name) const
+{
+    for (const AgentSlot& slot : slots_) {
+        if (slot.name == name) {
+            return slot.stats();
+        }
+    }
+    return core::RuntimeStats{};
+}
+
+core::RuntimeStats
+MultiAgentNode::OverclockStats() const
+{
+    return StatsFor(agents::kSmartOverclockName);
+}
+
+core::RuntimeStats
+MultiAgentNode::HarvestStats() const
+{
+    return StatsFor(agents::kSmartHarvestName);
+}
+
+core::RuntimeStats
+MultiAgentNode::MemoryStats() const
+{
+    return StatsFor(agents::kSmartMemoryName);
+}
+
+core::RuntimeStats
+MultiAgentNode::MonitorStats() const
+{
+    return StatsFor(agents::kSmartMonitorName);
+}
+
+void
+MultiAgentNode::CollectMetrics()
+{
+    for (const AgentSlot& slot : slots_) {
+        WriteRuntimeStats(telemetry::MetricScope(metrics_, slot.name),
+                          slot.stats());
+    }
+
+    telemetry::MetricScope node_scope(metrics_, "node");
+    node_scope.SetGauge("primary_p99_ms",
+                        primary_workload_->PerformanceValue());
+    node_scope.SetGauge(
+        "primary_completed_requests",
+        static_cast<double>(primary_workload_->completed_requests()));
+    node_scope.SetGauge("harvested_core_seconds",
+                        elastic_workload_->core_seconds());
+    node_scope.SetGauge("energy_joules", node_.EnergyJoules());
+    node_scope.SetGauge("primary_freq_ghz", node_.VmFrequency(primary_));
+    node_scope.SetGauge("memory_remote_fraction",
+                        memory_.stats().RemoteFraction());
+    node_scope.SetGauge("incident_coverage",
+                        channels_.stats().Coverage());
+    node_scope.SetGauge("total_epochs",
+                        static_cast<double>(TotalEpochs()));
+}
+
+}  // namespace sol::cluster

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * One simulated node running the paper's full agent complement.
+ *
+ * Production nodes run tens of learning agents concurrently behind
+ * shared safeguards (~77 in the paper's fleet); every experiment
+ * elsewhere in this repo instantiates exactly one. MultiAgentNode is
+ * the deployment-shaped harness: SmartOverclock, SmartHarvest,
+ * SmartMemory, and SmartMonitor all run on one node, each in its own
+ * SimRuntime on the shared event queue, with
+ *   - every actuation routed through an InterferenceArbiter that
+ *     detects and resolves conflicting actuations (e.g. SmartOverclock
+ *     raising frequency while SmartHarvest reclaims cores),
+ *   - every agent registered in a node-local core::AgentRegistry, so
+ *     an SRE (or a test) can terminate and clean up any or all agents
+ *     without knowing their implementation, and
+ *   - per-agent accounting namespaced into one telemetry registry
+ *     ("smart-harvest.epochs", "arbiter.conflicts", ...).
+ *
+ * The node substrate is shared the way a real node shares it: the
+ * overclocking and harvesting agents manage the same primary VM (the
+ * direct conflict surface), the memory agent manages the node's tiered
+ * memory, and the monitoring agent spreads a sampling budget over the
+ * node's telemetry channels.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agents/smartharvest/smartharvest.h"
+#include "agents/smartmemory/smartmemory.h"
+#include "agents/smartmonitor/smartmonitor.h"
+#include "agents/smartoverclock/smartoverclock.h"
+#include "cluster/interference_arbiter.h"
+#include "core/agent_registry.h"
+#include "core/sim_runtime.h"
+#include "node/channel_array.h"
+#include "node/node.h"
+#include "node/tiered_memory.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "telemetry/metric_registry.h"
+#include "workloads/best_effort.h"
+#include "workloads/memory_patterns.h"
+#include "workloads/tailbench.h"
+
+namespace sol::cluster {
+
+/** Configuration of one multi-agent node. */
+struct MultiAgentNodeConfig {
+    /** Metric namespace and display name ("node0", "node1", ...). */
+    std::string name = "node0";
+
+    /** Per-node RNG stream seed; drives workloads and agent seeds. */
+    std::uint64_t seed = 1;
+
+    /** Which agents run; disabled agents leave their substrate idle. */
+    bool run_overclock = true;
+    bool run_harvest = true;
+    bool run_memory = true;
+    bool run_monitor = true;
+
+    // --- Substrate sizing -------------------------------------------------
+    int total_cores = 16;
+    std::size_t memory_batches = 256;
+    /** First-tier capacity. Matches memory_batches (the fig 7/8
+     *  setting): everything fits locally, and demoting to the slow
+     *  tier to save DRAM is entirely the agent's choice. */
+    std::size_t fast_tier_batches = 256;
+    std::size_t num_channels = 32;
+    std::size_t hot_channels = 2;
+    double hot_rate_per_sec = 0.5;
+    double cold_rate_per_sec = 0.004;
+    sim::Duration channel_visibility = sim::Seconds(2);
+
+    // --- Driver cadence ---------------------------------------------------
+    /** Hypervisor tick advancing VMs/counters (50 us = paper sampling). */
+    sim::Duration node_tick = sim::Micros(50);
+    sim::Duration memory_tick = sim::Millis(100);
+    sim::Duration channel_tick = sim::Millis(20);
+
+    /** Shared runtime ablation/fault switches (applied to all agents). */
+    core::RuntimeOptions runtime;
+
+    InterferenceArbiterConfig arbiter;
+
+    agents::SmartOverclockConfig overclock;
+    agents::SmartHarvestConfig harvest;
+    agents::SmartMemoryConfig memory;
+    agents::SmartMonitorConfig monitor;
+};
+
+/** All four paper agents co-located on one simulated node. */
+class MultiAgentNode
+{
+  public:
+    /**
+     * @param queue Shared event queue (owned by the caller/driver).
+     * @param config Node configuration.
+     */
+    MultiAgentNode(sim::EventQueue& queue, MultiAgentNodeConfig config);
+    ~MultiAgentNode();
+
+    MultiAgentNode(const MultiAgentNode&) = delete;
+    MultiAgentNode& operator=(const MultiAgentNode&) = delete;
+
+    /** Starts the node drivers and every enabled agent runtime. */
+    void Start();
+
+    /** Stops all runtimes (drivers keep the substrate advancing). */
+    void Stop();
+
+    /**
+     * SRE incident response: runs every registered agent's CleanUp
+     * through the node-local registry, restoring the node to its clean
+     * state (nominal frequency, all cores returned, uniform sampling).
+     */
+    void CleanUpAll();
+
+    /** Refreshes per-agent and substrate metrics in metrics(). */
+    void CollectMetrics();
+
+    /** Sum of learning epochs completed across enabled agents. */
+    std::uint64_t TotalEpochs() const;
+
+    // --- Introspection ---------------------------------------------------
+    const std::string& name() const { return config_.name; }
+    core::AgentRegistry& registry() { return registry_; }
+    InterferenceArbiter& arbiter() { return arbiter_; }
+    telemetry::MetricRegistry& metrics() { return metrics_; }
+    node::Node& node() { return node_; }
+    node::TieredMemory& memory() { return memory_; }
+    node::ChannelArray& channels() { return channels_; }
+    agents::SamplingPolicy& policy() { return policy_; }
+    node::VmId primary_vm() const { return primary_; }
+    node::VmId elastic_vm() const { return elastic_; }
+    const workloads::TailBench& primary_workload() const
+    {
+        return *primary_workload_;
+    }
+    bool started() const { return started_; }
+
+    core::RuntimeStats OverclockStats() const;
+    core::RuntimeStats HarvestStats() const;
+    core::RuntimeStats MemoryStats() const;
+    core::RuntimeStats MonitorStats() const;
+
+    agents::OverclockActuator* overclock_actuator()
+    {
+        return overclock_actuator_.get();
+    }
+    agents::HarvestActuator* harvest_actuator()
+    {
+        return harvest_actuator_.get();
+    }
+
+  private:
+    using OverclockRuntime =
+        core::SimRuntime<agents::OverclockSample, double>;
+    using HarvestRuntime = core::SimRuntime<agents::HarvestSample, int>;
+    using MemoryRuntime =
+        core::SimRuntime<agents::ScanRound, agents::MemoryPlan>;
+    using MonitorRuntime =
+        core::SimRuntime<agents::MonitorRound, std::vector<double>>;
+
+    /**
+     * Type-erased handle on one enabled agent. The four runtimes have
+     * heterogeneous template types; erasing them once at construction
+     * lets Start/Stop/TotalEpochs/CollectMetrics (and any future
+     * fleet-wide sweep) iterate agents instead of repeating a
+     * per-agent block that must be kept in sync by hand.
+     */
+    struct AgentSlot {
+        std::string name;
+        std::function<void()> start;
+        std::function<void()> stop;
+        std::function<core::RuntimeStats()> stats;
+    };
+
+    /** Registers an agent's runtime in slots_ and the registry. */
+    template <typename Runtime, typename Actuator>
+    void
+    AddAgentSlot(const char* name, Runtime* runtime, Actuator* actuator)
+    {
+        slots_.push_back({name, [runtime] { runtime->Start(); },
+                          [runtime] { runtime->Stop(); },
+                          [runtime] { return runtime->stats(); }});
+        registrations_.emplace_back(registry_, name,
+                                    [runtime, actuator] {
+                                        runtime->Stop();
+                                        actuator->CleanUp();
+                                    });
+    }
+
+    /** Stats of an enabled agent by name; zeros when disabled. */
+    core::RuntimeStats StatsFor(const std::string& name) const;
+
+    sim::EventQueue& queue_;
+    MultiAgentNodeConfig config_;
+    sim::Rng rng_;
+
+    // Substrate (construction order matters: agents reference these).
+    node::Node node_;
+    node::TieredMemory memory_;
+    node::ChannelArray channels_;
+    agents::SamplingPolicy policy_;
+    std::shared_ptr<workloads::TailBench> primary_workload_;
+    std::shared_ptr<workloads::BestEffort> elastic_workload_;
+    std::unique_ptr<workloads::ZipfMemoryPattern> memory_pattern_;
+    node::VmId primary_ = 0;
+    node::VmId elastic_ = 0;
+
+    telemetry::MetricRegistry metrics_;
+    InterferenceArbiter arbiter_;
+
+    // Agents (models + actuators) and their runtimes.
+    std::unique_ptr<agents::OverclockModel> overclock_model_;
+    std::unique_ptr<agents::OverclockActuator> overclock_actuator_;
+    std::unique_ptr<OverclockRuntime> overclock_runtime_;
+    std::unique_ptr<agents::HarvestModel> harvest_model_;
+    std::unique_ptr<agents::HarvestActuator> harvest_actuator_;
+    std::unique_ptr<HarvestRuntime> harvest_runtime_;
+    std::unique_ptr<agents::MemoryModel> memory_model_;
+    std::unique_ptr<agents::MemoryActuator> memory_actuator_;
+    std::unique_ptr<MemoryRuntime> memory_runtime_;
+    std::unique_ptr<agents::MonitorModel> monitor_model_;
+    std::unique_ptr<agents::MonitorActuator> monitor_actuator_;
+    std::unique_ptr<MonitorRuntime> monitor_runtime_;
+
+    // Substrate drivers (armed by Start()).
+    sim::Rng incident_rng_;
+    std::unique_ptr<sim::PeriodicTask> node_driver_;
+    std::unique_ptr<sim::PeriodicTask> memory_driver_;
+    std::unique_ptr<sim::PeriodicTask> channel_driver_;
+
+    // Registry last among agent state: its registrations' cleanups run
+    // first on destruction, while runtimes and actuators still exist.
+    std::vector<AgentSlot> slots_;
+    core::AgentRegistry registry_;
+    std::vector<core::ScopedRegistration> registrations_;
+    bool started_ = false;
+};
+
+}  // namespace sol::cluster

@@ -1,0 +1,21 @@
+#include "core/actuation.h"
+
+namespace sol::core {
+
+const char*
+ToString(ActuationDomain domain)
+{
+    switch (domain) {
+      case ActuationDomain::kCpuFrequency:
+        return "cpu-frequency";
+      case ActuationDomain::kCpuCores:
+        return "cpu-cores";
+      case ActuationDomain::kMemoryPlacement:
+        return "memory-placement";
+      case ActuationDomain::kTelemetryBudget:
+        return "telemetry-budget";
+    }
+    return "unknown";
+}
+
+}  // namespace sol::core

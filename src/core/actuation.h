@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Shared-node actuation interface: how co-located agents' actuators
+ * declare their intent on the node's shared resources.
+ *
+ * The paper's production setting runs ~77 learning agents per node. Each
+ * agent's Actuator was designed as if it owned its knob, but on a shared
+ * node the knobs are physically coupled: raising a VM's frequency while a
+ * harvesting agent has loaned its cores away stacks two efficiency bets
+ * on the same power/QoS envelope, and two agents writing one knob fight
+ * each other outright. This header defines the vocabulary an actuator
+ * uses to announce an actuation before applying it — the resource domain
+ * it touches and whether the action spends shared headroom (kExpand) or
+ * returns toward the safe baseline (kRestore) — plus the Governor
+ * interface that admits or denies the request.
+ *
+ * Single-agent deployments pass no governor and behave exactly as
+ * before. Multi-agent nodes install a cluster::InterferenceArbiter,
+ * which detects conflicting actuations across agents and resolves them
+ * deterministically. Restoring actions (mitigations, cleanups, falling
+ * back to defaults) are never blocked: a safeguard must always be able
+ * to return the node to a clean state.
+ */
+#pragma once
+
+#include <string>
+
+namespace sol::core {
+
+/** Shared node resource a single actuation touches. */
+enum class ActuationDomain {
+    kCpuFrequency = 0,   ///< DVFS setting of a VM's cores.
+    kCpuCores,           ///< Physical-core grants (harvesting).
+    kMemoryPlacement,    ///< Tier placement of memory batches.
+    kTelemetryBudget,    ///< Allocation of the sampling budget.
+};
+
+/** Number of ActuationDomain values (for dense per-domain tables). */
+inline constexpr int kNumActuationDomains = 4;
+
+/** Human-readable domain name ("cpu-frequency", ...). */
+const char* ToString(ActuationDomain domain);
+
+/** Direction of an actuation relative to the safe baseline. */
+enum class ActuationIntent {
+    /** Spends shared headroom: overclock above nominal, harvest cores
+     *  away from the primary, demote batches, skew the sampling budget.
+     *  Subject to arbitration. */
+    kExpand,
+    /** Moves toward the safe baseline: nominal frequency, all cores
+     *  returned, pages promoted home, uniform sampling. Always admitted,
+     *  and releases any hold the agent had on the domain. */
+    kRestore,
+};
+
+/** One announced actuation. */
+struct ActuationRequest {
+    /** Registry name of the requesting agent. */
+    std::string agent;
+    ActuationDomain domain = ActuationDomain::kCpuFrequency;
+    ActuationIntent intent = ActuationIntent::kRestore;
+    /** Domain-specific size of the request: target GHz, cores taken,
+     *  batches demoted, ... Used for accounting, not admission. */
+    double magnitude = 0.0;
+};
+
+/** Outcome of admission. */
+struct ActuationDecision {
+    bool admitted = true;
+    /** For denials: the agent whose active hold caused the conflict. */
+    std::string conflicting_agent;
+};
+
+/**
+ * Admission control over shared-node actuations.
+ *
+ * Actuators call Admit immediately before applying an action. A denied
+ * expand means another agent holds a coupled resource; the caller must
+ * take its conservative action instead (the same path it takes for a
+ * missing prediction). Implementations must be deterministic: admission
+ * may depend only on previously admitted requests, never on wall time
+ * or randomness, so a fixed seed reproduces a multi-agent run exactly.
+ */
+class ActuationGovernor
+{
+  public:
+    virtual ~ActuationGovernor() = default;
+
+    /** Admits or denies a request; records holds and accounting. */
+    virtual ActuationDecision Admit(const ActuationRequest& request) = 0;
+};
+
+/**
+ * Announces a request to an optional governor.
+ *
+ * @return true when there is no governor (single-agent deployments) or
+ *   the governor admits the request.
+ */
+inline bool
+AdmitActuation(ActuationGovernor* governor, const std::string& agent,
+               ActuationDomain domain, ActuationIntent intent,
+               double magnitude = 0.0)
+{
+    if (governor == nullptr) {
+        return true;
+    }
+    return governor->Admit({agent, domain, intent, magnitude}).admitted;
+}
+
+}  // namespace sol::core

@@ -58,4 +58,63 @@ class AgentRegistry
     std::map<std::string, std::function<void()>> agents_;
 };
 
+/**
+ * RAII registration: registers an agent on construction, runs its
+ * cleanup and unregisters it on destruction. Multi-agent harnesses use
+ * this so that tearing down a node always leaves it in a clean state,
+ * whatever order the agents die in.
+ */
+class ScopedRegistration
+{
+  public:
+    ScopedRegistration() = default;
+
+    ScopedRegistration(AgentRegistry& registry, std::string name,
+                       std::function<void()> cleanup)
+        : registry_(&registry), name_(std::move(name))
+    {
+        registry_->Register(name_, std::move(cleanup));
+    }
+
+    ~ScopedRegistration() { Release(); }
+
+    ScopedRegistration(const ScopedRegistration&) = delete;
+    ScopedRegistration& operator=(const ScopedRegistration&) = delete;
+
+    ScopedRegistration(ScopedRegistration&& other) noexcept
+        : registry_(other.registry_), name_(std::move(other.name_))
+    {
+        other.registry_ = nullptr;
+    }
+
+    ScopedRegistration&
+    operator=(ScopedRegistration&& other) noexcept
+    {
+        if (this != &other) {
+            Release();
+            registry_ = other.registry_;
+            name_ = std::move(other.name_);
+            other.registry_ = nullptr;
+        }
+        return *this;
+    }
+
+    /** Runs the cleanup (if still registered) and unregisters. */
+    void
+    Release()
+    {
+        if (registry_ != nullptr) {
+            registry_->CleanUp(name_);
+            registry_->Unregister(name_);
+            registry_ = nullptr;
+        }
+    }
+
+    const std::string& name() const { return name_; }
+
+  private:
+    AgentRegistry* registry_ = nullptr;
+    std::string name_;
+};
+
 }  // namespace sol::core

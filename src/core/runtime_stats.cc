@@ -29,4 +29,34 @@ operator<<(std::ostream& os, const RuntimeStats& stats)
     return os;
 }
 
+RuntimeStats
+AtomicRuntimeStats::Snapshot() const
+{
+    RuntimeStats out;
+    const auto load = [](const std::atomic<std::uint64_t>& v) {
+        return v.load(std::memory_order_relaxed);
+    };
+    out.samples_collected = load(samples_collected);
+    out.invalid_samples = load(invalid_samples);
+    out.epochs = load(epochs);
+    out.model_updates = load(model_updates);
+    out.short_circuit_epochs = load(short_circuit_epochs);
+    out.model_assessments = load(model_assessments);
+    out.failed_assessments = load(failed_assessments);
+    out.intercepted_predictions = load(intercepted_predictions);
+    out.predictions_delivered = load(predictions_delivered);
+    out.default_predictions = load(default_predictions);
+    out.expired_predictions = load(expired_predictions);
+    out.dropped_while_halted = load(dropped_while_halted);
+    out.actions_taken = load(actions_taken);
+    out.actions_with_prediction = load(actions_with_prediction);
+    out.actuator_timeouts = load(actuator_timeouts);
+    out.actuator_assessments = load(actuator_assessments);
+    out.safeguard_triggers = load(safeguard_triggers);
+    out.mitigations = load(mitigations);
+    out.halted_time =
+        sim::Duration(halted_time_ns.load(std::memory_order_relaxed));
+    return out;
+}
+
 }  // namespace sol::core

@@ -8,6 +8,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <ostream>
 
@@ -45,5 +46,43 @@ struct RuntimeStats {
 
 /** Writes the stats as "name = value" lines. */
 std::ostream& operator<<(std::ostream& os, const RuntimeStats& stats);
+
+/**
+ * Lock-free twin of RuntimeStats for the threaded runtime.
+ *
+ * The model and actuator threads update disjoint-or-commutative
+ * counters many times per epoch; routing those through a mutex put a
+ * lock acquisition on every sample of the 50 us collection loops.
+ * Relaxed atomics are exact for monotonic counters, and Snapshot() is
+ * a per-field load — fields may be skewed by in-flight increments,
+ * which is the same guarantee the mutex gave a caller reading between
+ * two updates of one epoch.
+ */
+struct AtomicRuntimeStats {
+    std::atomic<std::uint64_t> samples_collected{0};
+    std::atomic<std::uint64_t> invalid_samples{0};
+    std::atomic<std::uint64_t> epochs{0};
+    std::atomic<std::uint64_t> model_updates{0};
+    std::atomic<std::uint64_t> short_circuit_epochs{0};
+    std::atomic<std::uint64_t> model_assessments{0};
+    std::atomic<std::uint64_t> failed_assessments{0};
+    std::atomic<std::uint64_t> intercepted_predictions{0};
+
+    std::atomic<std::uint64_t> predictions_delivered{0};
+    std::atomic<std::uint64_t> default_predictions{0};
+    std::atomic<std::uint64_t> expired_predictions{0};
+    std::atomic<std::uint64_t> dropped_while_halted{0};
+
+    std::atomic<std::uint64_t> actions_taken{0};
+    std::atomic<std::uint64_t> actions_with_prediction{0};
+    std::atomic<std::uint64_t> actuator_timeouts{0};
+    std::atomic<std::uint64_t> actuator_assessments{0};
+    std::atomic<std::uint64_t> safeguard_triggers{0};
+    std::atomic<std::uint64_t> mitigations{0};
+    std::atomic<std::int64_t> halted_time_ns{0};
+
+    /** Copies every field into the plain struct (relaxed loads). */
+    RuntimeStats Snapshot() const;
+};
 
 }  // namespace sol::core

@@ -35,33 +35,13 @@
 
 #include "core/actuator.h"
 #include "core/model.h"
+#include "core/runtime_options.h"
 #include "core/runtime_stats.h"
 #include "core/schedule.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
 namespace sol::core {
-
-/** Ablation and fault switches for a SimRuntime. */
-struct RuntimeOptions {
-    /**
-     * Blocking-actuator ablation (Figs 4, 6-right): the actuator has no
-     * timeout and acts only when a prediction arrives, even if stale.
-     */
-    bool blocking_actuator = false;
-
-    /** Skip ValidateData (the "without data validation" baseline). */
-    bool disable_data_validation = false;
-
-    /** Skip AssessModel interception (the "without model safeguard"). */
-    bool disable_model_assessment = false;
-
-    /** Skip AssessPerformance/Mitigate (no actuator safeguard). */
-    bool disable_actuator_safeguard = false;
-
-    /** Bound on queued predictions; oldest are evicted beyond this. */
-    std::size_t max_queued_predictions = 8;
-};
 
 /**
  * Runs one agent (Model + Actuator + Schedule) on an EventQueue.

@@ -7,9 +7,15 @@
  * 4.2 — the Model control loop and the Actuator control loop run in
  * separately scheduled threads so a throttled or stalled model can never
  * starve the actuator, which keeps taking safe actions on its
- * max_actuation_delay timeout. Semantics mirror SimRuntime; experiments
- * use SimRuntime for determinism, while examples and deployments use
- * this.
+ * max_actuation_delay timeout. Semantics mirror SimRuntime, including
+ * the RuntimeOptions ablation/fault switches and the queued-prediction
+ * bound; experiments use SimRuntime for determinism, while examples and
+ * deployments use this.
+ *
+ * Stats counters are relaxed atomics (AtomicRuntimeStats): both loops
+ * bump counters many times per epoch, and a mutex on that path showed
+ * up in deployment-shaped measurements (see ROADMAP "stats
+ * granularity"). stats() snapshots without stopping either loop.
  */
 #pragma once
 
@@ -25,6 +31,7 @@
 
 #include "core/actuator.h"
 #include "core/model.h"
+#include "core/runtime_options.h"
 #include "core/runtime_stats.h"
 #include "core/schedule.h"
 #include "sim/time.h"
@@ -42,8 +49,11 @@ class ThreadedRuntime
 {
   public:
     ThreadedRuntime(Model<D, P>& model, Actuator<P>& actuator,
-                    const Schedule& schedule)
-        : model_(model), actuator_(actuator), schedule_(schedule)
+                    const Schedule& schedule, RuntimeOptions options = {})
+        : model_(model),
+          actuator_(actuator),
+          schedule_(schedule),
+          options_(options)
     {
         const auto problems = schedule_.Validate();
         if (!problems.empty()) {
@@ -86,15 +96,16 @@ class ThreadedRuntime
 
     bool running() const { return running_.load(); }
 
-    /** Snapshot of the runtime counters. */
+    /** Snapshot of the runtime counters (lock-free). */
     RuntimeStats
     stats() const
     {
-        std::lock_guard lock(stats_mutex_);
-        return stats_;
+        return stats_.Snapshot();
     }
 
     bool actuator_halted() const { return halted_.load(); }
+
+    const RuntimeOptions& options() const { return options_; }
 
   private:
     sim::TimePoint
@@ -125,17 +136,16 @@ class ThreadedRuntime
                     return;
                 }
                 D data = model_.CollectData();
-                bool valid = model_.ValidateData(data);
-                {
-                    std::lock_guard lock(stats_mutex_);
-                    ++stats_.samples_collected;
-                    if (!valid) {
-                        ++stats_.invalid_samples;
-                    }
-                }
+                const bool valid = options_.disable_data_validation ||
+                                   model_.ValidateData(data);
+                stats_.samples_collected.fetch_add(
+                    1, std::memory_order_relaxed);
                 if (valid) {
                     model_.CommitData(Now(), data);
                     ++valid_samples;
+                } else {
+                    stats_.invalid_samples.fetch_add(
+                        1, std::memory_order_relaxed);
                 }
                 if (model_.ShortCircuitEpoch()) {
                     short_circuit = true;
@@ -155,52 +165,51 @@ class ThreadedRuntime
 
             Prediction<P> pred;
             const bool enough = !short_circuit;
-            std::uint64_t epoch_number;
-            {
-                std::lock_guard lock(stats_mutex_);
-                epoch_number = ++stats_.epochs;
-            }
+            const std::uint64_t epoch_number =
+                stats_.epochs.fetch_add(1, std::memory_order_relaxed) + 1;
             if (enough) {
                 model_.UpdateModel();
                 pred = model_.ModelPredict();
-                {
-                    std::lock_guard lock(stats_mutex_);
-                    ++stats_.model_updates;
-                }
-                if (epoch_number % static_cast<std::uint64_t>(
-                                       schedule_.assess_model_every_epochs) ==
-                    0) {
+                stats_.model_updates.fetch_add(1,
+                                               std::memory_order_relaxed);
+                if (!options_.disable_model_assessment &&
+                    epoch_number %
+                            static_cast<std::uint64_t>(
+                                schedule_.assess_model_every_epochs) ==
+                        0) {
                     model_ok = model_.AssessModel();
-                    std::lock_guard lock(stats_mutex_);
-                    ++stats_.model_assessments;
+                    stats_.model_assessments.fetch_add(
+                        1, std::memory_order_relaxed);
                     if (!model_ok) {
-                        ++stats_.failed_assessments;
+                        stats_.failed_assessments.fetch_add(
+                            1, std::memory_order_relaxed);
                     }
                 }
                 if (!model_ok) {
                     pred = model_.DefaultPredict();
-                    std::lock_guard lock(stats_mutex_);
-                    ++stats_.intercepted_predictions;
+                    stats_.intercepted_predictions.fetch_add(
+                        1, std::memory_order_relaxed);
                 }
             } else {
                 pred = model_.DefaultPredict();
-                std::lock_guard lock(stats_mutex_);
-                ++stats_.short_circuit_epochs;
+                stats_.short_circuit_epochs.fetch_add(
+                    1, std::memory_order_relaxed);
             }
 
             {
                 std::lock_guard lock(queue_mutex_);
                 pending_.push_back(pred);
-                while (pending_.size() > 8) {
+                while (pending_.size() > options_.max_queued_predictions) {
                     pending_.pop_front();
+                    stats_.expired_predictions.fetch_add(
+                        1, std::memory_order_relaxed);
                 }
             }
-            {
-                std::lock_guard lock(stats_mutex_);
-                ++stats_.predictions_delivered;
-                if (pred.is_default) {
-                    ++stats_.default_predictions;
-                }
+            stats_.predictions_delivered.fetch_add(
+                1, std::memory_order_relaxed);
+            if (pred.is_default) {
+                stats_.default_predictions.fetch_add(
+                    1, std::memory_order_relaxed);
             }
             queue_cv_.notify_one();
         }
@@ -210,17 +219,25 @@ class ThreadedRuntime
     ActuatorLoop()
     {
         sim::TimePoint last_assessment = Now();
+        std::optional<sim::TimePoint> halt_start;
         while (running_.load()) {
             std::optional<Prediction<P>> pred;
             {
                 std::unique_lock lock(queue_mutex_);
-                queue_cv_.wait_for(
-                    lock,
-                    std::chrono::nanoseconds(
-                        schedule_.max_actuation_delay.count()),
-                    [this] {
-                        return !pending_.empty() || !running_.load();
-                    });
+                const auto ready = [this] {
+                    return !pending_.empty() || !running_.load();
+                };
+                if (options_.blocking_actuator) {
+                    // Ablation (Figs 4, 6-right): no timeout — the
+                    // actuator acts only when a prediction arrives.
+                    queue_cv_.wait(lock, ready);
+                } else {
+                    queue_cv_.wait_for(
+                        lock,
+                        std::chrono::nanoseconds(
+                            schedule_.max_actuation_delay.count()),
+                        ready);
+                }
                 if (!running_.load()) {
                     return;
                 }
@@ -233,49 +250,67 @@ class ThreadedRuntime
             const sim::TimePoint now = Now();
             if (halted_.load()) {
                 // Actuation halted: only the safeguard check runs.
+                if (pred.has_value()) {
+                    stats_.dropped_while_halted.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
                 pred.reset();
             } else {
-                if (pred.has_value() && !pred->FreshAt(now)) {
+                if (pred.has_value() && !options_.blocking_actuator &&
+                    !pred->FreshAt(now)) {
                     pred.reset();
-                    std::lock_guard lock(stats_mutex_);
-                    ++stats_.expired_predictions;
+                    stats_.expired_predictions.fetch_add(
+                        1, std::memory_order_relaxed);
                 }
                 actuator_.TakeAction(pred);
-                std::lock_guard lock(stats_mutex_);
-                ++stats_.actions_taken;
+                stats_.actions_taken.fetch_add(1,
+                                               std::memory_order_relaxed);
                 if (pred.has_value()) {
-                    ++stats_.actions_with_prediction;
+                    stats_.actions_with_prediction.fetch_add(
+                        1, std::memory_order_relaxed);
                 } else {
-                    ++stats_.actuator_timeouts;
+                    stats_.actuator_timeouts.fetch_add(
+                        1, std::memory_order_relaxed);
                 }
             }
 
-            if (now - last_assessment >=
-                schedule_.assess_actuator_interval) {
+            if (!options_.disable_actuator_safeguard &&
+                now - last_assessment >=
+                    schedule_.assess_actuator_interval) {
                 last_assessment = now;
                 const bool ok = actuator_.AssessPerformance();
-                {
-                    std::lock_guard lock(stats_mutex_);
-                    ++stats_.actuator_assessments;
-                }
+                stats_.actuator_assessments.fetch_add(
+                    1, std::memory_order_relaxed);
                 if (!ok) {
                     if (!halted_.exchange(true)) {
-                        std::lock_guard lock(stats_mutex_);
-                        ++stats_.safeguard_triggers;
+                        stats_.safeguard_triggers.fetch_add(
+                            1, std::memory_order_relaxed);
+                        halt_start = now;
                     }
                     actuator_.Mitigate();
-                    std::lock_guard lock(stats_mutex_);
-                    ++stats_.mitigations;
-                } else {
-                    halted_.store(false);
+                    stats_.mitigations.fetch_add(
+                        1, std::memory_order_relaxed);
+                } else if (halted_.exchange(false)) {
+                    if (halt_start.has_value()) {
+                        stats_.halted_time_ns.fetch_add(
+                            (now - *halt_start).count(),
+                            std::memory_order_relaxed);
+                        halt_start.reset();
+                    }
                 }
             }
+        }
+        if (halt_start.has_value()) {
+            stats_.halted_time_ns.fetch_add(
+                (Now() - *halt_start).count(),
+                std::memory_order_relaxed);
         }
     }
 
     Model<D, P>& model_;
     Actuator<P>& actuator_;
     Schedule schedule_;
+    RuntimeOptions options_;
 
     std::atomic<bool> running_{false};
     std::atomic<bool> halted_{false};
@@ -288,8 +323,7 @@ class ThreadedRuntime
     std::condition_variable queue_cv_;
     std::deque<Prediction<P>> pending_;
 
-    mutable std::mutex stats_mutex_;
-    RuntimeStats stats_;
+    AtomicRuntimeStats stats_;
 };
 
 }  // namespace sol::core

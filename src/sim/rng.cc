@@ -25,6 +25,13 @@ Rotl(std::uint64_t x, int k)
 
 }  // namespace
 
+std::uint64_t
+DeriveStreamSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    std::uint64_t x = seed + stream * 0x9e3779b97f4a7c15ULL;
+    return SplitMix64(x);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t s = seed;

@@ -14,6 +14,14 @@
 
 namespace sol::sim {
 
+/**
+ * Derives a statistically independent seed for a numbered sub-stream
+ * (one splitmix64 step over seed and stream index). Harnesses that run
+ * many seeded components — agents on a node, nodes in a fleet — use
+ * this so adjacent seeds and adjacent streams never collide.
+ */
+std::uint64_t DeriveStreamSeed(std::uint64_t seed, std::uint64_t stream);
+
 /** Deterministic 64-bit PRNG (xoshiro256**, splitmix64 seeding). */
 class Rng
 {

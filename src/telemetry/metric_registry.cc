@@ -1,7 +1,12 @@
 #include "telemetry/metric_registry.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
 
@@ -75,6 +80,120 @@ MetricRegistry::PrintSeriesCsv(std::ostream& os,
     }
 }
 
+namespace {
+
+/** Escapes a string for use inside a JSON string literal. */
+std::string
+JsonEscape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Formats a double as JSON (finite numbers only; else null). */
+std::string
+JsonNumber(double v)
+{
+    if (!std::isfinite(v)) {
+        return "null";
+    }
+    std::ostringstream ss;
+    ss << std::setprecision(12) << v;
+    return ss.str();
+}
+
+/** True when a table cell parses fully as a finite double. */
+bool
+LooksNumeric(const std::string& cell, double* value)
+{
+    if (cell.empty()) {
+        return false;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (end != cell.c_str() + cell.size() || !std::isfinite(v)) {
+        return false;
+    }
+    *value = v;
+    return true;
+}
+
+}  // namespace
+
+void
+MetricRegistry::WriteJson(std::ostream& os) const
+{
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : counters_) {
+        os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+           << "\": " << value;
+        first = false;
+    }
+    os << "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : gauges_) {
+        os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+           << "\": " << JsonNumber(value);
+        first = false;
+    }
+    os << "\n  },\n  \"series\": {";
+    first = true;
+    for (const auto& [name, points] : series_) {
+        os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+           << "\": [";
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            os << (i == 0 ? "" : ",") << "[" << JsonNumber(points[i].x)
+               << "," << JsonNumber(points[i].y) << "]";
+        }
+        os << "]";
+        first = false;
+    }
+    os << "\n  }\n}\n";
+}
+
+void
+MetricRegistry::MergeFrom(const MetricRegistry& other,
+                          const std::string& prefix)
+{
+    const std::string p = prefix.empty() ? "" : prefix + ".";
+    for (const auto& [name, value] : other.counters_) {
+        counters_[p + name] += value;
+    }
+    for (const auto& [name, value] : other.gauges_) {
+        gauges_[p + name] = value;
+    }
+    for (const auto& [name, points] : other.series_) {
+        auto& dst = series_[p + name];
+        dst.insert(dst.end(), points.begin(), points.end());
+    }
+}
+
 void
 MetricRegistry::Clear()
 {
@@ -132,6 +251,93 @@ TableWriter::Num(double v, int precision)
     std::ostringstream ss;
     ss << std::fixed << std::setprecision(precision) << v;
     return ss.str();
+}
+
+BenchJson::BenchJson(std::string bench_name)
+    : bench_name_(std::move(bench_name))
+{
+}
+
+void
+BenchJson::AddTable(const std::string& section, const TableWriter& table)
+{
+    Section s;
+    s.name = section;
+    s.is_table = true;
+    s.headers = table.headers();
+    s.rows = table.rows();
+    sections_.push_back(std::move(s));
+}
+
+void
+BenchJson::AddMetrics(const std::string& section,
+                      const MetricRegistry& registry)
+{
+    Section s;
+    s.name = section;
+    s.metrics = registry;
+    sections_.push_back(std::move(s));
+}
+
+void
+BenchJson::Write(std::ostream& os) const
+{
+    os << "{\n\"bench\": \"" << JsonEscape(bench_name_)
+       << "\",\n\"schema_version\": 1,\n\"sections\": {";
+    bool first_section = true;
+    for (const auto& section : sections_) {
+        os << (first_section ? "" : ",") << "\n\""
+           << JsonEscape(section.name) << "\": ";
+        first_section = false;
+        if (!section.is_table) {
+            section.metrics.WriteJson(os);
+            continue;
+        }
+        os << "{\n  \"headers\": [";
+        for (std::size_t c = 0; c < section.headers.size(); ++c) {
+            os << (c == 0 ? "" : ",") << "\""
+               << JsonEscape(section.headers[c]) << "\"";
+        }
+        os << "],\n  \"rows\": [";
+        for (std::size_t r = 0; r < section.rows.size(); ++r) {
+            os << (r == 0 ? "" : ",") << "\n    [";
+            for (std::size_t c = 0; c < section.rows[r].size(); ++c) {
+                const std::string& cell = section.rows[r][c];
+                double value = 0.0;
+                os << (c == 0 ? "" : ",");
+                if (LooksNumeric(cell, &value)) {
+                    os << JsonNumber(value);
+                } else {
+                    os << "\"" << JsonEscape(cell) << "\"";
+                }
+            }
+            os << "]";
+        }
+        os << "\n  ]\n}";
+    }
+    os << "\n}\n}\n";
+}
+
+bool
+BenchJson::WriteFile() const
+{
+    std::string dir;
+    if (const char* env = std::getenv("SOL_BENCH_JSON_DIR")) {
+        dir = env;
+    }
+    if (dir == "-") {
+        return true;  // Explicitly disabled.
+    }
+    const std::string path = (dir.empty() ? std::string() : dir + "/") +
+                             "BENCH_" + bench_name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "warning: could not write " << path << "\n";
+        return false;
+    }
+    Write(out);
+    std::cout << "\nwrote " << path << "\n";
+    return true;
 }
 
 }  // namespace sol::telemetry

@@ -3,7 +3,11 @@
  * Named metric collection for experiments and runtime introspection.
  *
  * Benchmarks accumulate counters/gauges/series here and render them as
- * aligned tables (the rows the paper's figures plot) or CSV.
+ * aligned tables (the rows the paper's figures plot), CSV, or JSON.
+ * Multi-agent harnesses namespace their metrics per agent/node with
+ * MetricScope, and every bench binary emits a machine-readable
+ * BENCH_<name>.json alongside its human tables via BenchJson so figure
+ * data stays diffable across PRs.
  */
 #pragma once
 
@@ -11,6 +15,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sol::telemetry {
@@ -45,12 +50,90 @@ class MetricRegistry
     /** Writes one series as CSV rows (x,y). */
     void PrintSeriesCsv(std::ostream& os, const std::string& name) const;
 
+    /** Writes every counter, gauge, and series as one JSON object. */
+    void WriteJson(std::ostream& os) const;
+
+    /** Merges another registry's metrics under `prefix + "."`. */
+    void MergeFrom(const MetricRegistry& other, const std::string& prefix);
+
     void Clear();
+
+    const std::map<std::string, std::uint64_t>& counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, double>& gauges() const { return gauges_; }
 
   private:
     std::map<std::string, std::uint64_t> counters_;
     std::map<std::string, double> gauges_;
     std::map<std::string, std::vector<SeriesPoint>> series_;
+};
+
+/**
+ * Prefix-forwarding view of a MetricRegistry.
+ *
+ * Co-located agents and multi-node fleets share one registry; each
+ * writer namespaces its metrics ("node0.smart-harvest.epochs") by going
+ * through a scope. Scopes nest: Sub("x").Sub("y") writes "x.y.<name>".
+ */
+class MetricScope
+{
+  public:
+    MetricScope(MetricRegistry& registry, std::string prefix)
+        : registry_(registry), prefix_(std::move(prefix))
+    {
+    }
+
+    void
+    Increment(const std::string& name, std::uint64_t delta = 1)
+    {
+        registry_.Increment(Key(name), delta);
+    }
+
+    void
+    SetGauge(const std::string& name, double value)
+    {
+        registry_.SetGauge(Key(name), value);
+    }
+
+    void
+    AppendSeries(const std::string& name, double x, double y)
+    {
+        registry_.AppendSeries(Key(name), x, y);
+    }
+
+    std::uint64_t
+    Counter(const std::string& name) const
+    {
+        return registry_.Counter(Key(name));
+    }
+
+    double
+    Gauge(const std::string& name) const
+    {
+        return registry_.Gauge(Key(name));
+    }
+
+    /** Derives a nested scope. */
+    MetricScope
+    Sub(const std::string& prefix) const
+    {
+        return MetricScope(registry_, Key(prefix));
+    }
+
+    const std::string& prefix() const { return prefix_; }
+    MetricRegistry& registry() { return registry_; }
+
+  private:
+    std::string
+    Key(const std::string& name) const
+    {
+        return prefix_.empty() ? name : prefix_ + "." + name;
+    }
+
+    MetricRegistry& registry_;
+    std::string prefix_;
 };
 
 /**
@@ -72,9 +155,69 @@ class TableWriter
     /** Formats a double with fixed precision. */
     static std::string Num(double v, int precision = 3);
 
+    const std::vector<std::string>& headers() const { return headers_; }
+    const std::vector<std::vector<std::string>>& rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Machine-readable companion of a bench binary's human output.
+ *
+ * Each bench registers the tables it prints (and, optionally, a metric
+ * registry) and then writes BENCH_<name>.json next to the binary's
+ * working directory, so per-figure data is diffable across commits:
+ *
+ *   TableWriter table(...);           // printed for humans as before
+ *   BenchJson json("fig6_harvest_safeguards");
+ *   json.AddTable("results", table);
+ *   json.WriteFile();                 // -> BENCH_fig6_harvest_safeguards.json
+ *
+ * Numeric-looking cells are emitted as JSON numbers so downstream
+ * tooling can chart them without re-parsing strings. The output
+ * directory can be overridden with the SOL_BENCH_JSON_DIR environment
+ * variable; setting it to "-" disables file output.
+ */
+class BenchJson
+{
+  public:
+    explicit BenchJson(std::string bench_name);
+
+    /** Registers a printed table under a section name. */
+    void AddTable(const std::string& section, const TableWriter& table);
+
+    /** Registers a whole metric registry under a section name. */
+    void AddMetrics(const std::string& section,
+                    const MetricRegistry& registry);
+
+    /** Serializes all registered sections as one JSON document. */
+    void Write(std::ostream& os) const;
+
+    /**
+     * Writes BENCH_<name>.json and prints a one-line confirmation.
+     *
+     * @return false if the file could not be opened (the bench's human
+     *   output is unaffected).
+     */
+    bool WriteFile() const;
+
+  private:
+    struct Section {
+        std::string name;
+        bool is_table = false;
+        // Copied snapshots, so callers may discard the originals.
+        std::vector<std::string> headers;
+        std::vector<std::vector<std::string>> rows;
+        MetricRegistry metrics;
+    };
+
+    std::string bench_name_;
+    std::vector<Section> sections_;
 };
 
 }  // namespace sol::telemetry

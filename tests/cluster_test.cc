@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Tests for the multi-agent node + cluster simulation subsystem:
+ * InterferenceArbiter conflict resolution, MultiAgentNode lifecycle and
+ * per-agent accounting, and ClusterDriver fleet determinism.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_driver.h"
+#include "cluster/interference_arbiter.h"
+#include "cluster/multi_agent_node.h"
+#include "core/prediction.h"
+#include "sim/event_queue.h"
+
+namespace sol {
+namespace {
+
+using cluster::ArbitrationPolicy;
+using cluster::ClusterConfig;
+using cluster::ClusterDriver;
+using cluster::InterferenceArbiter;
+using cluster::InterferenceArbiterConfig;
+using cluster::MultiAgentNode;
+using cluster::MultiAgentNodeConfig;
+using core::ActuationDomain;
+using core::ActuationIntent;
+using core::ActuationRequest;
+
+ActuationRequest
+Expand(const std::string& agent, ActuationDomain domain,
+       double magnitude = 1.0)
+{
+    return {agent, domain, ActuationIntent::kExpand, magnitude};
+}
+
+ActuationRequest
+Restore(const std::string& agent, ActuationDomain domain)
+{
+    return {agent, domain, ActuationIntent::kRestore, 0.0};
+}
+
+// ---- InterferenceArbiter ------------------------------------------------
+
+TEST(InterferenceArbiter, ResolvesOverclockVsHarvestDeterministically)
+{
+    telemetry::MetricRegistry metrics;
+    InterferenceArbiter arbiter(
+        {}, telemetry::MetricScope(metrics, "arbiter"));
+
+    // Scripted conflict: SmartHarvest reclaims cores, then
+    // SmartOverclock tries to raise frequency on the coupled domain.
+    EXPECT_TRUE(
+        arbiter.Admit(Expand("smart-harvest", ActuationDomain::kCpuCores))
+            .admitted);
+    const auto denied = arbiter.Admit(
+        Expand("smart-overclock", ActuationDomain::kCpuFrequency, 2.3));
+    EXPECT_FALSE(denied.admitted);
+    EXPECT_EQ(denied.conflicting_agent, "smart-harvest");
+    EXPECT_EQ(arbiter.conflicts_resolved(), 1u);
+
+    // The holder restores; the boost is now admitted.
+    EXPECT_TRUE(
+        arbiter.Admit(Restore("smart-harvest", ActuationDomain::kCpuCores))
+            .admitted);
+    EXPECT_TRUE(arbiter
+                    .Admit(Expand("smart-overclock",
+                                  ActuationDomain::kCpuFrequency, 2.3))
+                    .admitted);
+    EXPECT_EQ(arbiter.conflicts_resolved(), 1u);
+
+    // Per-agent accounting is namespaced in the registry.
+    EXPECT_EQ(metrics.Counter("arbiter.smart-overclock.denied"), 1u);
+    EXPECT_EQ(metrics.Counter("arbiter.smart-harvest.restores"), 1u);
+    EXPECT_EQ(metrics.Counter(
+                  "arbiter.denial.smart-overclock.by.smart-harvest"),
+              1u);
+}
+
+TEST(InterferenceArbiter, SameDomainContentionBetweenAgents)
+{
+    telemetry::MetricRegistry metrics;
+    InterferenceArbiter arbiter(
+        {}, telemetry::MetricScope(metrics, "arbiter"));
+
+    EXPECT_TRUE(arbiter.Admit(Expand("a", ActuationDomain::kCpuCores))
+                    .admitted);
+    // Refreshing one's own hold is never a conflict.
+    EXPECT_TRUE(arbiter.Admit(Expand("a", ActuationDomain::kCpuCores))
+                    .admitted);
+    EXPECT_FALSE(arbiter.Admit(Expand("b", ActuationDomain::kCpuCores))
+                     .admitted);
+    EXPECT_EQ(arbiter.HolderOf(ActuationDomain::kCpuCores), "a");
+
+    // Uncoupled domains do not conflict.
+    EXPECT_TRUE(
+        arbiter.Admit(Expand("b", ActuationDomain::kTelemetryBudget))
+            .admitted);
+}
+
+TEST(InterferenceArbiter, RestoreIsNeverBlocked)
+{
+    telemetry::MetricRegistry metrics;
+    InterferenceArbiter arbiter(
+        {}, telemetry::MetricScope(metrics, "arbiter"));
+
+    EXPECT_TRUE(arbiter.Admit(Expand("a", ActuationDomain::kCpuCores))
+                    .admitted);
+    // A denied agent can still restore (its safeguard path).
+    EXPECT_FALSE(
+        arbiter.Admit(Expand("b", ActuationDomain::kCpuFrequency))
+            .admitted);
+    EXPECT_TRUE(
+        arbiter.Admit(Restore("b", ActuationDomain::kCpuFrequency))
+            .admitted);
+}
+
+TEST(InterferenceArbiter, DisabledArbiterObservesButAdmits)
+{
+    telemetry::MetricRegistry metrics;
+    InterferenceArbiterConfig config;
+    config.enabled = false;
+    InterferenceArbiter arbiter(
+        config, telemetry::MetricScope(metrics, "arbiter"));
+
+    EXPECT_TRUE(
+        arbiter.Admit(Expand("smart-harvest", ActuationDomain::kCpuCores))
+            .admitted);
+    EXPECT_TRUE(arbiter
+                    .Admit(Expand("smart-overclock",
+                                  ActuationDomain::kCpuFrequency))
+                    .admitted);
+    EXPECT_EQ(arbiter.conflicts_observed(), 1u);
+    EXPECT_EQ(arbiter.conflicts_resolved(), 0u);
+}
+
+TEST(InterferenceArbiter, StaticPriorityLetsImportantAgentThrough)
+{
+    telemetry::MetricRegistry metrics;
+    InterferenceArbiterConfig config;
+    config.policy = ArbitrationPolicy::kStaticPriority;
+    config.priority = {"smart-overclock", "smart-harvest"};
+    InterferenceArbiter arbiter(
+        config, telemetry::MetricScope(metrics, "arbiter"));
+
+    EXPECT_TRUE(
+        arbiter.Admit(Expand("smart-harvest", ActuationDomain::kCpuCores))
+            .admitted);
+    // Overclock outranks the harvest holder and is admitted...
+    EXPECT_TRUE(arbiter
+                    .Admit(Expand("smart-overclock",
+                                  ActuationDomain::kCpuFrequency))
+                    .admitted);
+    // ...and the lower-priority agent's next expand is the one denied.
+    EXPECT_FALSE(
+        arbiter.Admit(Expand("smart-harvest", ActuationDomain::kCpuCores))
+            .admitted);
+}
+
+// ---- Scripted conflict through the real actuators -----------------------
+
+TEST(MultiAgentNode, ArbiterResolvesScriptedActuatorConflict)
+{
+    sim::EventQueue queue;
+    MultiAgentNodeConfig config;
+    MultiAgentNode node(queue, config);
+
+    auto* harvest = node.harvest_actuator();
+    auto* overclock = node.overclock_actuator();
+    ASSERT_NE(harvest, nullptr);
+    ASSERT_NE(overclock, nullptr);
+
+    const double nominal = node.node().NominalFrequency();
+    const double boost =
+        node.node().AllowedFrequencies().back();  // Highest DVFS step.
+    const int allocated = node.node().AllocatedCores(node.primary_vm());
+
+    // Script: SmartHarvest acts on a prediction that reclaims cores...
+    harvest->TakeAction(core::MakePrediction(allocated - 2, queue.Now(),
+                                             sim::Seconds(1)));
+    EXPECT_EQ(node.node().GrantedCores(node.elastic_vm()), 2);
+
+    // ...then SmartOverclock tries to boost: the arbiter denies it and
+    // the actuator takes its conservative action (nominal frequency).
+    overclock->TakeAction(
+        core::MakePrediction(boost, queue.Now(), sim::Seconds(1)));
+    EXPECT_EQ(node.node().VmFrequency(node.primary_vm()), nominal);
+    EXPECT_GE(node.arbiter().conflicts_resolved(), 1u);
+
+    // Once harvesting stops, the same boost goes through.
+    harvest->TakeAction(std::nullopt);  // Conservative: return cores.
+    overclock->TakeAction(
+        core::MakePrediction(boost, queue.Now(), sim::Seconds(1)));
+    EXPECT_EQ(node.node().VmFrequency(node.primary_vm()), boost);
+
+    // Determinism: the scripted sequence resolves exactly one conflict.
+    EXPECT_EQ(node.arbiter().conflicts_resolved(), 1u);
+}
+
+// ---- MultiAgentNode lifecycle -------------------------------------------
+
+TEST(MultiAgentNode, RunsAllFourAgentsConcurrently)
+{
+    sim::EventQueue queue;
+    MultiAgentNodeConfig config;
+    MultiAgentNode node(queue, config);
+
+    // All four agents are registered before the node even starts.
+    EXPECT_EQ(node.registry().size(), 4u);
+    EXPECT_TRUE(node.registry().Contains("smart-overclock"));
+    EXPECT_TRUE(node.registry().Contains("smart-harvest"));
+    EXPECT_TRUE(node.registry().Contains("smart-memory"));
+    EXPECT_TRUE(node.registry().Contains("smart-monitor"));
+
+    node.Start();
+    queue.RunFor(sim::Seconds(5));
+
+    // Every agent's model loop made progress on the shared queue.
+    EXPECT_GT(node.OverclockStats().epochs, 0u);
+    EXPECT_GT(node.HarvestStats().epochs, 0u);
+    EXPECT_GT(node.MonitorStats().epochs, 0u);
+    // SmartMemory's epoch is 38.4 s; its model loop must at least be
+    // collecting scan rounds by now.
+    EXPECT_GT(node.MemoryStats().samples_collected, 0u);
+    // Harvest dominates the epoch count (25 ms epochs => ~40/s).
+    EXPECT_GE(node.TotalEpochs(), 150u);
+
+    node.CollectMetrics();
+    EXPECT_GT(node.metrics().Gauge("smart-harvest.epochs"), 0.0);
+    EXPECT_GT(node.metrics().Gauge("smart-overclock.actions_taken"), 0.0);
+    EXPECT_GT(node.metrics().Gauge("node.total_epochs"), 0.0);
+    node.Stop();
+}
+
+TEST(MultiAgentNode, DisabledAgentsLeaveRegistryAndQueueIdle)
+{
+    sim::EventQueue queue;
+    MultiAgentNodeConfig config;
+    config.run_memory = false;
+    config.run_monitor = false;
+    MultiAgentNode node(queue, config);
+
+    EXPECT_EQ(node.registry().size(), 2u);
+    node.Start();
+    queue.RunFor(sim::Seconds(1));
+    EXPECT_EQ(node.MemoryStats().epochs, 0u);
+    EXPECT_EQ(node.MonitorStats().epochs, 0u);
+    EXPECT_GT(node.HarvestStats().epochs, 0u);
+    node.Stop();
+}
+
+TEST(MultiAgentNode, CleanUpAllRestoresCleanNodeState)
+{
+    sim::EventQueue queue;
+    MultiAgentNodeConfig config;
+    MultiAgentNode node(queue, config);
+    node.Start();
+    queue.RunFor(sim::Seconds(5));
+
+    // The SRE path: terminate every agent by registry alone.
+    node.CleanUpAll();
+    EXPECT_EQ(node.node().VmFrequency(node.primary_vm()),
+              node.node().NominalFrequency());
+    EXPECT_EQ(node.node().GrantedCores(node.elastic_vm()), 0);
+    EXPECT_EQ(node.node().GrantedCores(node.primary_vm()),
+              node.node().AllocatedCores(node.primary_vm()));
+    EXPECT_TRUE(node.policy().is_uniform());
+
+    // CleanUp is idempotent.
+    node.CleanUpAll();
+    EXPECT_EQ(node.node().GrantedCores(node.elastic_vm()), 0);
+}
+
+TEST(MultiAgentNode, RunIsDeterministicForAFixedSeed)
+{
+    auto run = [](std::uint64_t seed) {
+        sim::EventQueue queue;
+        MultiAgentNodeConfig config;
+        config.seed = seed;
+        MultiAgentNode node(queue, config);
+        node.Start();
+        queue.RunFor(sim::Seconds(3));
+        node.CollectMetrics();
+        struct Result {
+            std::uint64_t epochs;
+            std::uint64_t harvest_samples;
+            std::uint64_t arbiter_requests;
+            double p99;
+        } r{node.TotalEpochs(),
+            node.HarvestStats().samples_collected,
+            node.arbiter().requests(),
+            node.primary_workload().PerformanceValue()};
+        node.Stop();
+        return r;
+    };
+
+    const auto a = run(7);
+    const auto b = run(7);
+    EXPECT_EQ(a.epochs, b.epochs);
+    EXPECT_EQ(a.harvest_samples, b.harvest_samples);
+    EXPECT_EQ(a.arbiter_requests, b.arbiter_requests);
+    EXPECT_EQ(a.p99, b.p99);
+
+    // A different seed drives a different trajectory.
+    const auto c = run(8);
+    EXPECT_NE(a.p99, c.p99);
+}
+
+// ---- ClusterDriver -------------------------------------------------------
+
+TEST(ClusterDriver, StepsMultipleNodesOnOneSharedClock)
+{
+    ClusterConfig config;
+    config.num_nodes = 3;
+    ClusterDriver driver(config);
+    driver.Run(sim::Seconds(2));
+
+    const cluster::FleetStats fleet = driver.Stats();
+    EXPECT_GT(fleet.total_epochs, 0u);
+    EXPECT_GT(fleet.total_actions, 0u);
+    for (std::size_t i = 0; i < driver.num_nodes(); ++i) {
+        EXPECT_GT(driver.node(i).TotalEpochs(), 0u)
+            << "node " << i << " made no progress";
+    }
+
+    telemetry::MetricRegistry out;
+    driver.CollectFleetMetrics(out);
+    EXPECT_EQ(out.Gauge("fleet.num_nodes"), 3.0);
+    EXPECT_GT(out.Gauge("fleet.total_epochs"), 0.0);
+    EXPECT_GT(out.Gauge("node0.smart-harvest.epochs"), 0.0);
+    EXPECT_GT(out.Gauge("node2.smart-harvest.epochs"), 0.0);
+    driver.Stop();
+}
+
+TEST(ClusterDriver, PerNodeRngStreamsAreIndependentButReproducible)
+{
+    auto run = [](std::uint64_t base_seed) {
+        ClusterConfig config;
+        config.num_nodes = 2;
+        config.base_seed = base_seed;
+        ClusterDriver driver(config);
+        driver.Run(sim::Seconds(2));
+        std::vector<double> p99;
+        for (std::size_t i = 0; i < driver.num_nodes(); ++i) {
+            p99.push_back(
+                driver.node(i).primary_workload().PerformanceValue());
+        }
+        driver.Stop();
+        return p99;
+    };
+
+    const auto a = run(1);
+    const auto b = run(1);
+    EXPECT_EQ(a, b);  // Same fleet seed => identical fleet trajectory.
+    EXPECT_NE(a[0], a[1]);  // Nodes within a fleet diverge.
+
+    // Distinct per-node seeds come out of the derivation.
+    EXPECT_NE(ClusterDriver::DeriveNodeSeed(1, 0),
+              ClusterDriver::DeriveNodeSeed(1, 1));
+    EXPECT_NE(ClusterDriver::DeriveNodeSeed(1, 0),
+              ClusterDriver::DeriveNodeSeed(2, 0));
+}
+
+TEST(ClusterDriver, CleanUpAllSweepsEveryNode)
+{
+    ClusterConfig config;
+    config.num_nodes = 2;
+    ClusterDriver driver(config);
+    driver.Run(sim::Seconds(2));
+    driver.CleanUpAll();
+    for (std::size_t i = 0; i < driver.num_nodes(); ++i) {
+        MultiAgentNode& node = driver.node(i);
+        EXPECT_EQ(node.node().VmFrequency(node.primary_vm()),
+                  node.node().NominalFrequency());
+        EXPECT_EQ(node.node().GrantedCores(node.elastic_vm()), 0);
+    }
+}
+
+}  // namespace
+}  // namespace sol

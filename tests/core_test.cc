@@ -7,7 +7,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/agent_registry.h"
@@ -204,6 +207,100 @@ TEST(AgentRegistryTest, NamesSorted)
     ASSERT_EQ(names.size(), 2u);
     EXPECT_EQ(names[0], "alpha");
     EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(AgentRegistryTest, MultiAgentRegistrationAndLookup)
+{
+    // The deployment shape: many agents side by side in one registry,
+    // each terminable by name without disturbing the others.
+    AgentRegistry registry;
+    std::vector<int> cleaned(8, 0);
+    for (int i = 0; i < 8; ++i) {
+        registry.Register("agent-" + std::to_string(i),
+                          [&cleaned, i] { ++cleaned[i]; });
+    }
+    EXPECT_EQ(registry.size(), 8u);
+    EXPECT_TRUE(registry.CleanUp("agent-3"));
+    EXPECT_EQ(cleaned[3], 1);
+    EXPECT_EQ(cleaned[2], 0);
+    // CleanUp does not unregister: the callback stays invocable.
+    EXPECT_TRUE(registry.Contains("agent-3"));
+    registry.CleanUpAll();
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_GE(cleaned[i], 1) << "agent-" << i;
+    }
+}
+
+TEST(AgentRegistryTest, ConcurrentRegisterDeregisterAndCleanUp)
+{
+    // Agents churn (register/unregister) on some threads while an SRE
+    // thread repeatedly fires whole-registry cleanup. Nothing may
+    // deadlock, crash, or run a callback after a torn registration.
+    AgentRegistry registry;
+    std::atomic<int> cleanups{0};
+    constexpr int kThreads = 4;
+    constexpr int kIterations = 500;
+
+    std::vector<std::thread> churners;
+    for (int t = 0; t < kThreads; ++t) {
+        churners.emplace_back([&registry, &cleanups, t] {
+            const std::string name = "churn-" + std::to_string(t);
+            for (int i = 0; i < kIterations; ++i) {
+                registry.Register(name, [&cleanups] { ++cleanups; });
+                registry.CleanUp(name);
+                registry.Unregister(name);
+            }
+        });
+    }
+    std::thread sre([&registry] {
+        for (int i = 0; i < kIterations; ++i) {
+            registry.CleanUpAll();
+            registry.Names();
+            registry.size();
+        }
+    });
+    for (auto& thread : churners) {
+        thread.join();
+    }
+    sre.join();
+
+    // Every churner ran its own cleanup each iteration; the SRE sweep
+    // may have added more.
+    EXPECT_GE(cleanups.load(), kThreads * kIterations);
+    EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(AgentRegistryTest, ScopedRegistrationCleansUpOnDestruction)
+{
+    AgentRegistry registry;
+    int cleaned = 0;
+    {
+        ScopedRegistration scoped(registry, "scoped-agent",
+                                  [&cleaned] { ++cleaned; });
+        EXPECT_TRUE(registry.Contains("scoped-agent"));
+        EXPECT_EQ(cleaned, 0);
+    }
+    EXPECT_EQ(cleaned, 1);
+    EXPECT_FALSE(registry.Contains("scoped-agent"));
+}
+
+TEST(AgentRegistryTest, ScopedRegistrationMoveTransfersOwnership)
+{
+    AgentRegistry registry;
+    int cleaned = 0;
+    {
+        ScopedRegistration outer;
+        {
+            ScopedRegistration inner(registry, "moved-agent",
+                                     [&cleaned] { ++cleaned; });
+            outer = std::move(inner);
+        }
+        // The moved-from registration released nothing.
+        EXPECT_EQ(cleaned, 0);
+        EXPECT_TRUE(registry.Contains("moved-agent"));
+    }
+    EXPECT_EQ(cleaned, 1);
+    EXPECT_FALSE(registry.Contains("moved-agent"));
 }
 
 // ---------------------------------------------------------------------------

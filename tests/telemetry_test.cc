@@ -299,5 +299,95 @@ TEST(TableWriterTest, NumFormatsPrecision)
     EXPECT_EQ(TableWriter::Num(2.0, 0), "2");
 }
 
+// ---------------------------------------------------------------------------
+// MetricScope namespacing and registry merging (multi-agent accounting)
+// ---------------------------------------------------------------------------
+
+TEST(MetricScopeTest, PrefixesEveryMetricKind)
+{
+    MetricRegistry registry;
+    MetricScope scope(registry, "node0");
+    scope.Increment("epochs", 3);
+    scope.SetGauge("p99", 1.5);
+    scope.AppendSeries("trace", 1.0, 2.0);
+
+    EXPECT_EQ(registry.Counter("node0.epochs"), 3u);
+    EXPECT_EQ(registry.Gauge("node0.p99"), 1.5);
+    ASSERT_EQ(registry.Series("node0.trace").size(), 1u);
+    EXPECT_EQ(scope.Counter("epochs"), 3u);
+    EXPECT_EQ(scope.Gauge("p99"), 1.5);
+}
+
+TEST(MetricScopeTest, SubScopesNest)
+{
+    MetricRegistry registry;
+    MetricScope agent = MetricScope(registry, "node1").Sub("harvest");
+    agent.Increment("denied");
+    EXPECT_EQ(registry.Counter("node1.harvest.denied"), 1u);
+}
+
+TEST(MetricRegistryTest, MergeFromNamespacesAndAccumulates)
+{
+    MetricRegistry node;
+    node.Increment("epochs", 5);
+    node.SetGauge("p99", 2.0);
+    node.AppendSeries("trace", 0.0, 1.0);
+
+    MetricRegistry fleet;
+    fleet.MergeFrom(node, "node3");
+    fleet.MergeFrom(node, "node3");  // Counters accumulate on re-merge.
+    EXPECT_EQ(fleet.Counter("node3.epochs"), 10u);
+    EXPECT_EQ(fleet.Gauge("node3.p99"), 2.0);
+    EXPECT_EQ(fleet.Series("node3.trace").size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// JSON output (the machine-readable bench companion)
+// ---------------------------------------------------------------------------
+
+TEST(MetricRegistryTest, WriteJsonEmitsAllMetricKinds)
+{
+    MetricRegistry registry;
+    registry.Increment("runs", 2);
+    registry.SetGauge("speedup", 1.25);
+    registry.AppendSeries("curve", 1.0, 2.0);
+    std::ostringstream out;
+    registry.WriteJson(out);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"runs\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"speedup\": 1.25"), std::string::npos);
+    EXPECT_NE(json.find("[[1,2]]"), std::string::npos);
+}
+
+TEST(BenchJsonTest, TablesSerializeWithNumericCells)
+{
+    TableWriter table({"workload", "perf"});
+    table.AddRow({"image-dnn", "1.250"});
+    table.AddRow({"moses", "n/a"});
+
+    BenchJson json("fig_test");
+    json.AddTable("results", table);
+    std::ostringstream out;
+    json.Write(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("\"bench\": \"fig_test\""), std::string::npos);
+    EXPECT_NE(text.find("\"headers\": [\"workload\",\"perf\"]"),
+              std::string::npos);
+    // Numeric-looking cells become JSON numbers, others stay strings.
+    EXPECT_NE(text.find("[\"image-dnn\",1.25]"), std::string::npos);
+    EXPECT_NE(text.find("[\"moses\",\"n/a\"]"), std::string::npos);
+}
+
+TEST(BenchJsonTest, MetricsSectionsEmbedRegistries)
+{
+    MetricRegistry registry;
+    registry.Increment("conflicts", 4);
+    BenchJson json("fig_test");
+    json.AddMetrics("fleet", registry);
+    std::ostringstream out;
+    json.Write(out);
+    EXPECT_NE(out.str().find("\"conflicts\": 4"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sol::telemetry
