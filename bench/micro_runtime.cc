@@ -52,6 +52,56 @@ BM_EventQueueScheduleAndRun(benchmark::State& state)
 }
 BENCHMARK(BM_EventQueueScheduleAndRun);
 
+// Steady-state churn: 1000 concurrent self-rescheduling events (the
+// PeriodicTask / runtime-loop pattern). Every firing recycles its own
+// arena slot; items/sec is sustained simulation throughput.
+void
+BM_EventQueueSteadyChurn(benchmark::State& state)
+{
+    sol::sim::EventQueue queue;
+    std::function<void(int)> arm = [&](int i) {
+        queue.ScheduleAfter(sol::sim::Micros(50 + i % 97),
+                            [&arm, i] { arm(i); });
+    };
+    for (int i = 0; i < 1000; ++i) {
+        arm(i);
+    }
+    const std::uint64_t before = queue.executed();
+    for (auto _ : state) {
+        queue.RunFor(sol::sim::Millis(1));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(queue.executed() - before));
+}
+BENCHMARK(BM_EventQueueSteadyChurn);
+
+// Cancellation-heavy churn: each firing also arms and immediately
+// cancels a timeout (SimRuntime re-arms its actuator timeout on every
+// action). Eager arena removal keeps cancelled events from piling up
+// in the heap; the seed binary-heap queue dragged them to deadline.
+void
+BM_EventQueueCancelChurn(benchmark::State& state)
+{
+    sol::sim::EventQueue queue;
+    std::function<void(int)> arm = [&](int i) {
+        sol::sim::EventHandle timeout =
+            queue.ScheduleAfter(sol::sim::Millis(5), [] {});
+        timeout.Cancel();
+        queue.ScheduleAfter(sol::sim::Micros(50 + i % 97),
+                            [&arm, i] { arm(i); });
+    };
+    for (int i = 0; i < 1000; ++i) {
+        arm(i);
+    }
+    const std::uint64_t before = queue.executed();
+    for (auto _ : state) {
+        queue.RunFor(sol::sim::Millis(1));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(queue.executed() - before));
+}
+BENCHMARK(BM_EventQueueCancelChurn);
+
 void
 BM_QLearnerUpdate(benchmark::State& state)
 {

@@ -16,6 +16,7 @@ ClusterDriver::DeriveNodeSeed(std::uint64_t base_seed,
 ClusterDriver::ClusterDriver(const ClusterConfig& config)
     : config_(config)
 {
+    queue_.SetPendingLimit(config_.queue_pending_limit);
     nodes_.reserve(config_.num_nodes);
     for (std::size_t i = 0; i < config_.num_nodes; ++i) {
         MultiAgentNodeConfig node_config = config_.node;
@@ -65,13 +66,11 @@ ClusterDriver::Stats() const
 {
     FleetStats fleet;
     for (const auto& node : nodes_) {
-        fleet.total_epochs += node->TotalEpochs();
-        for (const core::RuntimeStats& stats :
-             {node->OverclockStats(), node->HarvestStats(),
-              node->MemoryStats(), node->MonitorStats()}) {
-            fleet.total_actions += stats.actions_taken;
-            fleet.safeguard_triggers += stats.safeguard_triggers;
-        }
+        const core::RuntimeStats stats = node->AggregateStats();
+        fleet.total_agents += node->num_agents();
+        fleet.total_epochs += stats.epochs;
+        fleet.total_actions += stats.actions_taken;
+        fleet.safeguard_triggers += stats.safeguard_triggers;
         fleet.arbiter_requests += node->arbiter().requests();
         fleet.conflicts_observed += node->arbiter().conflicts_observed();
         fleet.conflicts_resolved += node->arbiter().conflicts_resolved();
@@ -89,6 +88,8 @@ ClusterDriver::CollectFleetMetrics(telemetry::MetricRegistry& out)
     const FleetStats fleet = Stats();
     telemetry::MetricScope scope(out, "fleet");
     scope.SetGauge("num_nodes", static_cast<double>(nodes_.size()));
+    scope.SetGauge("total_agents",
+                   static_cast<double>(fleet.total_agents));
     scope.SetGauge("total_epochs",
                    static_cast<double>(fleet.total_epochs));
     scope.SetGauge("total_actions",
@@ -101,6 +102,23 @@ ClusterDriver::CollectFleetMetrics(telemetry::MetricRegistry& out)
                    static_cast<double>(fleet.conflicts_observed));
     scope.SetGauge("conflicts_resolved",
                    static_cast<double>(fleet.conflicts_resolved));
+
+    // Shared-queue health: the whole fleet multiplexes one EventQueue,
+    // so its arena footprint and drop counters are fleet-level signals.
+    const sim::EventQueueStats queue = queue_.stats();
+    telemetry::MetricScope queue_scope = scope.Sub("queue");
+    queue_scope.SetGauge("executed",
+                         static_cast<double>(queue.executed));
+    queue_scope.SetGauge("scheduled",
+                         static_cast<double>(queue.scheduled));
+    queue_scope.SetGauge("cancelled",
+                         static_cast<double>(queue.cancelled));
+    queue_scope.SetGauge("dropped", static_cast<double>(queue.dropped));
+    queue_scope.SetGauge("pending", static_cast<double>(queue.pending));
+    queue_scope.SetGauge("peak_pending",
+                         static_cast<double>(queue.peak_pending));
+    queue_scope.SetGauge("arena_capacity",
+                         static_cast<double>(queue.arena_capacity));
 }
 
 }  // namespace sol::cluster

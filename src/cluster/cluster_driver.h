@@ -36,12 +36,24 @@ struct ClusterConfig {
     /** Offset between consecutive nodes' agent start times. */
     sim::Duration start_stagger = sim::Millis(1);
 
+    /**
+     * Backpressure bound on the shared event queue (0 = unlimited).
+     * Million-event fleet runs set this as a guard rail: an event storm
+     * shows up as `fleet.queue.dropped` instead of a silent OOM. Drops
+     * are lossy (an agent whose control event is shed may stall for the
+     * rest of the run — see sim::EventQueue::SetPendingLimit), so set
+     * it far above the expected peak and treat any non-zero
+     * `fleet.queue.dropped` as an invalid run.
+     */
+    std::size_t queue_pending_limit = 0;
+
     /** Template applied to every node (name/seed overridden per node). */
     MultiAgentNodeConfig node;
 };
 
 /** Roll-up counters across every node in the fleet. */
 struct FleetStats {
+    std::uint64_t total_agents = 0;  ///< Real + synthetic, all nodes.
     std::uint64_t total_epochs = 0;
     std::uint64_t total_actions = 0;
     std::uint64_t safeguard_triggers = 0;

@@ -44,6 +44,8 @@ WriteRuntimeStats(telemetry::MetricScope scope,
                    static_cast<double>(stats.expired_predictions));
     scope.SetGauge("dropped_while_halted",
                    static_cast<double>(stats.dropped_while_halted));
+    scope.SetGauge("peak_queued_predictions",
+                   static_cast<double>(stats.peak_queued_predictions));
     scope.SetGauge("actions_taken",
                    static_cast<double>(stats.actions_taken));
     scope.SetGauge("actions_with_prediction",
@@ -164,6 +166,24 @@ MultiAgentNode::MultiAgentNode(sim::EventQueue& queue,
         AddAgentSlot(agents::kSmartMonitorName, monitor_runtime_.get(),
                      monitor_actuator_.get());
     }
+
+    // --- Synthetic filler agents up to fleet-realistic counts. --------
+    // Stream seeds 8.. follow the real agents' 4..7; domains alternate
+    // between the two that are uncoupled from the CPU conflict surface.
+    synthetics_.reserve(config_.synthetic_agents);
+    for (std::size_t i = 0; i < config_.synthetic_agents; ++i) {
+        SyntheticAgentConfig cfg = config_.synthetic;
+        cfg.name = "synthetic" + std::to_string(i);
+        cfg.seed = DeriveStreamSeed(config_.seed, 8 + i);
+        cfg.domain = i % 2 == 0
+                         ? core::ActuationDomain::kTelemetryBudget
+                         : core::ActuationDomain::kMemoryPlacement;
+        synthetics_.push_back(std::make_unique<SyntheticAgent>(
+            queue_, cfg, &arbiter_, config_.runtime));
+        SyntheticAgent* agent = synthetics_.back().get();
+        AddAgentSlot(agent->name(), &agent->runtime(),
+                     &agent->actuator());
+    }
 }
 
 MultiAgentNode::~MultiAgentNode() = default;
@@ -220,6 +240,16 @@ MultiAgentNode::TotalEpochs() const
         epochs += slot.stats().epochs;
     }
     return epochs;
+}
+
+core::RuntimeStats
+MultiAgentNode::AggregateStats() const
+{
+    core::RuntimeStats total;
+    for (const AgentSlot& slot : slots_) {
+        total.Accumulate(slot.stats());
+    }
+    return total;
 }
 
 core::RuntimeStats

@@ -36,6 +36,7 @@
 #include "agents/smartmonitor/smartmonitor.h"
 #include "agents/smartoverclock/smartoverclock.h"
 #include "cluster/interference_arbiter.h"
+#include "cluster/synthetic_agent.h"
 #include "core/agent_registry.h"
 #include "core/sim_runtime.h"
 #include "node/channel_array.h"
@@ -63,6 +64,21 @@ struct MultiAgentNodeConfig {
     bool run_harvest = true;
     bool run_memory = true;
     bool run_monitor = true;
+
+    /**
+     * Cheap synthetic agents co-located beside the real four, closing
+     * the gap to the paper's ~77 agents per node (73 synthetics + the
+     * 4 real agents). Each runs a full SimRuntime with O(1) logic and
+     * contends through the shared arbiter; 0 (the default) keeps the
+     * node exactly as the single-purpose experiments expect it.
+     */
+    std::size_t synthetic_agents = 0;
+
+    /** Template for every synthetic agent (name/seed/domain are set
+     *  per instance; domains alternate telemetry/memory placement so
+     *  synthetics pressure the arbiter without monopolizing the
+     *  CPU-frequency/cores conflict surface the real agents study). */
+    SyntheticAgentConfig synthetic;
 
     // --- Substrate sizing -------------------------------------------------
     int total_cores = 16;
@@ -127,6 +143,10 @@ class MultiAgentNode
     /** Sum of learning epochs completed across enabled agents. */
     std::uint64_t TotalEpochs() const;
 
+    /** Field-wise sum of every agent runtime's counters (real and
+     *  synthetic) — the node-level roll-up fleet stats build on. */
+    core::RuntimeStats AggregateStats() const;
+
     // --- Introspection ---------------------------------------------------
     const std::string& name() const { return config_.name; }
     core::AgentRegistry& registry() { return registry_; }
@@ -158,6 +178,15 @@ class MultiAgentNode
         return harvest_actuator_.get();
     }
 
+    std::size_t num_synthetic_agents() const { return synthetics_.size(); }
+    SyntheticAgent& synthetic_agent(std::size_t i)
+    {
+        return *synthetics_[i];
+    }
+
+    /** Total agents on the node (real + synthetic). */
+    std::size_t num_agents() const { return slots_.size(); }
+
   private:
     using OverclockRuntime =
         core::SimRuntime<agents::OverclockSample, double>;
@@ -184,7 +213,7 @@ class MultiAgentNode
     /** Registers an agent's runtime in slots_ and the registry. */
     template <typename Runtime, typename Actuator>
     void
-    AddAgentSlot(const char* name, Runtime* runtime, Actuator* actuator)
+    AddAgentSlot(std::string name, Runtime* runtime, Actuator* actuator)
     {
         slots_.push_back({name, [runtime] { runtime->Start(); },
                           [runtime] { runtime->Stop(); },
@@ -230,6 +259,7 @@ class MultiAgentNode
     std::unique_ptr<agents::MonitorModel> monitor_model_;
     std::unique_ptr<agents::MonitorActuator> monitor_actuator_;
     std::unique_ptr<MonitorRuntime> monitor_runtime_;
+    std::vector<std::unique_ptr<SyntheticAgent>> synthetics_;
 
     // Substrate drivers (armed by Start()).
     sim::Rng incident_rng_;

@@ -1,0 +1,127 @@
+#include "cluster/synthetic_agent.h"
+
+#include <cmath>
+
+namespace sol::cluster {
+
+namespace {
+
+/** Telemetry readings are plausible within this band; injected faults
+ *  land far outside it so ValidateData rejects them. */
+constexpr double kValidRange = 100.0;
+constexpr double kFaultValue = 1e9;
+
+}  // namespace
+
+SyntheticModel::SyntheticModel(const SyntheticAgentConfig& config,
+                               const sim::Clock& clock)
+    : config_(config),
+      clock_(clock),
+      rng_(sim::DeriveStreamSeed(config.seed, 0))
+{
+}
+
+double
+SyntheticModel::CollectData()
+{
+    // Mean-reverting random walk, bounded well inside the valid band.
+    signal_ = 0.95 * signal_ + rng_.NextGaussian();
+    if (rng_.NextBool(config_.invalid_fraction)) {
+        return kFaultValue;  // Out-of-range reading (driver glitch).
+    }
+    return signal_;
+}
+
+bool
+SyntheticModel::ValidateData(const double& data)
+{
+    return std::abs(data) < kValidRange;
+}
+
+void
+SyntheticModel::CommitData(sim::TimePoint /*time*/, const double& data)
+{
+    epoch_sum_ += data;
+    ++epoch_count_;
+}
+
+void
+SyntheticModel::UpdateModel()
+{
+    if (epoch_count_ > 0) {
+        model_value_ = epoch_sum_ / static_cast<double>(epoch_count_);
+    }
+    epoch_sum_ = 0.0;
+    epoch_count_ = 0;
+}
+
+core::Prediction<double>
+SyntheticModel::ModelPredict()
+{
+    return core::MakePrediction(model_value_, clock_.Now(),
+                                config_.prediction_ttl);
+}
+
+core::Prediction<double>
+SyntheticModel::DefaultPredict()
+{
+    return core::MakeDefaultPrediction(0.0, clock_.Now(),
+                                       config_.prediction_ttl);
+}
+
+SyntheticActuator::SyntheticActuator(const SyntheticAgentConfig& config)
+    : config_(config), rng_(sim::DeriveStreamSeed(config.seed, 1))
+{
+}
+
+void
+SyntheticActuator::TakeAction(std::optional<core::Prediction<double>> pred)
+{
+    const bool model_driven = pred.has_value() && !pred->is_default;
+    if (model_driven && rng_.NextBool(config_.expand_fraction)) {
+        if (core::AdmitActuation(governor_, config_.name, config_.domain,
+                                 core::ActuationIntent::kExpand,
+                                 std::abs(pred->value))) {
+            holding_ = true;
+            ++expands_admitted_;
+            return;
+        }
+        ++expands_denied_;  // Denied: fall through to the safe path.
+    }
+    Restore();
+}
+
+void
+SyntheticActuator::Restore()
+{
+    // Restores are always admitted; announcing one releases any hold.
+    core::AdmitActuation(governor_, config_.name, config_.domain,
+                         core::ActuationIntent::kRestore);
+    holding_ = false;
+}
+
+core::Schedule
+SyntheticAgent::MakeSchedule(const SyntheticAgentConfig& config)
+{
+    core::Schedule schedule;
+    schedule.data_per_epoch = config.data_per_epoch;
+    schedule.data_collect_interval = config.data_collect_interval;
+    schedule.max_epoch_time = config.max_epoch_time;
+    schedule.max_actuation_delay = config.max_actuation_delay;
+    schedule.assess_actuator_interval = config.assess_actuator_interval;
+    return schedule;
+}
+
+SyntheticAgent::SyntheticAgent(sim::EventQueue& queue,
+                               const SyntheticAgentConfig& config,
+                               core::ActuationGovernor* governor,
+                               const core::RuntimeOptions& options)
+    : config_(config),
+      model_(config_, queue),
+      actuator_(config_),
+      runtime_(queue, model_, actuator_, MakeSchedule(config_), options)
+{
+    actuator_.SetGovernor(governor);
+}
+
+}  // namespace sol::cluster

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Cheap synthetic agents for fleet-realistic node pressure.
+ *
+ * The paper's production nodes run ~77 agents concurrently; this repo's
+ * four real agents (SmartOverclock/Harvest/Memory/Monitor) exercise the
+ * paper's *learning* logic, but four registrations cannot reproduce the
+ * registry, arbiter, and event-queue pressure of a production node. A
+ * SyntheticAgent is the filler: a complete Model + Actuator + Schedule
+ * triple with trivial O(1) logic — a random-walk telemetry stream, a
+ * running-mean "model", and an actuator that occasionally spends shared
+ * headroom through the node's ActuationGovernor — so 70+ of them run in
+ * their own SimRuntimes at realistic cadences for the cost of a few
+ * arithmetic ops per event.
+ *
+ * Everything is seeded: two derived RNG streams (telemetry and actuation
+ * coin flips) make a fleet of synthetic agents bit-reproducible from the
+ * node seed, which the million-event determinism checks in
+ * bench/micro_fleet and tests/cluster_test.cc rely on.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/actuation.h"
+#include "core/actuator.h"
+#include "core/model.h"
+#include "core/prediction.h"
+#include "core/runtime_options.h"
+#include "core/schedule.h"
+#include "core/sim_runtime.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace sol::cluster {
+
+/** Tunables for one synthetic agent. */
+struct SyntheticAgentConfig {
+    /** Registry/metric name ("synthetic12"). */
+    std::string name = "synthetic";
+
+    /** Seed for the agent's derived RNG streams. */
+    std::uint64_t seed = 1;
+
+    // --- Cadence (cheap but deployment-shaped) -------------------------
+    sim::Duration data_collect_interval = sim::Millis(10);
+    int data_per_epoch = 5;
+    sim::Duration max_epoch_time = sim::Millis(200);
+    sim::Duration max_actuation_delay = sim::Millis(250);
+    sim::Duration assess_actuator_interval = sim::Seconds(1);
+    sim::Duration prediction_ttl = sim::Millis(200);
+
+    // --- Behavior ------------------------------------------------------
+    /** Fraction of collected samples injected out-of-range, so the
+     *  data-validation safeguard sees steady rejection traffic. */
+    double invalid_fraction = 0.02;
+
+    /** Probability a model-driven action announces a kExpand on
+     *  `domain` (arbiter pressure); otherwise the agent restores. */
+    double expand_fraction = 0.25;
+
+    /** Shared-resource domain this agent contends on. */
+    core::ActuationDomain domain = core::ActuationDomain::kTelemetryBudget;
+};
+
+/** Random-walk telemetry + running-mean model; O(1) per call. */
+class SyntheticModel : public core::Model<double, double>
+{
+  public:
+    SyntheticModel(const SyntheticAgentConfig& config,
+                   const sim::Clock& clock);
+
+    double CollectData() override;
+    bool ValidateData(const double& data) override;
+    void CommitData(sim::TimePoint time, const double& data) override;
+    void UpdateModel() override;
+    core::Prediction<double> ModelPredict() override;
+    core::Prediction<double> DefaultPredict() override;
+    bool AssessModel() override { return true; }
+
+  private:
+    const SyntheticAgentConfig& config_;
+    const sim::Clock& clock_;
+    sim::Rng rng_;
+    double signal_ = 0.0;        ///< Random-walk telemetry level.
+    double epoch_sum_ = 0.0;
+    std::uint64_t epoch_count_ = 0;
+    double model_value_ = 0.0;   ///< Snapshot taken by UpdateModel.
+};
+
+/**
+ * Actuator that turns predictions into governor traffic: model-driven
+ * actions flip a seeded coin to spend headroom (kExpand on the
+ * configured domain) and otherwise return to baseline (kRestore).
+ * Denials take the conservative restore path, like the real actuators.
+ */
+class SyntheticActuator : public core::Actuator<double>
+{
+  public:
+    explicit SyntheticActuator(const SyntheticAgentConfig& config);
+
+    /** Installs the node's admission control (may be nullptr). */
+    void SetGovernor(core::ActuationGovernor* governor)
+    {
+        governor_ = governor;
+    }
+
+    void TakeAction(std::optional<core::Prediction<double>> pred) override;
+    bool AssessPerformance() override { return true; }
+    void Mitigate() override { Restore(); }
+    void CleanUp() override { Restore(); }
+
+    bool holding() const { return holding_; }
+    std::uint64_t expands_admitted() const { return expands_admitted_; }
+    std::uint64_t expands_denied() const { return expands_denied_; }
+
+  private:
+    void Restore();
+
+    const SyntheticAgentConfig& config_;
+    sim::Rng rng_;
+    core::ActuationGovernor* governor_ = nullptr;
+    bool holding_ = false;
+    std::uint64_t expands_admitted_ = 0;
+    std::uint64_t expands_denied_ = 0;
+};
+
+/** One synthetic agent: model + actuator + SimRuntime, ready to Start. */
+class SyntheticAgent
+{
+  public:
+    using Runtime = core::SimRuntime<double, double>;
+
+    /**
+     * @param queue Shared event queue (owned by the node/driver).
+     * @param config Agent tunables; `config.name` must be unique per
+     *   node (it keys the registry and metric namespace).
+     * @param governor Node admission control; nullptr runs ungoverned.
+     * @param options Shared runtime ablation/fault switches.
+     */
+    SyntheticAgent(sim::EventQueue& queue,
+                   const SyntheticAgentConfig& config,
+                   core::ActuationGovernor* governor,
+                   const core::RuntimeOptions& options);
+
+    const std::string& name() const { return config_.name; }
+    Runtime& runtime() { return runtime_; }
+    SyntheticActuator& actuator() { return actuator_; }
+
+  private:
+    static core::Schedule MakeSchedule(const SyntheticAgentConfig& config);
+
+    SyntheticAgentConfig config_;
+    SyntheticModel model_;
+    SyntheticActuator actuator_;
+    Runtime runtime_;
+};
+
+}  // namespace sol::cluster

@@ -1,6 +1,34 @@
 #include "core/runtime_stats.h"
 
+#include <algorithm>
+
 namespace sol::core {
+
+void
+RuntimeStats::Accumulate(const RuntimeStats& other)
+{
+    samples_collected += other.samples_collected;
+    invalid_samples += other.invalid_samples;
+    epochs += other.epochs;
+    model_updates += other.model_updates;
+    short_circuit_epochs += other.short_circuit_epochs;
+    model_assessments += other.model_assessments;
+    failed_assessments += other.failed_assessments;
+    intercepted_predictions += other.intercepted_predictions;
+    predictions_delivered += other.predictions_delivered;
+    default_predictions += other.default_predictions;
+    expired_predictions += other.expired_predictions;
+    dropped_while_halted += other.dropped_while_halted;
+    peak_queued_predictions =
+        std::max(peak_queued_predictions, other.peak_queued_predictions);
+    actions_taken += other.actions_taken;
+    actions_with_prediction += other.actions_with_prediction;
+    actuator_timeouts += other.actuator_timeouts;
+    actuator_assessments += other.actuator_assessments;
+    safeguard_triggers += other.safeguard_triggers;
+    mitigations += other.mitigations;
+    halted_time += other.halted_time;
+}
 
 std::ostream&
 operator<<(std::ostream& os, const RuntimeStats& stats)
@@ -18,6 +46,8 @@ operator<<(std::ostream& os, const RuntimeStats& stats)
        << "default_predictions = " << stats.default_predictions << "\n"
        << "expired_predictions = " << stats.expired_predictions << "\n"
        << "dropped_while_halted = " << stats.dropped_while_halted << "\n"
+       << "peak_queued_predictions = " << stats.peak_queued_predictions
+       << "\n"
        << "actions_taken = " << stats.actions_taken << "\n"
        << "actions_with_prediction = " << stats.actions_with_prediction
        << "\n"
@@ -48,6 +78,7 @@ AtomicRuntimeStats::Snapshot() const
     out.default_predictions = load(default_predictions);
     out.expired_predictions = load(expired_predictions);
     out.dropped_while_halted = load(dropped_while_halted);
+    out.peak_queued_predictions = load(peak_queued_predictions);
     out.actions_taken = load(actions_taken);
     out.actions_with_prediction = load(actions_with_prediction);
     out.actuator_timeouts = load(actuator_timeouts);

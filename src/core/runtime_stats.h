@@ -33,6 +33,10 @@ struct RuntimeStats {
     std::uint64_t default_predictions = 0;
     std::uint64_t expired_predictions = 0;  ///< Stale on arrival.
     std::uint64_t dropped_while_halted = 0;
+    /** High-water mark of the bounded prediction queue. Compared against
+     *  RuntimeOptions::max_queued_predictions it shows how close the
+     *  agent runs to eviction (the queue-bound overflow path). */
+    std::uint64_t peak_queued_predictions = 0;
 
     // Actuator loop.
     std::uint64_t actions_taken = 0;
@@ -42,6 +46,13 @@ struct RuntimeStats {
     std::uint64_t safeguard_triggers = 0;  ///< Healthy -> failing edges.
     std::uint64_t mitigations = 0;         ///< Mitigate() invocations.
     sim::Duration halted_time{0};          ///< Total time actuation halted.
+
+    /**
+     * Folds another agent's counters into this one (multi-agent
+     * roll-ups): counters add, peaks take the maximum. New fields must
+     * be added here alongside operator<< and AtomicRuntimeStats.
+     */
+    void Accumulate(const RuntimeStats& other);
 };
 
 /** Writes the stats as "name = value" lines. */
@@ -72,6 +83,18 @@ struct AtomicRuntimeStats {
     std::atomic<std::uint64_t> default_predictions{0};
     std::atomic<std::uint64_t> expired_predictions{0};
     std::atomic<std::uint64_t> dropped_while_halted{0};
+    std::atomic<std::uint64_t> peak_queued_predictions{0};
+
+    /** Raises a peak gauge to at least `value` (relaxed CAS loop). */
+    static void
+    RaisePeak(std::atomic<std::uint64_t>& peak, std::uint64_t value)
+    {
+        std::uint64_t seen = peak.load(std::memory_order_relaxed);
+        while (seen < value &&
+               !peak.compare_exchange_weak(seen, value,
+                                           std::memory_order_relaxed)) {
+        }
+    }
 
     std::atomic<std::uint64_t> actions_taken{0};
     std::atomic<std::uint64_t> actions_with_prediction{0};

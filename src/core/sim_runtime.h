@@ -258,6 +258,9 @@ class SimRuntime
             return;
         }
         pending_.push_back(std::move(pred));
+        if (pending_.size() > stats_.peak_queued_predictions) {
+            stats_.peak_queued_predictions = pending_.size();
+        }
         while (pending_.size() > options_.max_queued_predictions) {
             pending_.pop_front();
             ++stats_.expired_predictions;

@@ -199,6 +199,8 @@ class ThreadedRuntime
             {
                 std::lock_guard lock(queue_mutex_);
                 pending_.push_back(pred);
+                AtomicRuntimeStats::RaisePeak(
+                    stats_.peak_queued_predictions, pending_.size());
                 while (pending_.size() > options_.max_queued_predictions) {
                     pending_.pop_front();
                     stats_.expired_predictions.fetch_add(

@@ -8,48 +8,41 @@ namespace sol::sim {
 void
 EventHandle::Cancel()
 {
-    if (cancelled_) {
-        *cancelled_ = true;
+    if (arena_ && arena_->Remove(index_, generation_)) {
+        cancel_took_effect_ = true;
     }
 }
 
 bool
-EventHandle::cancelled() const
+EventHandle::pending() const
 {
-    return cancelled_ && *cancelled_;
+    return arena_ && arena_->IsLive(index_, generation_);
 }
 
 EventHandle
-EventQueue::ScheduleAt(TimePoint when, std::function<void()> fn)
+EventQueue::ScheduleEvent(TimePoint when, detail::InlineEvent fn)
 {
     if (when < now_) {
         when = now_;
     }
-    auto flag = std::make_shared<bool>(false);
-    heap_.push(Entry{when, next_seq_++, std::move(fn), flag});
-    return EventHandle(flag);
-}
-
-EventHandle
-EventQueue::ScheduleAfter(Duration delay, std::function<void()> fn)
-{
-    if (delay < Duration::zero()) {
-        delay = Duration::zero();
+    if (pending_limit_ != 0 && arena_->pending() >= pending_limit_) {
+        ++dropped_;
+        return EventHandle::Dropped();
     }
-    return ScheduleAt(now_ + delay, std::move(fn));
+    const std::uint32_t index =
+        arena_->Push(when, next_seq_++, std::move(fn));
+    return EventHandle(arena_, index, arena_->GenerationOf(index));
 }
 
 void
 EventQueue::RunUntil(TimePoint horizon)
 {
-    while (!heap_.empty() && heap_.top().when <= horizon) {
-        Entry entry = heap_.top();
-        heap_.pop();
-        now_ = entry.when;
-        if (!*entry.cancelled) {
-            ++executed_;
-            entry.fn();
-        }
+    detail::EventArena::Popped event;
+    while (arena_->PopEarliest(horizon, &event)) {
+        now_ = event.when;
+        ++executed_;
+        MixTrace(event.when, event.seq);
+        event.fn();
     }
     if (horizon > now_ && horizon != kTimeInfinity) {
         now_ = horizon;
@@ -60,26 +53,38 @@ void
 EventQueue::RunUntilIdle(std::uint64_t max_events)
 {
     std::uint64_t budget = max_events;
-    while (!heap_.empty() && budget-- > 0) {
-        Step();
+    while (budget-- > 0 && Step()) {
     }
 }
 
 bool
 EventQueue::Step()
 {
-    while (!heap_.empty()) {
-        Entry entry = heap_.top();
-        heap_.pop();
-        now_ = entry.when;
-        if (*entry.cancelled) {
-            continue;
-        }
-        ++executed_;
-        entry.fn();
-        return true;
+    detail::EventArena::Popped event;
+    if (!arena_->PopEarliest(kTimeInfinity, &event)) {
+        return false;
     }
-    return false;
+    now_ = event.when;
+    ++executed_;
+    MixTrace(event.when, event.seq);
+    event.fn();
+    return true;
+}
+
+EventQueueStats
+EventQueue::stats() const
+{
+    const detail::EventArena::Stats arena = arena_->stats();
+    EventQueueStats stats;
+    stats.scheduled = arena.scheduled;
+    stats.executed = executed_;
+    stats.cancelled = arena.cancelled;
+    stats.dropped = dropped_;
+    stats.pending = arena_->pending();
+    stats.peak_pending = arena.peak_pending;
+    stats.arena_capacity = arena.capacity;
+    stats.arena_blocks = arena.blocks;
+    return stats;
 }
 
 PeriodicTask::PeriodicTask(EventQueue& queue, Duration period,
@@ -102,13 +107,14 @@ void
 PeriodicTask::Stop()
 {
     *alive_ = false;
+    next_.Cancel();
 }
 
 void
 PeriodicTask::Arm()
 {
     std::shared_ptr<bool> alive = alive_;
-    queue_.ScheduleAfter(period_, [this, alive] {
+    next_ = queue_.ScheduleAfter(period_, [this, alive] {
         if (!*alive) {
             return;
         }

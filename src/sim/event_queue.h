@@ -7,57 +7,122 @@
  * and observe a single shared virtual clock. Events that fire at the same
  * instant execute in insertion order, so a fixed seed reproduces a run
  * exactly.
+ *
+ * Internals (see sim/event_arena.h): events live in an arena-allocated
+ * pairing heap addressed by 32-bit indices. The steady schedule/fire
+ * path performs no heap allocation (closures up to 48 bytes are stored
+ * inline in the recycled node), cancellation eagerly unlinks the event
+ * in O(log n) amortized with O(1) generation-token invalidation of
+ * stale handles, and pop order is the same strict (time, sequence)
+ * total order the seed binary-heap implementation used — same seeds
+ * produce byte-identical traces, which trace_hash() fingerprints.
  */
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
-#include <vector>
+#include <utility>
 
+#include "sim/event_arena.h"
 #include "sim/time.h"
 
 namespace sol::sim {
 
 /**
- * Handle that allows a scheduled event to be cancelled. Cancellation is
- * lazy: the event stays in the queue but becomes a no-op when it fires.
+ * Handle that allows a scheduled event to be cancelled.
+ *
+ * Cancellation is eager: the event is unlinked from the queue the
+ * moment Cancel() runs, so a cancelled high-frequency timeout costs
+ * nothing at its deadline. Cancelling an event that already fired (or
+ * was already cancelled) is a harmless no-op — the generation token in
+ * the handle can never match a recycled slot. Handles may outlive the
+ * queue; every operation on a stale handle is safe and does nothing.
  */
 class EventHandle
 {
   public:
     EventHandle() = default;
 
-    /** Prevents the event from running when it is popped. */
+    /** Removes the event from the queue if it has not fired yet. */
     void Cancel();
 
-    /** True if Cancel() was called before the event fired. */
-    bool cancelled() const;
+    /**
+     * True if this handle's Cancel() took effect before the event
+     * fired, or the event was rejected by the queue's pending limit.
+     * Either way the callback is guaranteed never to run.
+     */
+    bool cancelled() const { return cancel_took_effect_; }
+
+    /** True while the event is still scheduled (not fired/cancelled). */
+    bool pending() const;
 
   private:
     friend class EventQueue;
-    explicit EventHandle(std::shared_ptr<bool> flag)
-        : cancelled_(std::move(flag))
+    EventHandle(std::shared_ptr<detail::EventArena> arena,
+                std::uint32_t index, std::uint32_t generation)
+        : arena_(std::move(arena)), index_(index), generation_(generation)
     {}
 
-    std::shared_ptr<bool> cancelled_;
+    /** Inert handle for events dropped by the pending limit. */
+    static EventHandle
+    Dropped()
+    {
+        EventHandle handle;
+        handle.cancel_took_effect_ = true;
+        return handle;
+    }
+
+    std::shared_ptr<detail::EventArena> arena_;
+    std::uint32_t index_ = detail::kNilEvent;
+    std::uint32_t generation_ = 0;
+    bool cancel_took_effect_ = false;
+};
+
+/** Counters describing an EventQueue's lifetime behavior. */
+struct EventQueueStats {
+    std::uint64_t scheduled = 0;  ///< Events admitted to the queue.
+    std::uint64_t executed = 0;   ///< Events that fired.
+    std::uint64_t cancelled = 0;  ///< Events removed before firing.
+    std::uint64_t dropped = 0;    ///< Events rejected by the limit.
+    std::size_t pending = 0;      ///< Events currently scheduled.
+    std::size_t peak_pending = 0;
+    std::size_t arena_capacity = 0;  ///< Event slots allocated.
+    std::size_t arena_blocks = 0;
 };
 
 /** Virtual-time event queue with deterministic same-instant ordering. */
 class EventQueue : public Clock
 {
   public:
-    EventQueue() = default;
+    EventQueue() : arena_(std::make_shared<detail::EventArena>()) {}
+
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
 
     /** Current virtual time. */
     TimePoint Now() const override { return now_; }
 
     /** Schedules fn at an absolute virtual time (>= Now()). */
-    EventHandle ScheduleAt(TimePoint when, std::function<void()> fn);
+    template <typename Fn>
+    EventHandle
+    ScheduleAt(TimePoint when, Fn&& fn)
+    {
+        return ScheduleEvent(when,
+                             detail::InlineEvent(std::forward<Fn>(fn)));
+    }
 
     /** Schedules fn after a relative delay (clamped to >= 0). */
-    EventHandle ScheduleAfter(Duration delay, std::function<void()> fn);
+    template <typename Fn>
+    EventHandle
+    ScheduleAfter(Duration delay, Fn&& fn)
+    {
+        if (delay < Duration::zero()) {
+            delay = Duration::zero();
+        }
+        return ScheduleEvent(now_ + delay,
+                             detail::InlineEvent(std::forward<Fn>(fn)));
+    }
 
     /** Runs events until the queue is empty or the horizon is reached.
      *
@@ -75,35 +140,62 @@ class EventQueue : public Clock
     /** Executes the single earliest pending event, if any. */
     bool Step();
 
-    /** Number of events still pending (including cancelled ones). */
-    std::size_t pending() const { return heap_.size(); }
+    /**
+     * Backpressure bound on pending events (0 = unlimited, the
+     * default). Once `limit` events are pending, further schedules are
+     * rejected: the callback is discarded, stats().dropped counts it,
+     * and the returned handle reports cancelled().
+     *
+     * This is an OOM guard rail, not flow control: a drop is *lossy*.
+     * Self-rescheduling loops (runtime timeouts, periodic drivers)
+     * whose re-arm event is dropped stay silently stalled for the rest
+     * of the run, so the limit must sit far above the workload's peak
+     * (stats().peak_pending) and stats().dropped must be checked —
+     * any non-zero value means the run's results are degraded. The
+     * fleet drivers surface it as the `fleet.queue.dropped` gauge.
+     */
+    void SetPendingLimit(std::size_t limit) { pending_limit_ = limit; }
+
+    /** Number of events still pending (cancelled events excluded —
+     *  cancellation removes them immediately). */
+    std::size_t pending() const { return arena_->pending(); }
 
     /** Total events executed so far (cancelled events excluded). */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * Order-sensitive FNV-1a fingerprint of every (time, sequence)
+     * pair executed so far. Two runs of the same seeded simulation
+     * produce the same hash; any divergence in event order or timing
+     * changes it. The determinism regression tests and the fleet bench
+     * compare these across runs.
+     */
+    std::uint64_t trace_hash() const { return trace_hash_; }
+
+    /** Lifetime counters (allocation footprint, drops, peaks). */
+    EventQueueStats stats() const;
+
   private:
-    struct Entry {
-        TimePoint when;
-        std::uint64_t seq;
-        std::function<void()> fn;
-        std::shared_ptr<bool> cancelled;
-    };
+    EventHandle ScheduleEvent(TimePoint when, detail::InlineEvent fn);
 
-    struct Later {
-        bool
-        operator()(const Entry& a, const Entry& b) const
-        {
-            if (a.when != b.when) {
-                return a.when > b.when;
-            }
-            return a.seq > b.seq;
-        }
-    };
+    /** Folds one executed event into the trace fingerprint. */
+    void
+    MixTrace(TimePoint when, std::uint64_t seq)
+    {
+        constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+        trace_hash_ ^= static_cast<std::uint64_t>(when.count());
+        trace_hash_ *= kFnvPrime;
+        trace_hash_ ^= seq;
+        trace_hash_ *= kFnvPrime;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::shared_ptr<detail::EventArena> arena_;
     TimePoint now_{0};
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t trace_hash_ = 0xcbf29ce484222325ull;  // FNV offset basis.
+    std::size_t pending_limit_ = 0;
 };
 
 /**
@@ -127,7 +219,8 @@ class PeriodicTask
     PeriodicTask(const PeriodicTask&) = delete;
     PeriodicTask& operator=(const PeriodicTask&) = delete;
 
-    /** Stops future ticks; safe to call multiple times. */
+    /** Stops future ticks; safe to call multiple times. The pending
+     *  tick is cancelled eagerly, leaving nothing in the queue. */
     void Stop();
 
   private:
@@ -137,6 +230,7 @@ class PeriodicTask
     Duration period_;
     std::function<void()> fn_;
     std::shared_ptr<bool> alive_;
+    EventHandle next_;
 };
 
 }  // namespace sol::sim

@@ -305,6 +305,115 @@ TEST(MultiAgentNode, RunIsDeterministicForAFixedSeed)
     EXPECT_NE(a.p99, c.p99);
 }
 
+// ---- Synthetic agents: fleet-realistic node pressure ---------------------
+
+TEST(SyntheticAgents, Reach77AgentsPerNodeWithRealProgress)
+{
+    sim::EventQueue queue;
+    MultiAgentNodeConfig config;
+    config.synthetic_agents = 73;  // + the 4 real agents = 77 (paper).
+    MultiAgentNode node(queue, config);
+
+    EXPECT_EQ(node.num_agents(), 77u);
+    EXPECT_EQ(node.registry().size(), 77u);
+    EXPECT_EQ(node.num_synthetic_agents(), 73u);
+    EXPECT_TRUE(node.registry().Contains("synthetic0"));
+    EXPECT_TRUE(node.registry().Contains("synthetic72"));
+
+    node.Start();
+    queue.RunFor(sim::Seconds(2));
+
+    // Every synthetic runtime makes learning progress of its own.
+    for (std::size_t i = 0; i < node.num_synthetic_agents(); ++i) {
+        EXPECT_GT(node.synthetic_agent(i).runtime().stats().epochs, 0u)
+            << "synthetic" << i << " made no progress";
+    }
+    // The real agents still run underneath the synthetic load.
+    EXPECT_GT(node.HarvestStats().epochs, 0u);
+    EXPECT_GT(node.OverclockStats().epochs, 0u);
+
+    // 73 extra actuators produce real arbiter pressure: requests and
+    // resolved conflicts on the telemetry/memory domains.
+    EXPECT_GT(node.arbiter().requests(), 1000u);
+    EXPECT_GT(node.arbiter().conflicts_resolved(), 0u);
+
+    // AggregateStats rolls synthetics into the node totals.
+    const core::RuntimeStats total = node.AggregateStats();
+    EXPECT_GT(total.epochs, node.HarvestStats().epochs);
+    EXPECT_GT(total.invalid_samples, 0u);  // Injected bad readings.
+    EXPECT_GE(total.peak_queued_predictions, 1u);
+    node.Stop();
+}
+
+TEST(SyntheticAgents, CleanUpAllReleasesSyntheticHolds)
+{
+    sim::EventQueue queue;
+    MultiAgentNodeConfig config;
+    config.synthetic_agents = 16;
+    MultiAgentNode node(queue, config);
+    node.Start();
+    queue.RunFor(sim::Seconds(2));
+
+    node.CleanUpAll();
+    for (std::size_t i = 0; i < node.num_synthetic_agents(); ++i) {
+        EXPECT_FALSE(node.synthetic_agent(i).actuator().holding())
+            << "synthetic" << i << " still holds its domain";
+    }
+    // The real agents' clean state is preserved too.
+    EXPECT_EQ(node.node().VmFrequency(node.primary_vm()),
+              node.node().NominalFrequency());
+}
+
+TEST(SyntheticAgents, FleetRunsAreDeterministicAtFullPressure)
+{
+    const auto run = [](std::uint64_t seed) {
+        ClusterConfig config;
+        config.num_nodes = 2;
+        config.base_seed = seed;
+        config.node.synthetic_agents = 73;
+        ClusterDriver driver(config);
+        driver.Run(sim::Seconds(1));
+        struct Result {
+            std::uint64_t trace_hash;
+            std::uint64_t executed;
+            std::uint64_t epochs;
+            std::uint64_t arbiter;
+        } r{driver.queue().trace_hash(), driver.queue().executed(),
+            driver.Stats().total_epochs, driver.Stats().arbiter_requests};
+        driver.Stop();
+        return r;
+    };
+
+    const auto a = run(5);
+    const auto b = run(5);
+    EXPECT_EQ(a.trace_hash, b.trace_hash);
+    EXPECT_EQ(a.executed, b.executed);
+    EXPECT_EQ(a.epochs, b.epochs);
+    EXPECT_EQ(a.arbiter, b.arbiter);
+    EXPECT_EQ(run(5).trace_hash, a.trace_hash);
+    EXPECT_NE(run(6).trace_hash, a.trace_hash);
+
+    // 154 agents on one queue is real pressure, not idle filler.
+    EXPECT_GT(a.executed, 50'000u);
+}
+
+TEST(SyntheticAgents, QueuePendingLimitSurfacesInFleetMetrics)
+{
+    ClusterConfig config;
+    config.num_nodes = 1;
+    config.node.synthetic_agents = 40;
+    config.queue_pending_limit = 32;  // Far below what 44 agents need.
+    ClusterDriver driver(config);
+    driver.Run(sim::Millis(500));
+
+    telemetry::MetricRegistry out;
+    driver.CollectFleetMetrics(out);
+    // The storm is loud: drops are counted, never silently absorbed.
+    EXPECT_GT(out.Gauge("fleet.queue.dropped"), 0.0);
+    EXPECT_LE(out.Gauge("fleet.queue.pending"), 32.0);
+    driver.Stop();
+}
+
 // ---- ClusterDriver -------------------------------------------------------
 
 TEST(ClusterDriver, StepsMultipleNodesOnOneSharedClock)

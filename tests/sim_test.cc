@@ -321,6 +321,170 @@ TEST(EventQueueTest, RunUntilIdleDrains)
     EXPECT_EQ(count, 50);
 }
 
+TEST(EventQueueTest, CancelAfterFireIsHarmlessNoOp)
+{
+    EventQueue queue;
+    int fired = 0;
+    EventHandle handle = queue.ScheduleAt(Millis(1), [&] { ++fired; });
+    queue.RunUntil(Millis(10));
+    EXPECT_EQ(fired, 1);
+    // The event already ran: Cancel must not take effect (the handle's
+    // generation token can no longer match the recycled slot).
+    handle.Cancel();
+    EXPECT_FALSE(handle.cancelled());
+    EXPECT_FALSE(handle.pending());
+    EXPECT_EQ(queue.stats().cancelled, 0u);
+}
+
+TEST(EventQueueTest, CancelRemovesEventEagerly)
+{
+    EventQueue queue;
+    EventHandle handle = queue.ScheduleAt(Seconds(100), [] {});
+    EXPECT_EQ(queue.pending(), 1u);
+    EXPECT_TRUE(handle.pending());
+    handle.Cancel();
+    // Eager semantics: the event leaves the queue immediately instead
+    // of rotting until its deadline.
+    EXPECT_EQ(queue.pending(), 0u);
+    EXPECT_FALSE(handle.pending());
+    EXPECT_TRUE(handle.cancelled());
+    EXPECT_EQ(queue.stats().cancelled, 1u);
+    // Double-cancel is a no-op.
+    handle.Cancel();
+    EXPECT_EQ(queue.stats().cancelled, 1u);
+}
+
+TEST(EventQueueTest, StaleHandleCannotCancelRecycledSlot)
+{
+    EventQueue queue;
+    EventHandle old_handle = queue.ScheduleAt(Millis(1), [] {});
+    queue.RunUntil(Millis(2));  // Fires; the arena slot is recycled.
+
+    bool fired = false;
+    queue.ScheduleAt(Millis(5), [&] { fired = true; });
+    // The LIFO free list hands the new event the old event's slot; the
+    // stale handle's generation token must not be able to touch it.
+    old_handle.Cancel();
+    queue.RunUntil(Millis(10));
+    EXPECT_TRUE(fired);
+    EXPECT_FALSE(old_handle.cancelled());
+}
+
+TEST(EventQueueTest, SameInstantFifoSurvivesInterleavedCancellation)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 10; ++i) {
+        handles.push_back(queue.ScheduleAt(
+            Millis(5), [&order, i] { order.push_back(i); }));
+    }
+    for (int i = 1; i < 10; i += 2) {
+        handles[static_cast<std::size_t>(i)].Cancel();
+    }
+    queue.RunUntil(Millis(10));
+    // Cancelling the odd events must not disturb the insertion order
+    // of the surviving same-instant events.
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(EventQueueTest, PendingLimitDropsLoudly)
+{
+    EventQueue queue;
+    queue.SetPendingLimit(2);
+    int fired = 0;
+    queue.ScheduleAt(Millis(1), [&] { ++fired; });
+    queue.ScheduleAt(Millis(2), [&] { ++fired; });
+    EventHandle dropped = queue.ScheduleAt(Millis(3), [&] { ++fired; });
+    // The overflowing event is rejected: never runs, and its handle
+    // says so up front.
+    EXPECT_TRUE(dropped.cancelled());
+    EXPECT_FALSE(dropped.pending());
+    EXPECT_EQ(queue.stats().dropped, 1u);
+    queue.RunUntil(Millis(10));
+    EXPECT_EQ(fired, 2);
+    // Capacity freed by firing events re-admits new ones.
+    queue.ScheduleAt(Millis(11), [&] { ++fired; });
+    queue.RunUntil(Millis(20));
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueueTest, ArenaRecyclesSlotsOnTheSteadyPath)
+{
+    EventQueue queue;
+    PeriodicTask task(queue, Millis(1), [] {});
+    queue.RunUntil(Seconds(10));  // 10k firings through one slot chain.
+    const EventQueueStats stats = queue.stats();
+    EXPECT_GE(stats.executed, 10'000u);
+    // One periodic event in flight: the arena never grows past its
+    // first block, however many events pass through.
+    EXPECT_EQ(stats.arena_blocks, 1u);
+    EXPECT_LE(stats.peak_pending, 2u);
+}
+
+TEST(EventQueueTest, TraceHashIsDeterministicForAFixedSeed)
+{
+    const auto run = [](std::uint64_t seed) {
+        EventQueue queue;
+        Rng rng(seed);
+        // A seeded cascade: each event schedules a random follow-up.
+        std::function<void(int)> step = [&](int depth) {
+            if (depth > 0) {
+                queue.ScheduleAfter(
+                    Micros(static_cast<std::int64_t>(rng.NextBelow(500))),
+                    [&step, depth] { step(depth - 1); });
+            }
+        };
+        for (int i = 0; i < 50; ++i) {
+            step(40);
+        }
+        queue.RunUntilIdle();
+        return queue.trace_hash();
+    };
+    EXPECT_EQ(run(7), run(7));   // Same seed, same trace fingerprint.
+    EXPECT_NE(run(7), run(11));  // Different seed, different trace.
+}
+
+TEST(EventQueueTest, TraceHashSeesTimingDivergence)
+{
+    EventQueue a;
+    EventQueue b;
+    a.ScheduleAt(Millis(1), [] {});
+    b.ScheduleAt(Millis(2), [] {});
+    a.RunUntil(Millis(10));
+    b.RunUntil(Millis(10));
+    EXPECT_NE(a.trace_hash(), b.trace_hash());
+}
+
+TEST(EventQueueTest, HandleOutlivesQueueSafely)
+{
+    EventHandle handle;
+    {
+        EventQueue queue;
+        handle = queue.ScheduleAt(Millis(1), [] {});
+    }
+    // The arena is shared-ptr-owned: operations on a handle whose
+    // queue died are safe no-ops.
+    handle.Cancel();
+    EXPECT_FALSE(handle.pending());
+}
+
+TEST(EventQueueTest, StatsTrackLifetimeCounters)
+{
+    EventQueue queue;
+    auto h1 = queue.ScheduleAt(Millis(1), [] {});
+    queue.ScheduleAt(Millis(2), [] {});
+    h1.Cancel();
+    queue.RunUntil(Millis(10));
+    const EventQueueStats stats = queue.stats();
+    EXPECT_EQ(stats.scheduled, 2u);
+    EXPECT_EQ(stats.executed, 1u);
+    EXPECT_EQ(stats.cancelled, 1u);
+    EXPECT_EQ(stats.pending, 0u);
+    EXPECT_EQ(stats.peak_pending, 2u);
+    EXPECT_GT(stats.arena_capacity, 0u);
+}
+
 TEST(PeriodicTaskTest, TicksAtPeriod)
 {
     EventQueue queue;
@@ -355,6 +519,17 @@ TEST(PeriodicTaskTest, DestructionCancelsPending)
     }
     queue.RunUntil(Millis(100));
     EXPECT_EQ(count, 1);
+}
+
+TEST(PeriodicTaskTest, StopLeavesNothingInTheQueue)
+{
+    EventQueue queue;
+    PeriodicTask task(queue, Millis(10), [] {});
+    queue.RunUntil(Millis(15));
+    EXPECT_EQ(queue.pending(), 1u);  // The armed next tick.
+    task.Stop();
+    // Stop cancels the pending tick eagerly — no dead event lingers.
+    EXPECT_EQ(queue.pending(), 0u);
 }
 
 // ---------------------------------------------------------------------------
