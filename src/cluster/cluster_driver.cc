@@ -1,7 +1,5 @@
 #include "cluster/cluster_driver.h"
 
-#include <string>
-
 #include "sim/rng.h"
 
 namespace sol::cluster {
@@ -13,81 +11,39 @@ ClusterDriver::DeriveNodeSeed(std::uint64_t base_seed,
     return sim::DeriveStreamSeed(base_seed, node_index);
 }
 
+NodeShardConfig
+ClusterDriver::MakeShardConfig(const ClusterConfig& config)
+{
+    NodeShardConfig shard;
+    shard.first_node_index = 0;
+    shard.num_nodes = config.num_nodes;
+    shard.base_seed = config.base_seed;
+    shard.start_stagger = config.start_stagger;
+    shard.queue_pending_limit = config.queue_pending_limit;
+    shard.node = config.node;
+    return shard;
+}
+
 ClusterDriver::ClusterDriver(const ClusterConfig& config)
-    : config_(config)
+    : shard_(MakeShardConfig(config))
 {
-    queue_.SetPendingLimit(config_.queue_pending_limit);
-    nodes_.reserve(config_.num_nodes);
-    for (std::size_t i = 0; i < config_.num_nodes; ++i) {
-        MultiAgentNodeConfig node_config = config_.node;
-        node_config.name = "node" + std::to_string(i);
-        node_config.seed = DeriveNodeSeed(config_.base_seed, i);
-        nodes_.push_back(
-            std::make_unique<MultiAgentNode>(queue_, node_config));
-    }
-}
-
-void
-ClusterDriver::Run(sim::Duration span)
-{
-    if (!started_) {
-        started_ = true;
-        for (std::size_t i = 0; i < nodes_.size(); ++i) {
-            MultiAgentNode* node = nodes_[i].get();
-            const sim::Duration offset = config_.start_stagger * i;
-            if (offset <= sim::Duration::zero()) {
-                node->Start();
-            } else {
-                queue_.ScheduleAfter(offset, [node] { node->Start(); });
-            }
-        }
-    }
-    queue_.RunFor(span);
-}
-
-void
-ClusterDriver::Stop()
-{
-    for (auto& node : nodes_) {
-        node->Stop();
-    }
-}
-
-void
-ClusterDriver::CleanUpAll()
-{
-    for (auto& node : nodes_) {
-        node->CleanUpAll();
-    }
-}
-
-FleetStats
-ClusterDriver::Stats() const
-{
-    FleetStats fleet;
-    for (const auto& node : nodes_) {
-        const core::RuntimeStats stats = node->AggregateStats();
-        fleet.total_agents += node->num_agents();
-        fleet.total_epochs += stats.epochs;
-        fleet.total_actions += stats.actions_taken;
-        fleet.safeguard_triggers += stats.safeguard_triggers;
-        fleet.arbiter_requests += node->arbiter().requests();
-        fleet.conflicts_observed += node->arbiter().conflicts_observed();
-        fleet.conflicts_resolved += node->arbiter().conflicts_resolved();
-    }
-    return fleet;
 }
 
 void
 ClusterDriver::CollectFleetMetrics(telemetry::MetricRegistry& out)
 {
-    for (auto& node : nodes_) {
-        node->CollectMetrics();
-        out.MergeFrom(node->metrics(), node->name());
-    }
-    const FleetStats fleet = Stats();
+    shard_.CollectNodeMetrics(out);
+    WriteFleetScope(out, shard_.Stats(), shard_.num_nodes(),
+                    shard_.queue().stats());
+}
+
+void
+WriteFleetScope(telemetry::MetricRegistry& out, const FleetStats& fleet,
+                std::size_t num_nodes,
+                const sim::EventQueueStats& queue)
+{
     telemetry::MetricScope scope(out, "fleet");
-    scope.SetGauge("num_nodes", static_cast<double>(nodes_.size()));
+    scope.SetGauge("num_nodes", static_cast<double>(num_nodes));
     scope.SetGauge("total_agents",
                    static_cast<double>(fleet.total_agents));
     scope.SetGauge("total_epochs",
@@ -103,22 +59,24 @@ ClusterDriver::CollectFleetMetrics(telemetry::MetricRegistry& out)
     scope.SetGauge("conflicts_resolved",
                    static_cast<double>(fleet.conflicts_resolved));
 
-    // Shared-queue health: the whole fleet multiplexes one EventQueue,
-    // so its arena footprint and drop counters are fleet-level signals.
-    const sim::EventQueueStats queue = queue_.stats();
-    telemetry::MetricScope queue_scope = scope.Sub("queue");
-    queue_scope.SetGauge("executed",
-                         static_cast<double>(queue.executed));
-    queue_scope.SetGauge("scheduled",
-                         static_cast<double>(queue.scheduled));
-    queue_scope.SetGauge("cancelled",
-                         static_cast<double>(queue.cancelled));
-    queue_scope.SetGauge("dropped", static_cast<double>(queue.dropped));
-    queue_scope.SetGauge("pending", static_cast<double>(queue.pending));
-    queue_scope.SetGauge("peak_pending",
-                         static_cast<double>(queue.peak_pending));
-    queue_scope.SetGauge("arena_capacity",
-                         static_cast<double>(queue.arena_capacity));
+    // Queue health: arena footprint and drop counters are fleet-level
+    // signals whether the fleet runs on one queue or one per shard.
+    WriteQueueGauges(scope.Sub("queue"), queue);
+}
+
+void
+WriteQueueGauges(telemetry::MetricScope scope,
+                 const sim::EventQueueStats& queue)
+{
+    scope.SetGauge("executed", static_cast<double>(queue.executed));
+    scope.SetGauge("scheduled", static_cast<double>(queue.scheduled));
+    scope.SetGauge("cancelled", static_cast<double>(queue.cancelled));
+    scope.SetGauge("dropped", static_cast<double>(queue.dropped));
+    scope.SetGauge("pending", static_cast<double>(queue.pending));
+    scope.SetGauge("peak_pending",
+                   static_cast<double>(queue.peak_pending));
+    scope.SetGauge("arena_capacity",
+                   static_cast<double>(queue.arena_capacity));
 }
 
 }  // namespace sol::cluster

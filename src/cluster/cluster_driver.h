@@ -10,6 +10,13 @@
  * stagger so the fleet's learning epochs do not beat in lockstep — the
  * same desynchronization real deployments get for free.
  *
+ * Since the sharded-fleet work, the per-node stepping lives in
+ * cluster::NodeShard; ClusterDriver is the serial, single-shard fleet —
+ * one virtual clock, every node interleaved on it, exactly the PR 2
+ * semantics. For fleets too large to step on one thread, see
+ * fleet::ShardedFleetRunner, which holds many shards and steps them on
+ * worker threads between virtual-time barriers.
+ *
  * Aggregated fleet statistics land in one MetricRegistry: per-node
  * metrics namespaced by node name ("node3.smart-harvest.epochs") plus
  * fleet totals ("fleet.total_epochs", "fleet.conflicts_resolved").
@@ -17,10 +24,9 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <vector>
 
 #include "cluster/multi_agent_node.h"
+#include "cluster/node_shard.h"
 #include "sim/event_queue.h"
 #include "telemetry/metric_registry.h"
 
@@ -51,17 +57,6 @@ struct ClusterConfig {
     MultiAgentNodeConfig node;
 };
 
-/** Roll-up counters across every node in the fleet. */
-struct FleetStats {
-    std::uint64_t total_agents = 0;  ///< Real + synthetic, all nodes.
-    std::uint64_t total_epochs = 0;
-    std::uint64_t total_actions = 0;
-    std::uint64_t safeguard_triggers = 0;
-    std::uint64_t arbiter_requests = 0;
-    std::uint64_t conflicts_observed = 0;
-    std::uint64_t conflicts_resolved = 0;
-};
-
 /** Steps N MultiAgentNodes over one shared virtual clock. */
 class ClusterDriver
 {
@@ -72,16 +67,16 @@ class ClusterDriver
      * Advances the fleet by `span` of virtual time. The first call
      * schedules every node's staggered start.
      */
-    void Run(sim::Duration span);
+    void Run(sim::Duration span) { shard_.Run(span); }
 
     /** Stops every node's agent runtimes. */
-    void Stop();
+    void Stop() { shard_.Stop(); }
 
     /** SRE fleet-wide incident response: cleans up every agent. */
-    void CleanUpAll();
+    void CleanUpAll() { shard_.CleanUpAll(); }
 
     /** Roll-up counters across all nodes. */
-    FleetStats Stats() const;
+    FleetStats Stats() const { return shard_.Stats(); }
 
     /**
      * Aggregates per-node metrics (namespaced by node name) and fleet
@@ -89,19 +84,37 @@ class ClusterDriver
      */
     void CollectFleetMetrics(telemetry::MetricRegistry& out);
 
-    std::size_t num_nodes() const { return nodes_.size(); }
-    MultiAgentNode& node(std::size_t i) { return *nodes_[i]; }
-    sim::EventQueue& queue() { return queue_; }
+    std::size_t num_nodes() const { return shard_.num_nodes(); }
+    MultiAgentNode& node(std::size_t i) { return shard_.node(i); }
+    sim::EventQueue& queue() { return shard_.queue(); }
 
     /** The per-node seed derivation (exposed for tests). */
     static std::uint64_t DeriveNodeSeed(std::uint64_t base_seed,
                                         std::size_t node_index);
 
   private:
-    ClusterConfig config_;
-    sim::EventQueue queue_;
-    std::vector<std::unique_ptr<MultiAgentNode>> nodes_;
-    bool started_ = false;
+    static NodeShardConfig MakeShardConfig(const ClusterConfig& config);
+
+    NodeShard shard_;
 };
+
+/**
+ * Writes fleet roll-up counters plus one queue's health gauges into a
+ * "fleet"-scoped section of `out`. Shared by ClusterDriver (its single
+ * queue) and fleet::ShardedFleetRunner (per-shard queue stats summed
+ * before the call).
+ */
+void WriteFleetScope(telemetry::MetricRegistry& out,
+                     const FleetStats& fleet, std::size_t num_nodes,
+                     const sim::EventQueueStats& queue);
+
+/**
+ * Writes one queue's health gauges (executed/scheduled/cancelled/
+ * dropped/pending/peak_pending/arena_capacity) under `scope`. The one
+ * place these gauge names are spelled — the fleet scope and the
+ * per-shard window metrics both go through it.
+ */
+void WriteQueueGauges(telemetry::MetricScope scope,
+                      const sim::EventQueueStats& queue);
 
 }  // namespace sol::cluster

@@ -1,0 +1,98 @@
+#include "cluster/node_shard.h"
+
+#include <string>
+
+#include "sim/rng.h"
+
+namespace sol::cluster {
+
+void
+FleetStats::Accumulate(const FleetStats& other)
+{
+    total_agents += other.total_agents;
+    total_epochs += other.total_epochs;
+    total_actions += other.total_actions;
+    safeguard_triggers += other.safeguard_triggers;
+    arbiter_requests += other.arbiter_requests;
+    conflicts_observed += other.conflicts_observed;
+    conflicts_resolved += other.conflicts_resolved;
+}
+
+NodeShard::NodeShard(const NodeShardConfig& config)
+    : config_(config)
+{
+    queue_.SetPendingLimit(config_.queue_pending_limit);
+    nodes_.reserve(config_.num_nodes);
+    for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+        const std::size_t global = config_.first_node_index + i;
+        MultiAgentNodeConfig node_config = config_.node;
+        node_config.name = "node" + std::to_string(global);
+        node_config.seed =
+            sim::DeriveStreamSeed(config_.base_seed, global);
+        nodes_.push_back(
+            std::make_unique<MultiAgentNode>(queue_, node_config));
+    }
+}
+
+void
+NodeShard::RunUntil(sim::TimePoint horizon)
+{
+    if (!started_) {
+        started_ = true;
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            MultiAgentNode* node = nodes_[i].get();
+            const std::size_t global = config_.first_node_index + i;
+            const sim::Duration offset = config_.start_stagger * global;
+            if (offset <= sim::Duration::zero()) {
+                node->Start();
+            } else {
+                queue_.ScheduleAfter(offset, [node] { node->Start(); });
+            }
+        }
+    }
+    queue_.RunUntil(horizon);
+}
+
+void
+NodeShard::Stop()
+{
+    for (auto& node : nodes_) {
+        node->Stop();
+    }
+}
+
+void
+NodeShard::CleanUpAll()
+{
+    for (auto& node : nodes_) {
+        node->CleanUpAll();
+    }
+}
+
+FleetStats
+NodeShard::Stats() const
+{
+    FleetStats stats;
+    for (const auto& node : nodes_) {
+        const core::RuntimeStats runtime = node->AggregateStats();
+        stats.total_agents += node->num_agents();
+        stats.total_epochs += runtime.epochs;
+        stats.total_actions += runtime.actions_taken;
+        stats.safeguard_triggers += runtime.safeguard_triggers;
+        stats.arbiter_requests += node->arbiter().requests();
+        stats.conflicts_observed += node->arbiter().conflicts_observed();
+        stats.conflicts_resolved += node->arbiter().conflicts_resolved();
+    }
+    return stats;
+}
+
+void
+NodeShard::CollectNodeMetrics(telemetry::MetricRegistry& out)
+{
+    for (auto& node : nodes_) {
+        node->CollectMetrics();
+        out.MergeFrom(node->metrics(), node->name());
+    }
+}
+
+}  // namespace sol::cluster

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shard-steppable core of the fleet drivers: a group of MultiAgentNodes
+ * on one private event queue.
+ *
+ * PR 2's ClusterDriver stepped every node of the fleet serially on one
+ * shared EventQueue — correct, but a hard scaling wall: one virtual
+ * clock means one thread, no matter how many cores the host has. The
+ * shard is the extraction of that loop into a self-contained unit:
+ * it owns its queue (arena, virtual clock, trace hash), its contiguous
+ * slice of the fleet's nodes, and the staggered-start scheduling, so a
+ * driver can hold one shard (ClusterDriver — the serial case, exactly
+ * as before) or many (fleet::ShardedFleetRunner — one per worker-thread
+ * work item, stepped in parallel between barriers).
+ *
+ * Nodes never exchange events across shards — fleet nodes are
+ * statistically independent by construction (per-node RNG streams) —
+ * so a shard's trace depends only on the fleet seed and on *which*
+ * global node indices it owns, never on which thread steps it or how
+ * many sibling shards exist. That is the whole determinism argument of
+ * the sharded runner (docs/FLEET.md).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/multi_agent_node.h"
+#include "sim/event_queue.h"
+#include "telemetry/metric_registry.h"
+
+namespace sol::cluster {
+
+/** Roll-up counters across a group of nodes (shard or whole fleet). */
+struct FleetStats {
+    std::uint64_t total_agents = 0;  ///< Real + synthetic, all nodes.
+    std::uint64_t total_epochs = 0;
+    std::uint64_t total_actions = 0;
+    std::uint64_t safeguard_triggers = 0;
+    std::uint64_t arbiter_requests = 0;
+    std::uint64_t conflicts_observed = 0;
+    std::uint64_t conflicts_resolved = 0;
+
+    /** Field-wise sum, for rolling shard stats up to fleet totals. */
+    void Accumulate(const FleetStats& other);
+};
+
+/** Configuration of one shard: a contiguous slice of the fleet. */
+struct NodeShardConfig {
+    /** Global index of the shard's first node; node k of the shard is
+     *  global node `first_node_index + k` ("node17"), and both its RNG
+     *  stream and its start stagger derive from that global index, so
+     *  a node behaves identically no matter how the fleet is sliced
+     *  into shards. */
+    std::size_t first_node_index = 0;
+    std::size_t num_nodes = 0;
+
+    /** Fleet seed; global node i runs stream DeriveStreamSeed(seed, i). */
+    std::uint64_t base_seed = 1;
+
+    /** Offset between consecutive *global* node start times. */
+    sim::Duration start_stagger = sim::Millis(1);
+
+    /** Backpressure bound on this shard's queue (0 = unlimited); see
+     *  ClusterConfig::queue_pending_limit for the drop semantics. */
+    std::size_t queue_pending_limit = 0;
+
+    /** Template applied to every node (name/seed overridden per node). */
+    MultiAgentNodeConfig node;
+};
+
+/** A group of MultiAgentNodes stepped together on one virtual clock. */
+class NodeShard
+{
+  public:
+    explicit NodeShard(const NodeShardConfig& config);
+
+    /**
+     * Advances the shard to an absolute virtual time. The first call
+     * schedules every node's staggered start. Horizons must be
+     * non-decreasing across calls (the queue never runs backwards).
+     */
+    void RunUntil(sim::TimePoint horizon);
+
+    /** Advances the shard by a relative span of virtual time. */
+    void Run(sim::Duration span) { RunUntil(queue_.Now() + span); }
+
+    /** Stops every node's agent runtimes. */
+    void Stop();
+
+    /** SRE incident response: cleans up every agent on every node. */
+    void CleanUpAll();
+
+    /** Roll-up counters across the shard's nodes. */
+    FleetStats Stats() const;
+
+    /** Merges per-node metrics (namespaced by node name) into `out`. */
+    void CollectNodeMetrics(telemetry::MetricRegistry& out);
+
+    std::size_t num_nodes() const { return nodes_.size(); }
+    std::size_t first_node_index() const
+    {
+        return config_.first_node_index;
+    }
+    MultiAgentNode& node(std::size_t i) { return *nodes_[i]; }
+    sim::EventQueue& queue() { return queue_; }
+    const sim::EventQueue& queue() const { return queue_; }
+
+  private:
+    NodeShardConfig config_;
+    sim::EventQueue queue_;
+    std::vector<std::unique_ptr<MultiAgentNode>> nodes_;
+    bool started_ = false;
+};
+
+}  // namespace sol::cluster

@@ -1,5 +1,6 @@
 #include "cluster/synthetic_agent.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace sol::cluster {
@@ -10,6 +11,11 @@ namespace {
  *  land far outside it so ValidateData rejects them. */
 constexpr double kValidRange = 100.0;
 constexpr double kFaultValue = 1e9;
+
+/** Ceiling on SyntheticAgentConfig::period_jitter: keeps the scale
+ *  factor in [0.1, 1.9] so jittered periods stay the same order of
+ *  magnitude as the configured ones. */
+constexpr double kMaxPeriodJitter = 0.9;
 
 }  // namespace
 
@@ -109,6 +115,49 @@ SyntheticAgent::MakeSchedule(const SyntheticAgentConfig& config)
     schedule.max_epoch_time = config.max_epoch_time;
     schedule.max_actuation_delay = config.max_actuation_delay;
     schedule.assess_actuator_interval = config.assess_actuator_interval;
+
+    // Heterogeneous schedules: both draws come from a dedicated seed
+    // stream, so enabling them changes nothing about the telemetry or
+    // actuation streams, and leaving both off skips the RNG entirely
+    // (prior PRs' trace hashes depend on that).
+    if (config.period_jitter > 0.0 || config.burst_fraction > 0.0) {
+        sim::Rng rng(sim::DeriveStreamSeed(config.seed, 2));
+        if (config.period_jitter > 0.0) {
+            // Clamp so a misread knob (e.g. 1.0 as "full jitter")
+            // cannot scale a period to ~zero and storm the queue.
+            const double jitter =
+                std::min(config.period_jitter, kMaxPeriodJitter);
+            const double factor =
+                1.0 + jitter * (2.0 * rng.NextDouble() - 1.0);
+            const auto scale = [factor](sim::Duration d) {
+                const auto scaled = static_cast<std::int64_t>(
+                    static_cast<double>(d.count()) * factor);
+                return std::max<sim::Duration>(sim::Nanos(scaled),
+                                               sim::Nanos(1));
+            };
+            schedule.data_collect_interval =
+                scale(schedule.data_collect_interval);
+            schedule.max_epoch_time = scale(schedule.max_epoch_time);
+            schedule.max_actuation_delay =
+                scale(schedule.max_actuation_delay);
+            schedule.assess_actuator_interval =
+                scale(schedule.assess_actuator_interval);
+        }
+        if (config.burst_fraction > 0.0 && config.burst_factor > 1.0 &&
+            rng.NextBool(config.burst_fraction)) {
+            schedule.data_per_epoch = std::max(
+                1, static_cast<int>(static_cast<double>(
+                       schedule.data_per_epoch) *
+                   config.burst_factor));
+            const auto dense = static_cast<std::int64_t>(
+                static_cast<double>(
+                    schedule.data_collect_interval.count()) /
+                config.burst_factor);
+            schedule.data_collect_interval =
+                std::max<sim::Duration>(sim::Nanos(dense),
+                                        sim::Nanos(1));
+        }
+    }
     return schedule;
 }
 

@@ -51,6 +51,30 @@ struct SyntheticAgentConfig {
     sim::Duration assess_actuator_interval = sim::Seconds(1);
     sim::Duration prediction_ttl = sim::Millis(200);
 
+    // --- Heterogeneity (defaults off: uniform fleet cadence, so
+    // --- existing seeded trace hashes stay byte-stable) ----------------
+    /**
+     * ± fractional jitter applied to this agent's schedule periods,
+     * drawn once at construction from a derived RNG stream (seed
+     * stream 2). 0.15 lands each agent's cadence uniformly in
+     * [0.85, 1.15]× the configured periods, so a fleet of synthetics
+     * stops beating in lockstep and shards see non-uniform load.
+     * 0 (default) keeps the exact schedule previous PRs hashed;
+     * values above 0.9 are clamped to 0.9 so a period can never be
+     * scaled toward zero (event storm).
+     */
+    double period_jitter = 0.0;
+
+    /**
+     * Probability (same derived stream) that this agent runs a burst
+     * profile: each epoch collects `burst_factor`× more samples at a
+     * `burst_factor`× shorter interval — the same epoch length, but
+     * the event traffic arrives in dense bursts with quiet actuation
+     * gaps between them. 0 (default) disables burst phases.
+     */
+    double burst_fraction = 0.0;
+    double burst_factor = 4.0;
+
     // --- Behavior ------------------------------------------------------
     /** Fraction of collected samples injected out-of-range, so the
      *  data-validation safeguard sees steady rejection traffic. */

@@ -1,0 +1,284 @@
+#include "fleet/fleet_runner.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "sim/rng.h"
+
+namespace sol::fleet {
+
+ShardedFleetRunner::Resolved
+ShardedFleetRunner::Resolve(const FleetConfig& config)
+{
+    const std::size_t num_shards =
+        config.num_shards != 0
+            ? config.num_shards
+            : std::max<std::size_t>(config.num_nodes, 1);
+    std::size_t threads = config.num_threads;
+    if (threads == 0) {
+        const std::size_t hw = std::thread::hardware_concurrency();
+        threads = hw == 0 ? 1 : hw;
+    }
+    // More workers than shards would just idle at the barriers.
+    threads = std::clamp<std::size_t>(threads, 1, num_shards);
+    return {num_shards, threads};
+}
+
+ShardedFleetRunner::ShardedFleetRunner(const FleetConfig& config)
+    : ShardedFleetRunner(config, Resolve(config))
+{
+}
+
+ShardedFleetRunner::ShardedFleetRunner(const FleetConfig& config,
+                                       Resolved resolved)
+    : config_(config),
+      start_barrier_(
+          static_cast<std::ptrdiff_t>(resolved.num_threads + 1)),
+      done_barrier_(
+          static_cast<std::ptrdiff_t>(resolved.num_threads + 1))
+{
+    if (config_.window <= sim::Duration::zero()) {
+        throw std::invalid_argument("FleetConfig::window must be positive");
+    }
+    const std::size_t num_shards = resolved.num_shards;
+    const std::size_t num_threads = resolved.num_threads;
+
+    // Balanced contiguous partition: the first (num_nodes % num_shards)
+    // shards own one extra node. Depends only on (num_nodes,
+    // num_shards) — never on the thread count.
+    shards_.reserve(num_shards);
+    const std::size_t base = config_.num_nodes / num_shards;
+    const std::size_t extra = config_.num_nodes % num_shards;
+    std::size_t next_node = 0;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+        cluster::NodeShardConfig shard;
+        shard.first_node_index = next_node;
+        shard.num_nodes = base + (s < extra ? 1 : 0);
+        shard.base_seed = config_.base_seed;
+        shard.start_stagger = config_.start_stagger;
+        shard.queue_pending_limit = config_.queue_pending_limit;
+        shard.node = config_.node;
+        next_node += shard.num_nodes;
+        shards_.push_back(std::make_unique<cluster::NodeShard>(shard));
+    }
+
+    workers_.reserve(num_threads);
+    try {
+        for (std::size_t w = 0; w < num_threads; ++w) {
+            workers_.emplace_back([this, w] { WorkerMain(w); });
+        }
+    } catch (...) {
+        // Thread spawn failed partway: the barriers were sized for
+        // num_threads + 1 participants, so release the workers that
+        // did start (they park at the start barrier before touching
+        // anything) by dropping the missing participants, then join.
+        // Without this, destroying the joinable threads would
+        // std::terminate.
+        shutdown_ = true;
+        for (std::size_t missing = workers_.size();
+             missing < num_threads; ++missing) {
+            start_barrier_.arrive_and_drop();
+        }
+        start_barrier_.arrive_and_wait();
+        for (std::thread& worker : workers_) {
+            worker.join();
+        }
+        throw;
+    }
+}
+
+ShardedFleetRunner::~ShardedFleetRunner()
+{
+    shutdown_ = true;
+    start_barrier_.arrive_and_wait();
+    for (std::thread& worker : workers_) {
+        worker.join();
+    }
+}
+
+void
+ShardedFleetRunner::WorkerMain(std::size_t worker_index)
+{
+    while (true) {
+        start_barrier_.arrive_and_wait();
+        if (shutdown_) {
+            return;
+        }
+        // Static round-robin shard ownership: shard s is stepped by
+        // worker (s % W) in every window. Assignment affects only
+        // wall-clock balance; shard state is thread-confined here and
+        // handed back to the main thread by the done barrier.
+        try {
+            for (std::size_t s = worker_index; s < shards_.size();
+                 s += workers_.size()) {
+                shards_[s]->RunUntil(horizon_);
+                if (merge_this_window_) {
+                    MergeShardWindowMetrics(s);
+                }
+            }
+        } catch (...) {
+            // Capture for Run() to rethrow at the window boundary —
+            // an exception escaping a thread function would terminate
+            // the process. First failure wins; the worker still
+            // arrives at the done barrier so the window completes.
+            std::lock_guard<std::mutex> lock(failure_mutex_);
+            if (!failure_) {
+                failure_ = std::current_exception();
+            }
+        }
+        done_barrier_.arrive_and_wait();
+    }
+}
+
+void
+ShardedFleetRunner::MergeShardWindowMetrics(std::size_t shard_index)
+{
+    cluster::NodeShard& shard = *shards_[shard_index];
+    telemetry::MetricRegistry local;
+    cluster::WriteQueueGauges(telemetry::MetricScope(local, "queue"),
+                              shard.queue().stats());
+    local.SetGauge("num_nodes", static_cast<double>(shard.num_nodes()));
+    local.SetGauge("virtual_seconds",
+                   sim::ToSeconds(shard.queue().Now()));
+    window_metrics_.MergeFrom(local,
+                              "shard" + std::to_string(shard_index));
+}
+
+void
+ShardedFleetRunner::Run(sim::Duration span)
+{
+    if (failed_) {
+        // A previous window rethrew a shard exception: the shards are
+        // at inconsistent virtual times, so continuing would silently
+        // void the determinism guarantee.
+        throw std::logic_error(
+            "ShardedFleetRunner::Run after a shard failure; destroy "
+            "the runner instead");
+    }
+    const sim::TimePoint end = now_ + span;
+    while (now_ < end) {
+        const sim::TimePoint horizon =
+            std::min(now_ + config_.window, end);
+        horizon_ = horizon;
+        ++window_index_;
+        merge_this_window_ =
+            config_.metrics_every_n_windows != 0 &&
+            window_index_ % config_.metrics_every_n_windows == 0;
+        start_barrier_.arrive_and_wait();
+        done_barrier_.arrive_and_wait();
+        // Workers are parked at the start barrier again; failure_ is
+        // stable and the barrier ordered their writes before our read.
+        if (failure_) {
+            std::exception_ptr failure = failure_;
+            failure_ = nullptr;
+            failed_ = true;
+            std::rethrow_exception(failure);
+        }
+        now_ = horizon;
+    }
+}
+
+void
+ShardedFleetRunner::Stop()
+{
+    for (auto& shard : shards_) {
+        shard->Stop();
+    }
+}
+
+void
+ShardedFleetRunner::CleanUpAll()
+{
+    for (auto& shard : shards_) {
+        shard->CleanUpAll();
+    }
+}
+
+cluster::MultiAgentNode&
+ShardedFleetRunner::node(std::size_t global_index)
+{
+    for (auto& shard : shards_) {
+        const std::size_t first = shard->first_node_index();
+        if (global_index >= first &&
+            global_index < first + shard->num_nodes()) {
+            return shard->node(global_index - first);
+        }
+    }
+    throw std::out_of_range("fleet node index " +
+                            std::to_string(global_index));
+}
+
+void
+ShardedFleetRunner::DrainNode(std::size_t global_index)
+{
+    node(global_index).Stop();
+}
+
+cluster::FleetStats
+ShardedFleetRunner::Stats() const
+{
+    cluster::FleetStats fleet;
+    for (const auto& shard : shards_) {
+        fleet.Accumulate(shard->Stats());
+    }
+    return fleet;
+}
+
+sim::EventQueueStats
+ShardedFleetRunner::QueueStats() const
+{
+    sim::EventQueueStats total;
+    for (const auto& shard : shards_) {
+        const sim::EventQueueStats stats = shard->queue().stats();
+        total.scheduled += stats.scheduled;
+        total.executed += stats.executed;
+        total.cancelled += stats.cancelled;
+        total.dropped += stats.dropped;
+        total.pending += stats.pending;
+        total.peak_pending += stats.peak_pending;
+        total.arena_capacity += stats.arena_capacity;
+        total.arena_blocks += stats.arena_blocks;
+    }
+    return total;
+}
+
+std::uint64_t
+ShardedFleetRunner::total_executed() const
+{
+    std::uint64_t executed = 0;
+    for (const auto& shard : shards_) {
+        executed += shard->queue().executed();
+    }
+    return executed;
+}
+
+std::uint64_t
+ShardedFleetRunner::fleet_trace_hash() const
+{
+    // Wrapping sum of a splitmix64 step over each shard hash: the sum
+    // is commutative/associative (order-independent across shards) and
+    // the mix keeps structured per-shard hashes from cancelling.
+    // DeriveStreamSeed is exactly that step — one copy of the
+    // splitmix64 constants in the codebase.
+    std::uint64_t hash = 0;
+    for (const auto& shard : shards_) {
+        hash += sim::DeriveStreamSeed(shard->queue().trace_hash(), 0);
+    }
+    return hash;
+}
+
+void
+ShardedFleetRunner::CollectFleetMetrics(telemetry::MetricRegistry& out)
+{
+    for (auto& shard : shards_) {
+        shard->CollectNodeMetrics(out);
+    }
+    cluster::WriteFleetScope(out, Stats(), config_.num_nodes,
+                             QueueStats());
+    telemetry::MetricScope scope(out, "fleet");
+    scope.SetGauge("num_shards", static_cast<double>(shards_.size()));
+    scope.SetGauge("num_threads", static_cast<double>(workers_.size()));
+}
+
+}  // namespace sol::fleet

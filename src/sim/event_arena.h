@@ -12,23 +12,29 @@
  *
  * This header provides the replacement storage layer:
  *
- *  - InlineEvent: a move-only callable with a 48-byte inline buffer.
+ *  - InlineEvent: a move-only callable with a 24-byte inline buffer.
  *    Every closure the runtimes schedule (a captured `this` plus a
  *    shared liveness token) fits inline, so the steady path performs no
  *    closure allocation; larger callables transparently spill to the
  *    heap for correctness.
- *  - EventNode / EventArena: block-allocated event nodes addressed by
- *    dense 32-bit indices, recycled through a free list, linked into an
- *    intrusive pairing heap ordered by (time, sequence). Generation
- *    counters give O(1) handle invalidation: freeing a node bumps its
- *    generation, so stale handles can never touch a recycled slot.
+ *  - EventKey / EventArena: structure-of-arrays event storage addressed
+ *    by dense 32-bit indices and recycled through a free list. The
+ *    32-byte key records — (time, sequence) plus the intrusive
+ *    pairing-heap links — live in their own densely packed array, two
+ *    per cache line, so the heap's compare-and-relink traffic runs at
+ *    twice the cache density of an array-of-structs layout; the
+ *    closure payloads sit in a parallel array and are only touched on
+ *    push and fire. Generation counters give O(1) handle invalidation:
+ *    freeing a slot bumps its generation, so stale handles can never
+ *    touch a recycled event.
  *
  * Cancellation is eager: removing an arbitrary node from the pairing
- *
  * heap is O(log n) amortized, so a cancelled timeout leaves the queue
  * immediately instead of rotting until its deadline. Heap shape depends
  * only on the sequence of operations — never on addresses or wall time —
- * so a fixed seed reproduces a run exactly.
+ * so a fixed seed reproduces a run exactly; and because (time, sequence)
+ * is a strict total order, pop order is independent of heap shape
+ * entirely.
  */
 #pragma once
 
@@ -56,12 +62,18 @@ inline constexpr std::uint32_t kNilEvent = 0xffffffffu;
  * the heap. Invocation, relocation, and destruction dispatch through a
  * static ops table, so an empty InlineEvent is two words of state.
  */
-class InlineEvent
+class alignas(32) InlineEvent
 {
   public:
-    /** Inline capacity; sized for the runtimes' `[this, alive]`-style
-     *  closures with headroom for a couple more captured words. */
-    static constexpr std::size_t kInlineBytes = 48;
+    /**
+     * Inline capacity. Sized so the runtimes' hottest closures — a
+     * captured `this` plus a `shared_ptr` liveness token (24 bytes) —
+     * fit inline while the whole payload record stays 32 bytes (two
+     * per cache line in the arena's payload array). Larger callables
+     * transparently box on the heap; every steady-path closure in
+     * src/ fits.
+     */
+    static constexpr std::size_t kInlineBytes = 24;
 
     InlineEvent() = default;
 
@@ -109,6 +121,20 @@ class InlineEvent
         ops_->invoke(storage_);
     }
 
+    /**
+     * Runs the callable and destroys it in one dispatch (the arena's
+     * fire path — one indirect call instead of invoke-then-destroy).
+     * Leaves this event empty.
+     */
+    void
+    InvokeAndDestroy()
+    {
+        assert(ops_ != nullptr);
+        const Ops* ops = ops_;
+        ops_ = nullptr;
+        ops->invoke_destroy(storage_);
+    }
+
     explicit operator bool() const { return ops_ != nullptr; }
 
     /** Destroys the held callable (no-op when empty). */
@@ -124,6 +150,7 @@ class InlineEvent
   private:
     struct Ops {
         void (*invoke)(void* storage);
+        void (*invoke_destroy)(void* storage);  ///< Run, then destroy.
         void (*relocate)(void* dst, void* src);  ///< Move then destroy src.
         void (*destroy)(void* storage);
     };
@@ -133,6 +160,18 @@ class InlineEvent
     InlineInvoke(void* storage)
     {
         (*static_cast<Fn*>(storage))();
+    }
+    template <typename Fn>
+    static void
+    InlineInvokeDestroy(void* storage)
+    {
+        Fn* fn = static_cast<Fn*>(storage);
+        // RAII so a throwing callback still destroys its captures.
+        struct Guard {
+            Fn* fn;
+            ~Guard() { fn->~Fn(); }
+        } guard{fn};
+        (*fn)();
     }
     template <typename Fn>
     static void
@@ -149,9 +188,9 @@ class InlineEvent
         static_cast<Fn*>(storage)->~Fn();
     }
     template <typename Fn>
-    static constexpr Ops kInlineOps = {&InlineInvoke<Fn>,
-                                       &InlineRelocate<Fn>,
-                                       &InlineDestroy<Fn>};
+    static constexpr Ops kInlineOps = {
+        &InlineInvoke<Fn>, &InlineInvokeDestroy<Fn>,
+        &InlineRelocate<Fn>, &InlineDestroy<Fn>};
 
     template <typename Fn>
     static Fn*&
@@ -167,6 +206,18 @@ class InlineEvent
     }
     template <typename Fn>
     static void
+    HeapInvokeDestroy(void* storage)
+    {
+        Fn* fn = Boxed<Fn>(storage);
+        // RAII so a throwing callback still frees the boxed closure.
+        struct Guard {
+            Fn* fn;
+            ~Guard() { delete fn; }
+        } guard{fn};
+        (*fn)();
+    }
+    template <typename Fn>
+    static void
     HeapRelocate(void* dst, void* src)
     {
         ::new (dst) Fn*(Boxed<Fn>(src));
@@ -178,8 +229,9 @@ class InlineEvent
         delete Boxed<Fn>(storage);
     }
     template <typename Fn>
-    static constexpr Ops kHeapOps = {&HeapInvoke<Fn>, &HeapRelocate<Fn>,
-                                     &HeapDestroy<Fn>};
+    static constexpr Ops kHeapOps = {
+        &HeapInvoke<Fn>, &HeapInvokeDestroy<Fn>, &HeapRelocate<Fn>,
+        &HeapDestroy<Fn>};
 
     void
     MoveFrom(InlineEvent& other) noexcept
@@ -196,29 +248,42 @@ class InlineEvent
 };
 
 /**
- * One scheduled event: payload plus intrusive pairing-heap links.
+ * One scheduled event's heap record: the (time, sequence) ordering key
+ * plus intrusive pairing-heap links. Exactly 32 bytes (two records per
+ * cache line), packed in their own array so comparisons and link
+ * surgery never drag closure payload bytes through the cache.
  *
  * `prev` points at the left sibling, or at the parent when this node is
  * its first child (the node x with node(x.prev).child == x convention),
- * which makes arbitrary removal O(1) link surgery. While the node sits
- * on the free list, `prev` doubles as the next-free link.
+ * which makes arbitrary removal O(1) link surgery. While the slot sits
+ * on the free list, `prev` doubles as the next-free link; `child` and
+ * `sibling` are left stale there — Push reinitializes every field, and
+ * stale handles are rejected by the generation check before any link
+ * is read.
  */
-struct EventNode {
+struct alignas(32) EventKey {
     TimePoint when{0};
     std::uint64_t seq = 0;
-    InlineEvent fn;
     std::uint32_t generation = 0;  ///< Bumped on Free; validates handles.
     std::uint32_t child = kNilEvent;
     std::uint32_t sibling = kNilEvent;
     std::uint32_t prev = kNilEvent;
 };
 
+static_assert(sizeof(void*) != 8 || sizeof(EventKey) == 32,
+              "EventKey must stay half a cache line on 64-bit targets");
+static_assert(sizeof(void*) != 8 || sizeof(InlineEvent) == 32,
+              "InlineEvent must stay half a cache line on 64-bit "
+              "targets");
+
 /**
- * Block-allocated pairing heap of EventNodes.
+ * Block-allocated pairing heap of events in structure-of-arrays form.
  *
- * Nodes are addressed by dense uint32 indices into fixed-size blocks
+ * Events are addressed by dense uint32 indices into fixed-size blocks
  * (never reallocated, so references stay stable while the arena grows)
- * and recycled LIFO through a free list. The heap orders by
+ * and recycled LIFO through a free list. Each block is a pair of
+ * parallel arrays — EventKey records and InlineEvent payloads — so the
+ * heap walk touches only the dense key array. The heap orders by
  * (when, seq): strict total order, so pop order is identical to the
  * seed binary heap's and same-instant events run in insertion order.
  *
@@ -234,15 +299,22 @@ class EventArena
         std::uint64_t scheduled = 0;  ///< Events admitted by Push.
         std::uint64_t cancelled = 0;  ///< Events removed before firing.
         std::size_t peak_pending = 0;
-        std::size_t capacity = 0;     ///< Node slots allocated.
+        std::size_t capacity = 0;     ///< Event slots allocated.
         std::size_t blocks = 0;       ///< Fixed-size blocks allocated.
     };
 
-    /** Payload handed back by PopEarliest. */
+    /**
+     * Key of the event surfaced by PopEarliest. The payload stays in
+     * the arena (slot detached from the heap but still allocated) and
+     * is run in place by InvokePopped; the cached pointer is valid
+     * until then because block storage never moves.
+     */
     struct Popped {
         TimePoint when{0};
         std::uint64_t seq = 0;
-        InlineEvent fn;
+        std::uint32_t index = kNilEvent;
+        EventKey* key = nullptr;
+        InlineEvent* fn = nullptr;
     };
 
     EventArena() = default;
@@ -256,7 +328,7 @@ class EventArena
     TimePoint
     EarliestTime() const
     {
-        return root_ == kNilEvent ? kTimeInfinity : node(root_).when;
+        return root_ == kNilEvent ? kTimeInfinity : key(root_).when;
     }
 
     Stats
@@ -268,18 +340,18 @@ class EventArena
         return s;
     }
 
-    /** Schedules an event; returns its node index (see GenerationOf). */
+    /** Schedules an event; returns its slot index (see GenerationOf). */
     std::uint32_t
     Push(TimePoint when, std::uint64_t seq, InlineEvent fn)
     {
         const std::uint32_t index = Allocate();
-        EventNode& n = node(index);
-        n.when = when;
-        n.seq = seq;
-        n.fn = std::move(fn);
-        n.child = kNilEvent;
-        n.sibling = kNilEvent;
-        n.prev = kNilEvent;
+        EventKey& k = key(index);
+        k.when = when;
+        k.seq = seq;
+        k.child = kNilEvent;
+        k.sibling = kNilEvent;
+        k.prev = kNilEvent;
+        payload(index) = std::move(fn);
         root_ = root_ == kNilEvent ? index : Meld(root_, index);
         ++live_;
         ++stats_.scheduled;
@@ -290,9 +362,10 @@ class EventArena
     }
 
     /**
-     * Pops the earliest event if it fires at or before `horizon`.
-     * The node is recycled before `out->fn` runs, so the callback may
-     * freely schedule (and reuse the slot of) new events.
+     * Pops the earliest event if it fires at or before `horizon`,
+     * unlinking it from the heap but leaving the slot allocated so the
+     * closure can run in place. The caller must follow up with
+     * InvokePopped(*out), which recycles the slot.
      */
     bool
     PopEarliest(TimePoint horizon, Popped* out)
@@ -301,17 +374,53 @@ class EventArena
             return false;
         }
         const std::uint32_t index = root_;
-        EventNode& m = node(index);
-        if (m.when > horizon) {
+        EventKey& k = key(index);
+        if (k.when > horizon) {
             return false;
         }
-        out->when = m.when;
-        out->seq = m.seq;
-        out->fn = std::move(m.fn);
-        root_ = MergePairs(m.child);
-        m.child = kNilEvent;
-        Free(index);
+        out->when = k.when;
+        out->seq = k.seq;
+        out->index = index;
+        out->key = &k;
+        out->fn = &payload(index);
+        root_ = MergePairs(k.child);
+        k.prev = kNilEvent;  // Detached: stale Cancels see "not in heap".
+        // The event leaves the pending count here, not when its slot is
+        // recycled: a firing callback that re-arms itself must see the
+        // same pending() the pre-SoA queue showed it, or a saturated
+        // pending limit would shed the re-arm and stall the loop.
+        --live_;
         return true;
+    }
+
+    /**
+     * Runs a popped event's closure directly from its (detached, still
+     * allocated) slot — one fused invoke+destroy dispatch, no payload
+     * relocation — then recycles the slot. Block storage is address-
+     * stable, so the closure may freely schedule new events (growing
+     * the arena) while it runs; a Cancel() racing the firing event
+     * through a stale handle is rejected because the slot is no longer
+     * root and has no parent link.
+     */
+    void
+    InvokePopped(const Popped& popped)
+    {
+        // RAII slot recycle: PopEarliest already took the event out of
+        // the pending count, so even a throwing callback must not lose
+        // the slot (or skip the generation bump that invalidates
+        // handles). Runs after the payload's own invoke+destroy.
+        struct Recycle {
+            EventArena* arena;
+            const Popped* popped;
+            ~Recycle()
+            {
+                EventKey& k = *popped->key;
+                ++k.generation;
+                k.prev = arena->free_head_;
+                arena->free_head_ = popped->index;
+            }
+        } recycle{this, &popped};
+        popped.fn->InvokeAndDestroy();
     }
 
     /**
@@ -325,17 +434,16 @@ class EventArena
         if (!IsLive(index, generation)) {
             return false;
         }
-        EventNode& n = node(index);
+        EventKey& k = key(index);
         if (index == root_) {
-            root_ = MergePairs(n.child);
+            root_ = MergePairs(k.child);
         } else {
             Detach(index);
-            const std::uint32_t sub = MergePairs(n.child);
+            const std::uint32_t sub = MergePairs(k.child);
             if (sub != kNilEvent) {
                 root_ = Meld(root_, sub);
             }
         }
-        n.child = kNilEvent;
         ++stats_.cancelled;
         Free(index);
         return true;
@@ -346,33 +454,47 @@ class EventArena
     IsLive(std::uint32_t index, std::uint32_t generation) const
     {
         return index < blocks_.size() * kBlockSize &&
-               node(index).generation == generation && live_ > 0 &&
+               key(index).generation == generation && live_ > 0 &&
                InHeap(index);
     }
 
     std::uint32_t
     GenerationOf(std::uint32_t index) const
     {
-        return node(index).generation;
+        return key(index).generation;
     }
 
   private:
     static constexpr std::size_t kBlockShift = 7;
     static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockShift;
 
-    EventNode&
-    node(std::uint32_t index)
+    /** One block: parallel key/payload arrays of kBlockSize slots. */
+    struct Block {
+        std::unique_ptr<EventKey[]> keys;
+        std::unique_ptr<InlineEvent[]> fns;
+    };
+
+    EventKey&
+    key(std::uint32_t index)
     {
-        return blocks_[index >> kBlockShift][index & (kBlockSize - 1)];
+        return blocks_[index >> kBlockShift]
+            .keys[index & (kBlockSize - 1)];
     }
-    const EventNode&
-    node(std::uint32_t index) const
+    const EventKey&
+    key(std::uint32_t index) const
     {
-        return blocks_[index >> kBlockShift][index & (kBlockSize - 1)];
+        return blocks_[index >> kBlockShift]
+            .keys[index & (kBlockSize - 1)];
+    }
+    InlineEvent&
+    payload(std::uint32_t index)
+    {
+        return blocks_[index >> kBlockShift]
+            .fns[index & (kBlockSize - 1)];
     }
 
     /**
-     * A generation match already implies the node is allocated (Free
+     * A generation match already implies the slot is allocated (Free
      * bumps the generation before the slot can be observed again), so
      * this is a structural sanity check only: the root, or any node
      * with a parent/sibling link, is in the heap.
@@ -380,85 +502,151 @@ class EventArena
     bool
     InHeap(std::uint32_t index) const
     {
-        return index == root_ || node(index).prev != kNilEvent;
+        return index == root_ || key(index).prev != kNilEvent;
     }
 
+    /** Branch-free (when, seq) comparison: merge chains carry near-
+     *  random keys, so a short-circuit compare mispredicts constantly
+     *  in the hottest loop (MergePairs ~75% of churn CPU). */
     bool
     Less(std::uint32_t a, std::uint32_t b) const
     {
-        const EventNode& na = node(a);
-        const EventNode& nb = node(b);
-        if (na.when != nb.when) {
-            return na.when < nb.when;
-        }
-        return na.seq < nb.seq;
+        const EventKey& ka = key(a);
+        const EventKey& kb = key(b);
+        return static_cast<int>(ka.when < kb.when) |
+               (static_cast<int>(ka.when == kb.when) &
+                static_cast<int>(ka.seq < kb.seq));
+    }
+
+    /** Hints the prefetcher at a key about to be compared/linked. */
+    void
+    Prefetch(std::uint32_t index) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(&key(index));
+#else
+        (void)index;
+#endif
     }
 
     /** Melds two detached trees; the loser becomes the winner's first
-     *  child. Both inputs must be valid roots (prev/sibling nil). */
+     *  child. Both inputs must be valid roots (prev/sibling nil). The
+     *  winner/loser selection compiles to conditional moves — the
+     *  outcome is a coin flip on merge chains, so a branch here would
+     *  eat a misprediction per meld. */
     std::uint32_t
     Meld(std::uint32_t a, std::uint32_t b)
     {
-        if (Less(b, a)) {
-            std::swap(a, b);
-        }
-        EventNode& winner = node(a);
-        EventNode& loser = node(b);
+        const bool b_wins = Less(b, a);
+        const std::uint32_t w = b_wins ? b : a;
+        const std::uint32_t l = b_wins ? a : b;
+        EventKey& winner = key(w);
+        EventKey& loser = key(l);
         loser.sibling = winner.child;
         if (winner.child != kNilEvent) {
-            node(winner.child).prev = b;
+            key(winner.child).prev = l;
         }
-        loser.prev = a;
-        winner.child = b;
-        return a;
+        loser.prev = w;
+        winner.child = l;
+        return w;
     }
 
     /** Unlinks a non-root node from its parent/sibling chain. */
     void
     Detach(std::uint32_t index)
     {
-        EventNode& n = node(index);
-        EventNode& p = node(n.prev);
+        EventKey& k = key(index);
+        EventKey& p = key(k.prev);
         if (p.child == index) {
-            p.child = n.sibling;
+            p.child = k.sibling;
         } else {
-            p.sibling = n.sibling;
+            p.sibling = k.sibling;
         }
-        if (n.sibling != kNilEvent) {
-            node(n.sibling).prev = n.prev;
+        if (k.sibling != kNilEvent) {
+            key(k.sibling).prev = k.prev;
         }
-        n.sibling = kNilEvent;
-        n.prev = kNilEvent;
+        k.sibling = kNilEvent;
+        k.prev = kNilEvent;
     }
 
-    /** Two-pass pairing merge of a first-child chain. */
+    /**
+     * Two-pass pairing merge of a first-child chain, in place.
+     *
+     * The textbook second pass walks the paired roots right-to-left,
+     * which would mean buffering them in a scratch vector. This
+     * version threads the pair winners into a reversed intrusive list
+     * through their (root-unused) `sibling` links instead — prepending
+     * during the pairing pass reverses the chain for free — so the
+     * whole merge runs on the key array's own cache lines with zero
+     * side allocations or vector traffic. Heap *shape* may differ from
+     * the scratch-vector version's, but pop order cannot: (when, seq)
+     * is a strict total order, so the minimum is unique and traces are
+     * unchanged.
+     */
     std::uint32_t
     MergePairs(std::uint32_t first)
     {
         if (first == kNilEvent) {
             return kNilEvent;
         }
-        merge_scratch_.clear();
+        // Fast paths: in steady churn most popped roots have 0-2
+        // children, where the general loop's bookkeeping dominates.
+        const std::uint32_t second = key(first).sibling;
+        if (second == kNilEvent) {
+            key(first).prev = kNilEvent;
+            return first;
+        }
+        if (key(second).sibling == kNilEvent) {
+            key(first).sibling = kNilEvent;
+            key(first).prev = kNilEvent;
+            key(second).prev = kNilEvent;
+            return Meld(first, second);
+        }
+
+        // Pass 1: meld adjacent pairs left-to-right, prepending each
+        // winner onto `paired` (reversed list threaded via `sibling`).
+        // We also tried a full multipass variant (repeat this pass
+        // until one root remains) for its independent-meld ILP; it
+        // measured ~35% slower on steady churn — the heap quality loss
+        // outweighs the latency overlap — so two-pass it stays.
+        std::uint32_t paired = kNilEvent;
         std::uint32_t cur = first;
         while (cur != kNilEvent) {
             const std::uint32_t a = cur;
-            const std::uint32_t b = node(a).sibling;
-            const std::uint32_t next =
-                b == kNilEvent ? kNilEvent : node(b).sibling;
-            node(a).sibling = kNilEvent;
-            node(a).prev = kNilEvent;
-            if (b != kNilEvent) {
-                node(b).sibling = kNilEvent;
-                node(b).prev = kNilEvent;
-                merge_scratch_.push_back(Meld(a, b));
-            } else {
-                merge_scratch_.push_back(a);
+            const std::uint32_t b = key(a).sibling;
+            if (b == kNilEvent) {
+                key(a).prev = kNilEvent;
+                key(a).sibling = paired;
+                paired = a;
+                break;
             }
+            const std::uint32_t next = key(b).sibling;
+            if (next != kNilEvent) {
+                Prefetch(next);
+            }
+            key(a).sibling = kNilEvent;
+            key(a).prev = kNilEvent;
+            key(b).sibling = kNilEvent;
+            key(b).prev = kNilEvent;
+            const std::uint32_t winner = Meld(a, b);
+            key(winner).sibling = paired;
+            paired = winner;
             cur = next;
         }
-        std::uint32_t acc = merge_scratch_.back();
-        for (std::size_t i = merge_scratch_.size() - 1; i-- > 0;) {
-            acc = Meld(merge_scratch_[i], acc);
+
+        // Pass 2: accumulate along the reversed list — i.e. right-to-
+        // left over the original chain, preserving the amortized bound.
+        std::uint32_t acc = paired;
+        std::uint32_t rest = key(acc).sibling;
+        key(acc).sibling = kNilEvent;
+        while (rest != kNilEvent) {
+            const std::uint32_t n = rest;
+            rest = key(n).sibling;
+            if (rest != kNilEvent) {
+                Prefetch(rest);
+            }
+            key(n).sibling = kNilEvent;
+            acc = Meld(n, acc);
         }
         return acc;
     }
@@ -470,22 +658,21 @@ class EventArena
             Grow();
         }
         const std::uint32_t index = free_head_;
-        free_head_ = node(index).prev;
-        node(index).prev = kNilEvent;
+        free_head_ = key(index).prev;
+        key(index).prev = kNilEvent;
         return index;
     }
 
-    /** Recycles a node: bumps its generation (invalidating every handle
-     *  to the fired/cancelled event) and pushes it on the free list. */
+    /** Recycles a slot: bumps its generation (invalidating every handle
+     *  to the fired/cancelled event), destroys the payload, and pushes
+     *  the slot on the free list. */
     void
     Free(std::uint32_t index)
     {
-        EventNode& n = node(index);
-        ++n.generation;
-        n.fn.Reset();
-        n.child = kNilEvent;
-        n.sibling = kNilEvent;
-        n.prev = free_head_;
+        EventKey& k = key(index);
+        ++k.generation;
+        payload(index).Reset();
+        k.prev = free_head_;
         free_head_ = index;
         --live_;
     }
@@ -495,22 +682,23 @@ class EventArena
     {
         const std::size_t block = blocks_.size();
         assert((block + 1) * kBlockSize < kNilEvent);
-        blocks_.push_back(std::make_unique<EventNode[]>(kBlockSize));
+        blocks_.push_back(Block{
+            std::make_unique<EventKey[]>(kBlockSize),
+            std::make_unique<InlineEvent[]>(kBlockSize)});
         // Threaded last-first so the lowest new index pops first.
         for (std::size_t i = kBlockSize; i-- > 0;) {
             const auto index =
                 static_cast<std::uint32_t>((block << kBlockShift) | i);
-            node(index).prev = free_head_;
+            key(index).prev = free_head_;
             free_head_ = index;
         }
     }
 
-    std::vector<std::unique_ptr<EventNode[]>> blocks_;
+    std::vector<Block> blocks_;
     std::uint32_t free_head_ = kNilEvent;
     std::uint32_t root_ = kNilEvent;
     std::size_t live_ = 0;
     Stats stats_;
-    std::vector<std::uint32_t> merge_scratch_;
 };
 
 }  // namespace sol::sim::detail

@@ -37,12 +37,15 @@ EventQueue::ScheduleEvent(TimePoint when, detail::InlineEvent fn)
 void
 EventQueue::RunUntil(TimePoint horizon)
 {
+    // Hoist the shared_ptr deref out of the hot loop; the arena cannot
+    // be released while its owning queue is running.
+    detail::EventArena* arena = arena_.get();
     detail::EventArena::Popped event;
-    while (arena_->PopEarliest(horizon, &event)) {
+    while (arena->PopEarliest(horizon, &event)) {
         now_ = event.when;
         ++executed_;
         MixTrace(event.when, event.seq);
-        event.fn();
+        arena->InvokePopped(event);
     }
     if (horizon > now_ && horizon != kTimeInfinity) {
         now_ = horizon;
@@ -67,7 +70,7 @@ EventQueue::Step()
     now_ = event.when;
     ++executed_;
     MixTrace(event.when, event.seq);
-    event.fn();
+    arena_->InvokePopped(event);
     return true;
 }
 

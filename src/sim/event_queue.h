@@ -9,11 +9,12 @@
  * exactly.
  *
  * Internals (see sim/event_arena.h): events live in an arena-allocated
- * pairing heap addressed by 32-bit indices. The steady schedule/fire
- * path performs no heap allocation (closures up to 48 bytes are stored
- * inline in the recycled node), cancellation eagerly unlinks the event
- * in O(log n) amortized with O(1) generation-token invalidation of
- * stale handles, and pop order is the same strict (time, sequence)
+ * pairing heap addressed by 32-bit indices, keys and closure payloads
+ * in separate parallel arrays. The steady schedule/fire path performs
+ * no heap allocation (closures up to 24 bytes are stored inline in the
+ * recycled slot and fired in place), cancellation eagerly unlinks the
+ * event in O(log n) amortized with O(1) generation-token invalidation
+ * of stale handles, and pop order is the same strict (time, sequence)
  * total order the seed binary-heap implementation used — same seeds
  * produce byte-identical traces, which trace_hash() fingerprints.
  */

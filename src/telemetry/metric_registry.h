@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -68,6 +69,63 @@ class MetricRegistry
     std::map<std::string, std::uint64_t> counters_;
     std::map<std::string, double> gauges_;
     std::map<std::string, std::vector<SeriesPoint>> series_;
+};
+
+/**
+ * Mutex-guarded MetricRegistry aggregation point for concurrent
+ * producers.
+ *
+ * MetricRegistry itself is single-threaded by design (every hot-path
+ * writer owns its registry exclusively). A sharded fleet run breaks
+ * that assumption exactly once per virtual-time window: W worker
+ * threads finish their shards at a barrier and each merges its shards'
+ * metrics into one fleet-wide aggregate. SharedMetricRegistry is that
+ * aggregation point — writers pay the lock only at window boundaries,
+ * never per event, and readers take a consistent snapshot by value.
+ *
+ * Merge order across threads is not deterministic, so only
+ * order-insensitive operations are exposed: counter merges add,
+ * gauge/series merges overwrite *namespaced* keys (each producer owns
+ * its prefix, so concurrent merges never overwrite each other's keys).
+ */
+class SharedMetricRegistry
+{
+  public:
+    /** Merges `other` under `prefix + "."` (thread-safe). */
+    void
+    MergeFrom(const MetricRegistry& other, const std::string& prefix)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        registry_.MergeFrom(other, prefix);
+    }
+
+    /** Adds delta to a counter (thread-safe). */
+    void
+    Increment(const std::string& name, std::uint64_t delta = 1)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        registry_.Increment(name, delta);
+    }
+
+    /** Copies the current aggregate out (thread-safe). */
+    MetricRegistry
+    Snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return registry_;
+    }
+
+    /** Drops every metric (thread-safe). */
+    void
+    Clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        registry_.Clear();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    MetricRegistry registry_;
 };
 
 /**

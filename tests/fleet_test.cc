@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests for the sharded parallel fleet executor: bit-determinism
+ * across thread counts, shard-partition edge cases (empty shard,
+ * single-node shard), mid-run node drain, heterogeneous synthetic
+ * schedules, and the concurrent window-boundary metric merge (this
+ * suite runs under TSan in CI — see .github/workflows/ci.yml).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "cluster/node_shard.h"
+#include "cluster/synthetic_agent.h"
+#include "fleet/fleet_runner.h"
+#include "telemetry/metric_registry.h"
+
+namespace sol {
+namespace {
+
+using cluster::NodeShard;
+using cluster::NodeShardConfig;
+using fleet::FleetConfig;
+using fleet::ShardedFleetRunner;
+
+/** Small but real fleet: every node carries synthetic agents so the
+ *  shards do meaningful work without making the suite slow. */
+FleetConfig
+SmallFleet(std::size_t num_nodes, std::size_t num_threads,
+           std::uint64_t seed = 1)
+{
+    FleetConfig config;
+    config.num_nodes = num_nodes;
+    config.num_threads = num_threads;
+    config.base_seed = seed;
+    config.window = sim::Millis(50);
+    config.node.synthetic_agents = 8;
+    return config;
+}
+
+struct FleetFingerprint {
+    std::uint64_t trace_hash;
+    std::uint64_t executed;
+    std::uint64_t epochs;
+    std::uint64_t arbiter_requests;
+
+    bool
+    operator==(const FleetFingerprint& other) const
+    {
+        return trace_hash == other.trace_hash &&
+               executed == other.executed && epochs == other.epochs &&
+               arbiter_requests == other.arbiter_requests;
+    }
+};
+
+FleetFingerprint
+Fingerprint(ShardedFleetRunner& runner)
+{
+    const cluster::FleetStats stats = runner.Stats();
+    return {runner.fleet_trace_hash(), runner.total_executed(),
+            stats.total_epochs, stats.arbiter_requests};
+}
+
+// ---- NodeShard: the extracted shard-steppable core ----------------------
+
+TEST(NodeShard, GlobalIndexingMatchesSerialDriver)
+{
+    // A shard owning global nodes [2, 4) must name and seed them
+    // exactly as the serial driver would ("node2", "node3").
+    NodeShardConfig config;
+    config.first_node_index = 2;
+    config.num_nodes = 2;
+    config.base_seed = 7;
+    NodeShard shard(config);
+
+    ASSERT_EQ(shard.num_nodes(), 2u);
+    EXPECT_EQ(shard.node(0).name(), "node2");
+    EXPECT_EQ(shard.node(1).name(), "node3");
+    EXPECT_EQ(shard.first_node_index(), 2u);
+
+    shard.Run(sim::Seconds(1));
+    EXPECT_GT(shard.Stats().total_epochs, 0u);
+    shard.Stop();
+}
+
+TEST(NodeShard, EmptyShardAdvancesCleanly)
+{
+    NodeShardConfig config;
+    config.num_nodes = 0;
+    NodeShard shard(config);
+
+    shard.Run(sim::Seconds(5));
+    EXPECT_EQ(shard.queue().executed(), 0u);
+    EXPECT_EQ(shard.queue().Now(), sim::Seconds(5));
+    EXPECT_EQ(shard.Stats().total_agents, 0u);
+    shard.Stop();  // No-ops, but must be safe.
+    shard.CleanUpAll();
+}
+
+// ---- Determinism across thread counts -----------------------------------
+
+TEST(ShardedFleetRunner, TraceHashIdenticalAcrossThreadCounts)
+{
+    auto run = [](std::size_t threads) {
+        ShardedFleetRunner runner(SmallFleet(4, threads));
+        runner.Run(sim::Seconds(1));
+        const FleetFingerprint print = Fingerprint(runner);
+        runner.Stop();
+        return print;
+    };
+
+    const FleetFingerprint one = run(1);
+    const FleetFingerprint two = run(2);
+    const FleetFingerprint eight = run(8);
+    EXPECT_EQ(one, two);
+    EXPECT_EQ(one, eight);
+    EXPECT_GT(one.executed, 10'000u);
+    EXPECT_GT(one.epochs, 0u);
+
+    // A different seed drives a genuinely different fleet.
+    ShardedFleetRunner other(SmallFleet(4, 2, /*seed=*/9));
+    other.Run(sim::Seconds(1));
+    EXPECT_NE(one.trace_hash, other.fleet_trace_hash());
+    other.Stop();
+}
+
+TEST(ShardedFleetRunner, HeterogeneousSchedulesStayDeterministic)
+{
+    auto run = [](std::size_t threads) {
+        FleetConfig config = SmallFleet(4, threads);
+        config.node.synthetic.period_jitter = 0.2;
+        config.node.synthetic.burst_fraction = 0.25;
+        ShardedFleetRunner runner(config);
+        runner.Run(sim::Seconds(1));
+        const FleetFingerprint print = Fingerprint(runner);
+        runner.Stop();
+        return print;
+    };
+
+    const FleetFingerprint a = run(1);
+    const FleetFingerprint b = run(4);
+    EXPECT_EQ(a, b);
+
+    // Heterogeneity changes the trace relative to the uniform fleet.
+    ShardedFleetRunner uniform(SmallFleet(4, 2));
+    uniform.Run(sim::Seconds(1));
+    EXPECT_NE(a.trace_hash, uniform.fleet_trace_hash());
+    uniform.Stop();
+}
+
+TEST(ShardedFleetRunner, MatchesSerialShardComposition)
+{
+    // One shard holding the whole fleet is the serial ClusterDriver
+    // composition: more threads than shards must neither deadlock nor
+    // change the result.
+    auto run = [](std::size_t threads) {
+        FleetConfig config = SmallFleet(3, threads);
+        config.num_shards = 1;
+        ShardedFleetRunner runner(config);
+        runner.Run(sim::Millis(800));
+        const FleetFingerprint print = Fingerprint(runner);
+        runner.Stop();
+        return print;
+    };
+
+    const FleetFingerprint serial = run(1);
+    const FleetFingerprint wide = run(4);
+    EXPECT_EQ(serial, wide);
+}
+
+// ---- Shard-partition edge cases ------------------------------------------
+
+TEST(ShardedFleetRunner, MoreShardsThanNodesLeavesEmptyShards)
+{
+    FleetConfig config = SmallFleet(2, 2);
+    config.num_shards = 5;  // Shards 2..4 own zero nodes.
+    ShardedFleetRunner runner(config);
+    ASSERT_EQ(runner.num_shards(), 5u);
+    EXPECT_EQ(runner.shard(0).num_nodes(), 1u);
+    EXPECT_EQ(runner.shard(1).num_nodes(), 1u);
+    EXPECT_EQ(runner.shard(4).num_nodes(), 0u);
+
+    runner.Run(sim::Millis(500));
+    EXPECT_GT(runner.total_executed(), 0u);
+    EXPECT_EQ(runner.shard(4).queue().executed(), 0u);
+    EXPECT_EQ(runner.shard(4).queue().Now(), sim::Millis(500));
+    EXPECT_EQ(runner.Stats().total_agents, 2u * (4u + 8u));
+    runner.Stop();
+}
+
+TEST(ShardedFleetRunner, SingleNodeShardsPartitionTheWholeFleet)
+{
+    FleetConfig config = SmallFleet(3, 2);
+    // num_shards = 0 resolves to one shard per node.
+    ShardedFleetRunner runner(config);
+    ASSERT_EQ(runner.num_shards(), 3u);
+    for (std::size_t s = 0; s < runner.num_shards(); ++s) {
+        EXPECT_EQ(runner.shard(s).num_nodes(), 1u);
+        EXPECT_EQ(runner.shard(s).first_node_index(), s);
+    }
+    // Global node lookup crosses shard boundaries.
+    EXPECT_EQ(runner.node(0).name(), "node0");
+    EXPECT_EQ(runner.node(2).name(), "node2");
+    EXPECT_THROW(runner.node(3), std::out_of_range);
+}
+
+// ---- Mid-run drain -------------------------------------------------------
+
+TEST(ShardedFleetRunner, MidRunNodeDrainIsDeterministic)
+{
+    auto run = [](std::size_t threads) {
+        ShardedFleetRunner runner(SmallFleet(3, threads));
+        runner.Run(sim::Millis(500));
+        runner.DrainNode(1);
+        const std::uint64_t epochs_at_drain =
+            runner.node(1).TotalEpochs();
+        runner.Run(sim::Millis(500));
+        struct Result {
+            FleetFingerprint print;
+            std::uint64_t drained_epochs_frozen;
+            std::uint64_t other_epochs;
+        } result{Fingerprint(runner),
+                 runner.node(1).TotalEpochs() - epochs_at_drain,
+                 runner.node(0).TotalEpochs()};
+        runner.Stop();
+        return result;
+    };
+
+    const auto a = run(1);
+    const auto b = run(4);
+    // The drained node froze; its neighbors kept learning.
+    EXPECT_EQ(a.drained_epochs_frozen, 0u);
+    EXPECT_GT(a.other_epochs, 0u);
+    // And the drain at a window boundary is thread-count independent.
+    EXPECT_EQ(a.print, b.print);
+    EXPECT_EQ(b.drained_epochs_frozen, 0u);
+}
+
+// ---- Window-boundary metrics ---------------------------------------------
+
+TEST(ShardedFleetRunner, ConcurrentWindowMergePopulatesShardGauges)
+{
+    FleetConfig config = SmallFleet(4, 4);
+    config.metrics_every_n_windows = 1;
+    ShardedFleetRunner runner(config);
+    runner.Run(sim::Seconds(1));
+
+    const telemetry::MetricRegistry metrics =
+        runner.WindowMetricsSnapshot();
+    for (std::size_t s = 0; s < runner.num_shards(); ++s) {
+        const std::string prefix = "shard" + std::to_string(s);
+        EXPECT_GT(metrics.Gauge(prefix + ".queue.executed"), 0.0)
+            << prefix;
+        EXPECT_EQ(metrics.Gauge(prefix + ".virtual_seconds"), 1.0)
+            << prefix;
+        EXPECT_EQ(metrics.Gauge(prefix + ".num_nodes"), 1.0) << prefix;
+    }
+    runner.Stop();
+}
+
+TEST(ShardedFleetRunner, CollectFleetMetricsAggregatesAcrossShards)
+{
+    ShardedFleetRunner runner(SmallFleet(3, 2));
+    runner.Run(sim::Seconds(1));
+
+    telemetry::MetricRegistry out;
+    runner.CollectFleetMetrics(out);
+    EXPECT_EQ(out.Gauge("fleet.num_nodes"), 3.0);
+    EXPECT_EQ(out.Gauge("fleet.num_shards"), 3.0);
+    EXPECT_EQ(out.Gauge("fleet.num_threads"), 2.0);
+    EXPECT_GT(out.Gauge("fleet.total_epochs"), 0.0);
+    EXPECT_EQ(out.Gauge("fleet.queue.executed"),
+              static_cast<double>(runner.total_executed()));
+    // Per-node namespacing survives the shard boundary.
+    EXPECT_GT(out.Gauge("node0.smart-harvest.epochs"), 0.0);
+    EXPECT_GT(out.Gauge("node2.smart-harvest.epochs"), 0.0);
+    runner.Stop();
+}
+
+TEST(ShardedFleetRunner, CleanUpAllSweepsEveryShard)
+{
+    ShardedFleetRunner runner(SmallFleet(4, 2));
+    runner.Run(sim::Seconds(1));
+    runner.CleanUpAll();
+    for (std::size_t i = 0; i < runner.num_nodes(); ++i) {
+        cluster::MultiAgentNode& node = runner.node(i);
+        EXPECT_EQ(node.node().VmFrequency(node.primary_vm()),
+                  node.node().NominalFrequency());
+        EXPECT_EQ(node.node().GrantedCores(node.elastic_vm()), 0);
+    }
+    runner.Stop();
+}
+
+// ---- SharedMetricRegistry under real contention --------------------------
+
+TEST(SharedMetricRegistry, ConcurrentMergesFromManyThreadsAddUp)
+{
+    constexpr int kThreads = 8;
+    constexpr int kMergesPerThread = 200;
+
+    telemetry::SharedMetricRegistry shared;
+    std::atomic<int> ready{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&shared, &ready, t] {
+            ready.fetch_add(1);
+            while (ready.load() < kThreads) {
+                // Spin so every thread merges concurrently.
+            }
+            telemetry::MetricRegistry local;
+            local.Increment("merges");
+            local.SetGauge("last_value", static_cast<double>(t));
+            for (int i = 0; i < kMergesPerThread; ++i) {
+                // Counters accumulate under a shared key; gauges land
+                // in each producer's own namespace.
+                shared.MergeFrom(local, "producer" + std::to_string(t));
+                shared.Increment("total_merges");
+            }
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+
+    const telemetry::MetricRegistry snapshot = shared.Snapshot();
+    EXPECT_EQ(snapshot.Counter("total_merges"),
+              static_cast<std::uint64_t>(kThreads * kMergesPerThread));
+    for (int t = 0; t < kThreads; ++t) {
+        const std::string prefix = "producer" + std::to_string(t);
+        EXPECT_EQ(snapshot.Counter(prefix + ".merges"),
+                  static_cast<std::uint64_t>(kMergesPerThread));
+        EXPECT_EQ(snapshot.Gauge(prefix + ".last_value"),
+                  static_cast<double>(t));
+    }
+}
+
+}  // namespace
+}  // namespace sol
