@@ -1,0 +1,532 @@
+/**
+ * @file
+ * The single implementation of the paper's section 4.2 epoch/safeguard
+ * state machine, shared by both SOL runtimes.
+ *
+ * SimRuntime (virtual time, event-queue continuations) and
+ * ThreadedRuntime (wall clock, blocking loops) used to implement these
+ * semantics twice, and the copies drifted: ThreadedRuntime lost the
+ * SetDataFault hook and forgot a failed model assessment across a
+ * Stop/Start cycle. EpochEngine owns every piece of per-epoch state —
+ * data collection/validation/fault injection, the three epoch exits
+ * (ShortCircuitEpoch / data_per_epoch / max_epoch_time), the every-K-
+ * epochs model assessment with default-prediction interception, the
+ * bounded prediction queue, and the actuator safeguard — so the two
+ * runtimes cannot diverge again: they are scheduling adapters that
+ * decide *when* the engine's step functions run, never *what* they do.
+ *
+ * The runtimes differ only in their policy:
+ *
+ *   - SimEnginePolicy: plain counters, no locking, plain bools. The
+ *     event queue serializes everything on one thread.
+ *   - ThreadedEnginePolicy: AtomicRuntimeStats (relaxed counters), a
+ *     real mutex around the prediction queue + halt flag, and atomic
+ *     flags so accessors are safe from any thread.
+ *
+ * Unified accounting rules (these resolve the historical drift; the
+ * parity suite in tests/runtime_parity_test.cc pins them):
+ *
+ *   - A prediction delivered while actuation is halted is dropped at
+ *     delivery (dropped_while_halted) and never queued.
+ *   - A safeguard trigger flushes the queue, counting every flushed
+ *     prediction as dropped_while_halted — every delivered prediction
+ *     is accounted exactly once (acted on, expired, or dropped).
+ *   - actuator_timeouts counts every conservative TakeAction(empty),
+ *     whether the prediction was missing or arrived stale, preserving
+ *     actions_taken == actions_with_prediction + actuator_timeouts.
+ *   - model_ok and the halted flag are engine state: both survive a
+ *     Stop/Start cycle (a restart must not forget a failing model or a
+ *     tripped safeguard); halted_time accrues only while running.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "core/actuator.h"
+#include "core/model.h"
+#include "core/prediction.h"
+#include "core/runtime_options.h"
+#include "core/runtime_stats.h"
+#include "core/schedule.h"
+#include "sim/time.h"
+
+namespace sol::core {
+
+/** Lockable that does nothing: the simulation backend is single-
+ *  threaded, so the engine's queue guard compiles away. */
+struct NullMutex {
+    void lock() {}
+    void unlock() {}
+};
+
+/** Counter operations over plain RuntimeStats (single-threaded). */
+struct PlainStatsOps {
+    using Stats = RuntimeStats;
+
+    static void Inc(std::uint64_t& counter) { ++counter; }
+
+    /** Increments and returns the new value (epoch numbering). */
+    static std::uint64_t IncGet(std::uint64_t& counter)
+    {
+        return ++counter;
+    }
+
+    static void
+    RaisePeak(std::uint64_t& peak, std::uint64_t value)
+    {
+        if (value > peak) {
+            peak = value;
+        }
+    }
+
+    static void
+    AddHaltedTime(Stats& stats, sim::Duration d)
+    {
+        stats.halted_time += d;
+    }
+};
+
+/** Counter operations over AtomicRuntimeStats (relaxed atomics). */
+struct AtomicStatsOps {
+    using Stats = AtomicRuntimeStats;
+
+    static void
+    Inc(std::atomic<std::uint64_t>& counter)
+    {
+        counter.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    static std::uint64_t
+    IncGet(std::atomic<std::uint64_t>& counter)
+    {
+        return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+
+    static void
+    RaisePeak(std::atomic<std::uint64_t>& peak, std::uint64_t value)
+    {
+        AtomicRuntimeStats::RaisePeak(peak, value);
+    }
+
+    static void
+    AddHaltedTime(Stats& stats, sim::Duration d)
+    {
+        stats.halted_time_ns.fetch_add(d.count(),
+                                       std::memory_order_relaxed);
+    }
+};
+
+/** Policy for the event-queue backend: everything single-threaded. */
+struct SimEnginePolicy {
+    using StatsOps = PlainStatsOps;
+    using Mutex = NullMutex;
+    using Flag = bool;
+    static bool Get(const Flag& flag) { return flag; }
+    static void Set(Flag& flag, bool value) { flag = value; }
+};
+
+/** Policy for the real-thread backend: relaxed-atomic stats, a real
+ *  queue mutex, and atomic flags for cross-thread accessors. */
+struct ThreadedEnginePolicy {
+    using StatsOps = AtomicStatsOps;
+    using Mutex = std::mutex;
+    using Flag = std::atomic<bool>;
+
+    static bool
+    Get(const Flag& flag)
+    {
+        return flag.load(std::memory_order_relaxed);
+    }
+
+    static void
+    Set(Flag& flag, bool value)
+    {
+        flag.store(value, std::memory_order_relaxed);
+    }
+};
+
+/**
+ * The policy-parameterized epoch/safeguard state machine.
+ *
+ * The owning runtime drives it through step functions:
+ *
+ *   Model loop:    BeginEpoch -> CollectOnce* -> FinishEpoch -> Deliver
+ *   Actuator loop: ActuatorWake (per wake), AssessActuator (per
+ *                  assess_actuator_interval, before the wake at the
+ *                  same instant)
+ *   Lifecycle:     OnStart / OnStop bracket every running span.
+ *
+ * Threading contract (threaded policy): the model-side functions are
+ * called from the model thread only, the actuator-side functions from
+ * the actuator thread only; Deliver/ActuatorWake/AssessActuator touch
+ * the shared queue + halt flag under the policy mutex internally.
+ *
+ * @tparam D Telemetry datum type.
+ * @tparam P Prediction payload type.
+ * @tparam Policy SimEnginePolicy or ThreadedEnginePolicy.
+ */
+template <typename D, typename P, typename Policy>
+class EpochEngine
+{
+  public:
+    using StatsOps = typename Policy::StatsOps;
+    using Stats = typename StatsOps::Stats;
+
+    /** What CollectOnce decided about the epoch in progress. */
+    enum class CollectOutcome {
+        kEpochContinues,     ///< Schedule another collect tick.
+        kEpochComplete,      ///< data_per_epoch valid samples committed.
+        kEpochShortCircuit,  ///< Deadline hit or model short-circuited.
+    };
+
+    /** What ActuatorWake did. */
+    enum class WakeOutcome {
+        kNothingToDo,  ///< Non-timeout wake with nothing to consume.
+        kActed,        ///< TakeAction ran (with or without prediction).
+        kHalted,       ///< Actuation is halted; nothing ran.
+    };
+
+    EpochEngine(Model<D, P>& model, Actuator<P>& actuator,
+                const Schedule& schedule, const RuntimeOptions& options)
+        : model_(model),
+          actuator_(actuator),
+          schedule_(schedule),
+          options_(options)
+    {
+        const auto problems = schedule_.Validate();
+        if (!problems.empty()) {
+            throw std::invalid_argument("invalid schedule: " + problems[0]);
+        }
+    }
+
+    EpochEngine(const EpochEngine&) = delete;
+    EpochEngine& operator=(const EpochEngine&) = delete;
+
+    // ---- Lifecycle -------------------------------------------------------
+
+    /**
+     * Marks the start of a running span. Epoch progress restarts (the
+     * caller invokes BeginEpoch next) but model_ok, the halt flag, and
+     * all counters persist: a restart must not forget a failing model
+     * or a tripped safeguard. If the safeguard is still tripped,
+     * halted-time accrual resumes from `now`.
+     */
+    void
+    OnStart(sim::TimePoint now)
+    {
+        std::lock_guard<typename Policy::Mutex> lock(mutex_);
+        if (Policy::Get(halted_)) {
+            halt_start_ = now;
+        }
+    }
+
+    /** Closes the running span: folds an in-progress halt into
+     *  halted_time so stats are accurate while stopped. */
+    void
+    OnStop(sim::TimePoint now)
+    {
+        std::lock_guard<typename Policy::Mutex> lock(mutex_);
+        if (Policy::Get(halted_)) {
+            StatsOps::AddHaltedTime(stats_, now - halt_start_);
+            halt_start_ = now;
+        }
+    }
+
+    // ---- Model loop ------------------------------------------------------
+
+    /** Opens a learning epoch at `now`. */
+    void
+    BeginEpoch(sim::TimePoint now)
+    {
+        epoch_start_ = now;
+        valid_samples_ = 0;
+    }
+
+    /**
+     * One collect tick: CollectData -> fault hook -> ValidateData ->
+     * CommitData (valid) or discard (invalid), then the three epoch
+     * exits in fixed order: model short-circuit, enough data, epoch
+     * deadline.
+     */
+    CollectOutcome
+    CollectOnce(sim::TimePoint now)
+    {
+        D data = model_.CollectData();
+        StatsOps::Inc(stats_.samples_collected);
+        if (data_fault_) {
+            data_fault_(data);
+        }
+        const bool valid =
+            options_.disable_data_validation || model_.ValidateData(data);
+        if (valid) {
+            model_.CommitData(now, data);
+            ++valid_samples_;
+        } else {
+            StatsOps::Inc(stats_.invalid_samples);
+        }
+
+        if (model_.ShortCircuitEpoch()) {
+            return CollectOutcome::kEpochShortCircuit;
+        }
+        if (valid_samples_ >= schedule_.data_per_epoch) {
+            return CollectOutcome::kEpochComplete;
+        }
+        if (now - epoch_start_ >= schedule_.max_epoch_time) {
+            return CollectOutcome::kEpochShortCircuit;
+        }
+        return CollectOutcome::kEpochContinues;
+    }
+
+    /**
+     * Closes the epoch and produces the prediction to deliver. With
+     * enough data the model updates and predicts, assessed every
+     * assess_model_every_epochs; while the assessment fails the
+     * prediction is intercepted and DefaultPredict delivered instead
+     * (the model keeps learning so it can recover). Without enough
+     * data the epoch counts as short-circuited and the default is
+     * delivered directly.
+     */
+    Prediction<P>
+    FinishEpoch(bool enough_data)
+    {
+        const std::uint64_t epoch_number = StatsOps::IncGet(stats_.epochs);
+        Prediction<P> pred;
+        if (enough_data) {
+            model_.UpdateModel();
+            StatsOps::Inc(stats_.model_updates);
+            pred = model_.ModelPredict();
+
+            if (!options_.disable_model_assessment &&
+                epoch_number % static_cast<std::uint64_t>(
+                                   schedule_.assess_model_every_epochs) ==
+                    0) {
+                StatsOps::Inc(stats_.model_assessments);
+                const bool ok = model_.AssessModel();
+                Policy::Set(model_ok_, ok);
+                if (!ok) {
+                    StatsOps::Inc(stats_.failed_assessments);
+                }
+            }
+            if (!Policy::Get(model_ok_)) {
+                // Interception: the Actuator only ever sees predictions
+                // from a model that passes assessment.
+                pred = model_.DefaultPredict();
+                StatsOps::Inc(stats_.intercepted_predictions);
+            }
+        } else {
+            StatsOps::Inc(stats_.short_circuit_epochs);
+            pred = model_.DefaultPredict();
+        }
+        return pred;
+    }
+
+    /**
+     * Queues the finished epoch's prediction for the actuator, or
+     * drops it (dropped_while_halted) while actuation is halted. The
+     * oldest queued prediction is evicted (expired_predictions) beyond
+     * options.max_queued_predictions.
+     *
+     * @return true when the prediction was queued; false when dropped.
+     *         Backends should wake the actuator either way — a wake
+     *         while halted is how the blocking backend reaches its
+     *         safeguard re-assessment.
+     */
+    bool
+    Deliver(Prediction<P> pred)
+    {
+        StatsOps::Inc(stats_.predictions_delivered);
+        if (pred.is_default) {
+            StatsOps::Inc(stats_.default_predictions);
+        }
+        std::lock_guard<typename Policy::Mutex> lock(mutex_);
+        ++delivery_seq_;
+        if (Policy::Get(halted_)) {
+            StatsOps::Inc(stats_.dropped_while_halted);
+            return false;
+        }
+        pending_.push_back(std::move(pred));
+        StatsOps::RaisePeak(stats_.peak_queued_predictions,
+                            pending_.size());
+        while (pending_.size() > options_.max_queued_predictions) {
+            pending_.pop_front();
+            StatsOps::Inc(stats_.expired_predictions);
+        }
+        return true;
+    }
+
+    // ---- Actuator loop ---------------------------------------------------
+
+    /**
+     * One actuator wake. Consumes the oldest queued prediction if any;
+     * a stale one (non-blocking mode) is dropped as expired and the
+     * conservative empty action runs in its place. `from_timeout`
+     * distinguishes a max_actuation_delay timeout (which must act even
+     * with nothing queued) from a delivery wake (which does nothing if
+     * an earlier wake already consumed the prediction).
+     */
+    WakeOutcome
+    ActuatorWake(sim::TimePoint now, bool from_timeout)
+    {
+        std::optional<Prediction<P>> pred;
+        {
+            std::lock_guard<typename Policy::Mutex> lock(mutex_);
+            if (Policy::Get(halted_)) {
+                // Deliveries while halted never queue and the trigger
+                // flushed the queue, so there is nothing to consume.
+                DropPendingLocked();
+                return WakeOutcome::kHalted;
+            }
+            if (!pending_.empty()) {
+                pred = std::move(pending_.front());
+                pending_.pop_front();
+            }
+        }
+        if (!from_timeout && !pred.has_value()) {
+            // Wake for a prediction consumed by an earlier wake at the
+            // same instant (or a while-halted kick); nothing to do.
+            return WakeOutcome::kNothingToDo;
+        }
+        if (pred.has_value() && !options_.blocking_actuator &&
+            !pred->FreshAt(now)) {
+            // Stale prediction: the conservative path takes over.
+            pred.reset();
+            StatsOps::Inc(stats_.expired_predictions);
+        }
+        actuator_.TakeAction(pred);
+        StatsOps::Inc(stats_.actions_taken);
+        if (pred.has_value()) {
+            StatsOps::Inc(stats_.actions_with_prediction);
+        } else {
+            StatsOps::Inc(stats_.actuator_timeouts);
+        }
+        return WakeOutcome::kActed;
+    }
+
+    /**
+     * One actuator-safeguard assessment. A failing assessment halts
+     * actuation (flushing the prediction queue on the healthy->failing
+     * edge) and mitigates on every failing check; a passing one clears
+     * the halt and folds the halted span into halted_time.
+     *
+     * @return true when this assessment resumed actuation (so the
+     *         event-queue backend re-arms its actuation timeout).
+     */
+    bool
+    AssessActuator(sim::TimePoint now)
+    {
+        StatsOps::Inc(stats_.actuator_assessments);
+        const bool ok = actuator_.AssessPerformance();
+        if (!ok) {
+            bool newly_halted = false;
+            {
+                std::lock_guard<typename Policy::Mutex> lock(mutex_);
+                if (!Policy::Get(halted_)) {
+                    Policy::Set(halted_, true);
+                    halt_start_ = now;
+                    newly_halted = true;
+                    DropPendingLocked();
+                }
+            }
+            if (newly_halted) {
+                StatsOps::Inc(stats_.safeguard_triggers);
+            }
+            actuator_.Mitigate();
+            StatsOps::Inc(stats_.mitigations);
+            return false;
+        }
+        std::lock_guard<typename Policy::Mutex> lock(mutex_);
+        if (Policy::Get(halted_)) {
+            Policy::Set(halted_, false);
+            StatsOps::AddHaltedTime(stats_, now - halt_start_);
+            return true;
+        }
+        return false;
+    }
+
+    // ---- Fault injection -------------------------------------------------
+
+    /**
+     * Installs a hook applied to every collected datum before
+     * validation (fault injection: corrupted counters, driver bugs).
+     * With the threaded policy, install before Start(): the hook is
+     * read by the model thread without synchronization.
+     */
+    void
+    SetDataFault(std::function<void(D&)> fault)
+    {
+        data_fault_ = std::move(fault);
+    }
+
+    // ---- Introspection ---------------------------------------------------
+
+    const Stats& stats() const { return stats_; }
+    const Schedule& schedule() const { return schedule_; }
+    const RuntimeOptions& options() const { return options_; }
+    bool actuator_halted() const { return Policy::Get(halted_); }
+    bool model_assessment_failing() const
+    {
+        return !Policy::Get(model_ok_);
+    }
+
+    std::size_t
+    queued_predictions() const
+    {
+        std::lock_guard<typename Policy::Mutex> lock(mutex_);
+        return pending_.size();
+    }
+
+    /** The queue guard, exposed so the blocking backend can run its
+     *  condition-variable wait against the same mutex. */
+    typename Policy::Mutex& queue_mutex() const { return mutex_; }
+
+    /** Must hold queue_mutex(): whether a prediction is queued. */
+    bool has_queued_locked() const { return !pending_.empty(); }
+
+    /** Must hold queue_mutex(): bumped on every delivery, including
+     *  ones dropped while halted — the blocking backend's wait
+     *  predicate compares it so a while-halted delivery still wakes
+     *  the actuator to re-assess the safeguard. */
+    std::uint64_t delivery_seq_locked() const { return delivery_seq_; }
+
+  private:
+    /** Must hold mutex_: flushes the queue, counting each prediction
+     *  as dropped while halted. */
+    void
+    DropPendingLocked()
+    {
+        while (!pending_.empty()) {
+            pending_.pop_front();
+            StatsOps::Inc(stats_.dropped_while_halted);
+        }
+    }
+
+    Model<D, P>& model_;
+    Actuator<P>& actuator_;
+    Schedule schedule_;
+    RuntimeOptions options_;
+
+    std::function<void(D&)> data_fault_;
+
+    // Model-loop state (owning loop's thread only).
+    sim::TimePoint epoch_start_{0};
+    int valid_samples_ = 0;
+    typename Policy::Flag model_ok_{true};
+
+    // Prediction queue + halt state (guarded by mutex_).
+    mutable typename Policy::Mutex mutex_;
+    std::deque<Prediction<P>> pending_;
+    std::uint64_t delivery_seq_ = 0;
+    typename Policy::Flag halted_{false};
+    sim::TimePoint halt_start_{0};
+
+    Stats stats_;
+};
+
+}  // namespace sol::core

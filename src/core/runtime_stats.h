@@ -4,7 +4,16 @@
  *
  * These back both the experiment reports (how often safeguards fired,
  * how many predictions expired) and the operational monitoring a
- * production deployment would alert on.
+ * production deployment would alert on. Both runtimes maintain them
+ * through the shared core::EpochEngine, so the counters obey the same
+ * identities everywhere (tests/runtime_parity_test.cc asserts
+ * field-for-field equality between the runtimes):
+ *
+ *   epochs        = model_updates + short_circuit_epochs
+ *   predictions_delivered = epochs
+ *                 = actions_with_prediction + expired_predictions
+ *                   + dropped_while_halted + still-queued
+ *   actions_taken = actions_with_prediction + actuator_timeouts
  */
 #pragma once
 
@@ -31,7 +40,10 @@ struct RuntimeStats {
     // Prediction flow.
     std::uint64_t predictions_delivered = 0;
     std::uint64_t default_predictions = 0;
-    std::uint64_t expired_predictions = 0;  ///< Stale on arrival.
+    /** Evicted by the queue bound, or stale when dequeued. */
+    std::uint64_t expired_predictions = 0;
+    /** Dropped at delivery while actuation was halted, or flushed from
+     *  the queue by a safeguard trigger. */
     std::uint64_t dropped_while_halted = 0;
     /** High-water mark of the bounded prediction queue. Compared against
      *  RuntimeOptions::max_queued_predictions it shows how close the
@@ -41,7 +53,9 @@ struct RuntimeStats {
     // Actuator loop.
     std::uint64_t actions_taken = 0;
     std::uint64_t actions_with_prediction = 0;
-    std::uint64_t actuator_timeouts = 0;  ///< TakeAction(None) fallbacks.
+    /** Conservative TakeAction(empty) fallbacks: the actuation timeout
+     *  fired without a prediction, or the queued one arrived stale. */
+    std::uint64_t actuator_timeouts = 0;
     std::uint64_t actuator_assessments = 0;
     std::uint64_t safeguard_triggers = 0;  ///< Healthy -> failing edges.
     std::uint64_t mitigations = 0;         ///< Mitigate() invocations.

@@ -2,38 +2,32 @@
  * @file
  * Deterministic SOL runtime on the discrete-event simulator.
  *
- * Implements the paper's section 4.2 semantics on virtual time:
+ * This is the event-queue adapter around core::EpochEngine, which owns
+ * the paper's section 4.2 epoch/assessment/safeguard semantics (see
+ * epoch_engine.h for the state machine itself — both runtimes share
+ * that single implementation). SimRuntime contributes only scheduling
+ * policy on virtual time:
  *
- *   - The Model loop collects data at data_collect_interval until either
- *     data_per_epoch valid samples were committed or max_epoch_time
- *     elapsed. With enough data it updates the model and predicts;
- *     otherwise it short-circuits the epoch with a default prediction.
- *   - AssessModel runs every K epochs; while it fails, ModelPredict
- *     outputs are intercepted and DefaultPredict is delivered instead —
- *     the model keeps learning so it can recover, but the Actuator never
- *     acts on its predictions.
- *   - The Actuator loop consumes predictions from a queue when available
- *     and is woken after max_actuation_delay without one, taking the
- *     conservative action. Expired predictions are dropped.
- *   - AssessPerformance runs every assess_actuator_interval; while it
- *     fails the runtime calls Mitigate and halts actuation.
+ *   - collect ticks are event-queue continuations at
+ *     data_collect_interval (deferred through model stalls),
+ *   - each delivered prediction schedules a zero-delay actuator wake,
+ *   - the max_actuation_delay timeout is an armed/cancelled event
+ *     relative to the last action,
+ *   - actuator assessments are a periodic event chain.
  *
  * Fault-injection hooks reproduce the paper's failure experiments:
- * per-sample data corruption (Fig 2/6-left), model-loop stalls
- * (Fig 4/6-right), and ablation switches that disable individual
- * safeguards to regenerate the "without SOL" baselines.
+ * per-sample data corruption (Fig 2/6-left, SetDataFault), model-loop
+ * stalls (Fig 4/6-right, StallModelFor), and the RuntimeOptions
+ * ablation switches that regenerate the "without SOL" baselines.
  */
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
-#include <optional>
-#include <stdexcept>
 #include <utility>
-#include <vector>
 
 #include "core/actuator.h"
+#include "core/epoch_engine.h"
 #include "core/model.h"
 #include "core/runtime_options.h"
 #include "core/runtime_stats.h"
@@ -64,16 +58,9 @@ class SimRuntime
                Actuator<P>& actuator, const Schedule& schedule,
                RuntimeOptions options = {})
         : queue_(queue),
-          model_(model),
-          actuator_(actuator),
-          schedule_(schedule),
-          options_(options),
+          engine_(model, actuator, schedule, options),
           alive_(std::make_shared<bool>(false))
     {
-        const auto problems = schedule_.Validate();
-        if (!problems.empty()) {
-            throw std::invalid_argument("invalid schedule: " + problems[0]);
-        }
     }
 
     ~SimRuntime() { Stop(); }
@@ -81,7 +68,11 @@ class SimRuntime
     SimRuntime(const SimRuntime&) = delete;
     SimRuntime& operator=(const SimRuntime&) = delete;
 
-    /** Starts both control loops. Must be called at most once. */
+    /**
+     * Starts both control loops. Start after Stop resumes with a fresh
+     * epoch; engine state (counters, a failing model assessment, a
+     * tripped safeguard) persists across the restart.
+     */
     void
     Start()
     {
@@ -89,12 +80,14 @@ class SimRuntime
             return;
         }
         *alive_ = true;
-        BeginEpoch();
+        engine_.OnStart(queue_.Now());
+        engine_.BeginEpoch(queue_.Now());
+        ScheduleCollect();
         last_action_time_ = queue_.Now();
-        if (!options_.blocking_actuator) {
+        if (!engine_.options().blocking_actuator) {
             ArmActuatorTimeout();
         }
-        if (!options_.disable_actuator_safeguard) {
+        if (!engine_.options().disable_actuator_safeguard) {
             ScheduleActuatorAssessment();
         }
     }
@@ -103,12 +96,14 @@ class SimRuntime
     void
     Stop()
     {
-        if (*alive_ && halted_) {
-            // Close out the in-progress halt so halted_time is accurate.
-            stats_.halted_time += queue_.Now() - halt_start_;
-            halted_ = false;
+        if (!*alive_) {
+            return;
         }
+        engine_.OnStop(queue_.Now());
         *alive_ = false;
+        // Strand every pending continuation on the dead token so a
+        // later Start() cannot resurrect the old event chains.
+        alive_ = std::make_shared<bool>(false);
     }
 
     bool running() const { return *alive_; }
@@ -135,30 +130,32 @@ class SimRuntime
     void
     SetDataFault(std::function<void(D&)> fault)
     {
-        data_fault_ = std::move(fault);
+        engine_.SetDataFault(std::move(fault));
     }
 
-    const RuntimeStats& stats() const { return stats_; }
-    bool actuator_halted() const { return halted_; }
-    bool model_assessment_failing() const { return !model_ok_; }
-    std::size_t queued_predictions() const { return pending_.size(); }
+    const RuntimeStats& stats() const { return engine_.stats(); }
+    bool actuator_halted() const { return engine_.actuator_halted(); }
+    bool model_assessment_failing() const
+    {
+        return engine_.model_assessment_failing();
+    }
+    std::size_t queued_predictions() const
+    {
+        return engine_.queued_predictions();
+    }
 
   private:
-    // ---- Model loop -----------------------------------------------------
+    using Engine = EpochEngine<D, P, SimEnginePolicy>;
+    using CollectOutcome = typename Engine::CollectOutcome;
+    using WakeOutcome = typename Engine::WakeOutcome;
 
-    void
-    BeginEpoch()
-    {
-        epoch_start_ = queue_.Now();
-        valid_samples_ = 0;
-        ScheduleCollect();
-    }
+    // ---- Model loop -----------------------------------------------------
 
     void
     ScheduleCollect()
     {
         auto alive = alive_;
-        queue_.ScheduleAfter(schedule_.data_collect_interval,
+        queue_.ScheduleAfter(engine_.schedule().data_collect_interval,
                              [this, alive] {
                                  if (*alive) {
                                      OnCollectTick();
@@ -181,97 +178,23 @@ class SimRuntime
             return;
         }
 
-        D data = model_.CollectData();
-        ++stats_.samples_collected;
-        if (data_fault_) {
-            data_fault_(data);
-        }
-        const bool valid =
-            options_.disable_data_validation || model_.ValidateData(data);
-        if (valid) {
-            model_.CommitData(now, data);
-            ++valid_samples_;
-        } else {
-            ++stats_.invalid_samples;
-        }
-
-        if (model_.ShortCircuitEpoch()) {
-            FinishEpoch(/*enough_data=*/false);
+        const CollectOutcome outcome = engine_.CollectOnce(now);
+        if (outcome == CollectOutcome::kEpochContinues) {
+            ScheduleCollect();
             return;
         }
-        if (valid_samples_ >= schedule_.data_per_epoch) {
-            FinishEpoch(/*enough_data=*/true);
-            return;
-        }
-        if (now - epoch_start_ >= schedule_.max_epoch_time) {
-            FinishEpoch(/*enough_data=*/false);
-            return;
-        }
-        ScheduleCollect();
-    }
-
-    void
-    FinishEpoch(bool enough_data)
-    {
-        ++stats_.epochs;
-        Prediction<P> pred;
-        if (enough_data) {
-            model_.UpdateModel();
-            ++stats_.model_updates;
-            pred = model_.ModelPredict();
-
-            if (!options_.disable_model_assessment &&
-                stats_.epochs % static_cast<std::uint64_t>(
-                                    schedule_.assess_model_every_epochs) ==
-                    0) {
-                ++stats_.model_assessments;
-                model_ok_ = model_.AssessModel();
-                if (!model_ok_) {
-                    ++stats_.failed_assessments;
-                }
-            }
-            if (!model_ok_) {
-                // Interception: the Actuator only ever sees predictions
-                // from a model that passes assessment.
-                pred = model_.DefaultPredict();
-                ++stats_.intercepted_predictions;
-            }
-        } else {
-            ++stats_.short_circuit_epochs;
-            pred = model_.DefaultPredict();
-        }
-        DeliverPrediction(pred);
-        BeginEpoch();
-    }
-
-    // ---- Prediction flow ---------------------------------------------------
-
-    void
-    DeliverPrediction(Prediction<P> pred)
-    {
-        ++stats_.predictions_delivered;
-        if (pred.is_default) {
-            ++stats_.default_predictions;
-        }
-        if (halted_) {
-            ++stats_.dropped_while_halted;
-            return;
-        }
-        pending_.push_back(std::move(pred));
-        if (pending_.size() > stats_.peak_queued_predictions) {
-            stats_.peak_queued_predictions = pending_.size();
-        }
-        while (pending_.size() > options_.max_queued_predictions) {
-            pending_.pop_front();
-            ++stats_.expired_predictions;
-        }
-        // Wake the actuator for the new prediction.
+        engine_.Deliver(engine_.FinishEpoch(
+            outcome == CollectOutcome::kEpochComplete));
+        // Wake the actuator for the new prediction (or, while halted,
+        // for nothing — the wake is a harmless no-op then).
         auto alive = alive_;
         queue_.ScheduleAfter(sim::Duration::zero(), [this, alive] {
             if (*alive) {
                 OnActuatorWake(/*from_timeout=*/false);
             }
         });
+        engine_.BeginEpoch(now);
+        ScheduleCollect();
     }
 
     // ---- Actuator loop -----------------------------------------------------
@@ -282,7 +205,7 @@ class SimRuntime
         timeout_handle_.Cancel();
         auto alive = alive_;
         timeout_handle_ = queue_.ScheduleAt(
-            last_action_time_ + schedule_.max_actuation_delay,
+            last_action_time_ + engine_.schedule().max_actuation_delay,
             [this, alive] {
                 if (*alive) {
                     OnActuatorWake(/*from_timeout=*/true);
@@ -293,44 +216,16 @@ class SimRuntime
     void
     OnActuatorWake(bool from_timeout)
     {
-        if (halted_) {
-            pending_.clear();
-            if (!options_.blocking_actuator) {
-                // Re-arm relative to now: while halted no actions run, so
-                // an arm based on the stale last_action_time_ would fire
-                // immediately forever.
-                last_action_time_ = queue_.Now();
-                ArmActuatorTimeout();
-            }
-            return;
-        }
         const sim::TimePoint now = queue_.Now();
-        std::optional<Prediction<P>> pred;
-        if (!pending_.empty()) {
-            pred = std::move(pending_.front());
-            pending_.pop_front();
-        }
-        if (from_timeout && !pred.has_value()) {
-            ++stats_.actuator_timeouts;
-        }
-        if (!from_timeout && !pred.has_value()) {
-            // Wake for a prediction consumed by an earlier event at the
-            // same instant; nothing to do.
+        const WakeOutcome outcome = engine_.ActuatorWake(now, from_timeout);
+        if (outcome == WakeOutcome::kNothingToDo) {
             return;
         }
-        if (pred.has_value() && !options_.blocking_actuator &&
-            !pred->FreshAt(now)) {
-            // Stale prediction: the conservative path takes over.
-            pred.reset();
-            ++stats_.expired_predictions;
-        }
-        actuator_.TakeAction(pred);
-        ++stats_.actions_taken;
-        if (pred.has_value()) {
-            ++stats_.actions_with_prediction;
-        }
+        // Acted, or woke while halted: either way re-arm relative to
+        // now (while halted no actions run, so an arm based on a stale
+        // last action time would fire immediately forever).
         last_action_time_ = now;
-        if (!options_.blocking_actuator) {
+        if (!engine_.options().blocking_actuator) {
             ArmActuatorTimeout();
         }
     }
@@ -339,7 +234,7 @@ class SimRuntime
     ScheduleActuatorAssessment()
     {
         auto alive = alive_;
-        queue_.ScheduleAfter(schedule_.assess_actuator_interval,
+        queue_.ScheduleAfter(engine_.schedule().assess_actuator_interval,
                              [this, alive] {
                                  if (*alive) {
                                      OnActuatorAssessment();
@@ -350,22 +245,11 @@ class SimRuntime
     void
     OnActuatorAssessment()
     {
-        ++stats_.actuator_assessments;
-        const bool ok = actuator_.AssessPerformance();
-        if (!ok) {
-            if (!halted_) {
-                ++stats_.safeguard_triggers;
-                halt_start_ = queue_.Now();
-            }
-            halted_ = true;
-            actuator_.Mitigate();
-            ++stats_.mitigations;
-        } else if (halted_) {
-            halted_ = false;
-            stats_.halted_time += queue_.Now() - halt_start_;
-            // Resume regular actions.
-            last_action_time_ = queue_.Now();
-            if (!options_.blocking_actuator) {
+        const sim::TimePoint now = queue_.Now();
+        if (engine_.AssessActuator(now)) {
+            // Resumed: restart the action cadence from now.
+            last_action_time_ = now;
+            if (!engine_.options().blocking_actuator) {
                 ArmActuatorTimeout();
             }
         }
@@ -373,28 +257,12 @@ class SimRuntime
     }
 
     sim::EventQueue& queue_;
-    Model<D, P>& model_;
-    Actuator<P>& actuator_;
-    Schedule schedule_;
-    RuntimeOptions options_;
+    Engine engine_;
 
     std::shared_ptr<bool> alive_;
-    std::function<void(D&)> data_fault_;
-
-    // Model loop state.
-    sim::TimePoint epoch_start_{0};
-    int valid_samples_ = 0;
-    bool model_ok_ = true;
     sim::TimePoint model_resume_time_{0};
-
-    // Actuator loop state.
-    std::deque<Prediction<P>> pending_;
     sim::TimePoint last_action_time_{0};
     sim::EventHandle timeout_handle_;
-    bool halted_ = false;
-    sim::TimePoint halt_start_{0};
-
-    RuntimeStats stats_;
 };
 
 }  // namespace sol::core

@@ -3,33 +3,39 @@
  * Real-time SOL runtime: two OS threads joined by a condition-variable
  * prediction queue.
  *
- * This is the deployable form of the runtime described in paper section
- * 4.2 — the Model control loop and the Actuator control loop run in
- * separately scheduled threads so a throttled or stalled model can never
- * starve the actuator, which keeps taking safe actions on its
- * max_actuation_delay timeout. Semantics mirror SimRuntime, including
- * the RuntimeOptions ablation/fault switches and the queued-prediction
- * bound; experiments use SimRuntime for determinism, while examples and
- * deployments use this.
+ * This is the blocking-loop adapter around core::EpochEngine, which
+ * owns the paper's section 4.2 epoch/assessment/safeguard semantics
+ * (see epoch_engine.h — both runtimes share that single
+ * implementation, so the semantics cannot drift apart). The Model
+ * control loop and the Actuator control loop run in separately
+ * scheduled threads, so a throttled or stalled model can never starve
+ * the actuator, which keeps taking safe actions on its
+ * max_actuation_delay timeout. Every RuntimeOptions ablation switch,
+ * the queued-prediction bound, and the SetDataFault fault-injection
+ * hook behave exactly as in SimRuntime (the parity suite in
+ * tests/runtime_parity_test.cc asserts field-for-field identical
+ * RuntimeStats); experiments use SimRuntime for determinism, while
+ * examples and deployments use this.
  *
- * Stats counters are relaxed atomics (AtomicRuntimeStats): both loops
- * bump counters many times per epoch, and a mutex on that path showed
- * up in deployment-shaped measurements (see ROADMAP "stats
- * granularity"). stats() snapshots without stopping either loop.
+ * The time source is a policy (ClockPolicy template parameter):
+ * deployments use the default SteadyClockPolicy (wall clock, real
+ * sleeps); the parity tests substitute a manually advanced clock to
+ * make the threaded runtime deterministic. Stats counters are relaxed
+ * atomics (AtomicRuntimeStats) so stats() snapshots without stopping
+ * either loop.
  */
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <deque>
-#include <memory>
+#include <functional>
 #include <mutex>
-#include <optional>
-#include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "core/actuator.h"
+#include "core/epoch_engine.h"
 #include "core/model.h"
 #include "core/runtime_options.h"
 #include "core/runtime_stats.h"
@@ -39,26 +45,87 @@
 namespace sol::core {
 
 /**
- * Runs one agent on real threads and the steady clock.
+ * Default time-source policy: the OS steady clock and real sleeps.
+ *
+ * The origin is fixed at the first Start() so TimePoints stay
+ * monotonic across Stop/Start cycles, matching the virtual clock's
+ * behavior under SimRuntime restarts.
+ */
+class SteadyClockPolicy
+{
+  public:
+    /** Called by Start() before the loop threads exist. */
+    void
+    OnStart()
+    {
+        if (!started_) {
+            origin_ = std::chrono::steady_clock::now();
+            started_ = true;
+        }
+    }
+
+    /** Called by Stop() before joining; wakes custom clocks whose
+     *  SleepFor can block indefinitely. Real sleeps are finite. */
+    void Interrupt() {}
+
+    sim::TimePoint
+    Now() const
+    {
+        return std::chrono::duration_cast<sim::Duration>(
+            std::chrono::steady_clock::now() - origin_);
+    }
+
+    void
+    SleepFor(sim::Duration d)
+    {
+        std::this_thread::sleep_for(d);
+    }
+
+    /** Blocking wait until `ready` (the blocking-actuator ablation). */
+    template <typename Ready>
+    void
+    Wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+         Ready ready)
+    {
+        cv.wait(lock, ready);
+    }
+
+    /**
+     * Wait until `ready` or the timeout.
+     *
+     * @return false when the wait timed out with `ready` still false.
+     */
+    template <typename Ready>
+    bool
+    WaitFor(std::condition_variable& cv,
+            std::unique_lock<std::mutex>& lock, sim::Duration timeout,
+            Ready ready)
+    {
+        return cv.wait_for(lock, std::chrono::nanoseconds(timeout),
+                           ready);
+    }
+
+  private:
+    std::chrono::steady_clock::time_point origin_{};
+    bool started_ = false;
+};
+
+/**
+ * Runs one agent on real threads.
  *
  * @tparam D Telemetry datum type.
  * @tparam P Prediction payload type.
+ * @tparam ClockPolicy Time source + blocking primitives (tests inject
+ *         a manual clock; deployments keep the default).
  */
-template <typename D, typename P>
+template <typename D, typename P, typename ClockPolicy = SteadyClockPolicy>
 class ThreadedRuntime
 {
   public:
     ThreadedRuntime(Model<D, P>& model, Actuator<P>& actuator,
                     const Schedule& schedule, RuntimeOptions options = {})
-        : model_(model),
-          actuator_(actuator),
-          schedule_(schedule),
-          options_(options)
+        : engine_(model, actuator, schedule, options)
     {
-        const auto problems = schedule_.Validate();
-        if (!problems.empty()) {
-            throw std::invalid_argument("invalid schedule: " + problems[0]);
-        }
     }
 
     ~ThreadedRuntime() { Stop(); }
@@ -66,14 +133,24 @@ class ThreadedRuntime
     ThreadedRuntime(const ThreadedRuntime&) = delete;
     ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
 
-    /** Starts both loops. */
+    /**
+     * Starts both loops. Start after Stop resumes with a fresh epoch;
+     * engine state (counters, a failing model assessment, a tripped
+     * safeguard) persists across the restart.
+     */
     void
     Start()
     {
         if (running_.exchange(true)) {
             return;
         }
-        start_ = std::chrono::steady_clock::now();
+        clock_.OnStart();
+        const sim::TimePoint now = clock_.Now();
+        engine_.OnStart(now);
+        // Fixed before the threads spawn so the first assessment falls
+        // due exactly one interval after start, however late the
+        // actuator thread begins running.
+        actuator_start_ = now;
         model_thread_ = std::thread([this] { ModelLoop(); });
         actuator_thread_ = std::thread([this] { ActuatorLoop(); });
     }
@@ -85,6 +162,7 @@ class ThreadedRuntime
         if (!running_.exchange(false)) {
             return;
         }
+        clock_.Interrupt();
         queue_cv_.notify_all();
         if (model_thread_.joinable()) {
             model_thread_.join();
@@ -92,6 +170,7 @@ class ThreadedRuntime
         if (actuator_thread_.joinable()) {
             actuator_thread_.join();
         }
+        engine_.OnStop(clock_.Now());
     }
 
     bool running() const { return running_.load(); }
@@ -100,119 +179,64 @@ class ThreadedRuntime
     RuntimeStats
     stats() const
     {
-        return stats_.Snapshot();
+        return engine_.stats().Snapshot();
     }
 
-    bool actuator_halted() const { return halted_.load(); }
+    /**
+     * Installs the per-sample fault-injection hook (corrupted
+     * counters, driver bugs — Fig 2 / Fig 6-left). Install before
+     * Start(): the hook is read by the model thread unsynchronized.
+     */
+    void
+    SetDataFault(std::function<void(D&)> fault)
+    {
+        engine_.SetDataFault(std::move(fault));
+    }
 
-    const RuntimeOptions& options() const { return options_; }
+    bool actuator_halted() const { return engine_.actuator_halted(); }
+    bool model_assessment_failing() const
+    {
+        return engine_.model_assessment_failing();
+    }
+    std::size_t queued_predictions() const
+    {
+        return engine_.queued_predictions();
+    }
+
+    const RuntimeOptions& options() const { return engine_.options(); }
+
+    /** The time-source policy (tests drive their manual clock). */
+    ClockPolicy& clock() { return clock_; }
 
   private:
-    sim::TimePoint
-    Now() const
-    {
-        return std::chrono::duration_cast<sim::Duration>(
-            std::chrono::steady_clock::now() - start_);
-    }
-
-    void
-    SleepFor(sim::Duration d) const
-    {
-        std::this_thread::sleep_for(d);
-    }
+    using Engine = EpochEngine<D, P, ThreadedEnginePolicy>;
+    using CollectOutcome = typename Engine::CollectOutcome;
 
     void
     ModelLoop()
     {
-        bool model_ok = true;
         while (running_.load()) {
-            // One learning epoch.
-            const sim::TimePoint epoch_start = Now();
-            int valid_samples = 0;
-            bool short_circuit = false;
+            engine_.BeginEpoch(clock_.Now());
+            CollectOutcome outcome = CollectOutcome::kEpochContinues;
             while (running_.load()) {
-                SleepFor(schedule_.data_collect_interval);
+                clock_.SleepFor(engine_.schedule().data_collect_interval);
                 if (!running_.load()) {
                     return;
                 }
-                D data = model_.CollectData();
-                const bool valid = options_.disable_data_validation ||
-                                   model_.ValidateData(data);
-                stats_.samples_collected.fetch_add(
-                    1, std::memory_order_relaxed);
-                if (valid) {
-                    model_.CommitData(Now(), data);
-                    ++valid_samples;
-                } else {
-                    stats_.invalid_samples.fetch_add(
-                        1, std::memory_order_relaxed);
-                }
-                if (model_.ShortCircuitEpoch()) {
-                    short_circuit = true;
-                    break;
-                }
-                if (valid_samples >= schedule_.data_per_epoch) {
-                    break;
-                }
-                if (Now() - epoch_start >= schedule_.max_epoch_time) {
-                    short_circuit = true;
+                outcome = engine_.CollectOnce(clock_.Now());
+                if (outcome != CollectOutcome::kEpochContinues) {
                     break;
                 }
             }
-            if (!running_.load()) {
+            if (!running_.load() ||
+                outcome == CollectOutcome::kEpochContinues) {
                 return;
             }
-
-            Prediction<P> pred;
-            const bool enough = !short_circuit;
-            const std::uint64_t epoch_number =
-                stats_.epochs.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (enough) {
-                model_.UpdateModel();
-                pred = model_.ModelPredict();
-                stats_.model_updates.fetch_add(1,
-                                               std::memory_order_relaxed);
-                if (!options_.disable_model_assessment &&
-                    epoch_number %
-                            static_cast<std::uint64_t>(
-                                schedule_.assess_model_every_epochs) ==
-                        0) {
-                    model_ok = model_.AssessModel();
-                    stats_.model_assessments.fetch_add(
-                        1, std::memory_order_relaxed);
-                    if (!model_ok) {
-                        stats_.failed_assessments.fetch_add(
-                            1, std::memory_order_relaxed);
-                    }
-                }
-                if (!model_ok) {
-                    pred = model_.DefaultPredict();
-                    stats_.intercepted_predictions.fetch_add(
-                        1, std::memory_order_relaxed);
-                }
-            } else {
-                pred = model_.DefaultPredict();
-                stats_.short_circuit_epochs.fetch_add(
-                    1, std::memory_order_relaxed);
-            }
-
-            {
-                std::lock_guard lock(queue_mutex_);
-                pending_.push_back(pred);
-                AtomicRuntimeStats::RaisePeak(
-                    stats_.peak_queued_predictions, pending_.size());
-                while (pending_.size() > options_.max_queued_predictions) {
-                    pending_.pop_front();
-                    stats_.expired_predictions.fetch_add(
-                        1, std::memory_order_relaxed);
-                }
-            }
-            stats_.predictions_delivered.fetch_add(
-                1, std::memory_order_relaxed);
-            if (pred.is_default) {
-                stats_.default_predictions.fetch_add(
-                    1, std::memory_order_relaxed);
-            }
+            engine_.Deliver(engine_.FinishEpoch(
+                outcome == CollectOutcome::kEpochComplete));
+            // Notify even for a delivery dropped while halted: the
+            // kick lets a blocking actuator re-run its safeguard
+            // assessment and resume.
             queue_cv_.notify_one();
         }
     }
@@ -220,112 +244,55 @@ class ThreadedRuntime
     void
     ActuatorLoop()
     {
-        sim::TimePoint last_assessment = Now();
-        std::optional<sim::TimePoint> halt_start;
+        sim::TimePoint last_assessment = actuator_start_;
+        std::uint64_t seen_seq = 0;
         while (running_.load()) {
-            std::optional<Prediction<P>> pred;
+            bool timed_out = false;
             {
-                std::unique_lock lock(queue_mutex_);
-                const auto ready = [this] {
-                    return !pending_.empty() || !running_.load();
+                std::unique_lock<std::mutex> lock(engine_.queue_mutex());
+                const auto ready = [this, &seen_seq] {
+                    return !running_.load() ||
+                           engine_.has_queued_locked() ||
+                           engine_.delivery_seq_locked() != seen_seq;
                 };
-                if (options_.blocking_actuator) {
+                if (engine_.options().blocking_actuator) {
                     // Ablation (Figs 4, 6-right): no timeout — the
                     // actuator acts only when a prediction arrives.
-                    queue_cv_.wait(lock, ready);
+                    clock_.Wait(queue_cv_, lock, ready);
                 } else {
-                    queue_cv_.wait_for(
-                        lock,
-                        std::chrono::nanoseconds(
-                            schedule_.max_actuation_delay.count()),
-                        ready);
+                    timed_out = !clock_.WaitFor(
+                        queue_cv_, lock,
+                        engine_.schedule().max_actuation_delay, ready);
                 }
-                if (!running_.load()) {
-                    return;
-                }
-                if (!pending_.empty()) {
-                    pred = pending_.front();
-                    pending_.pop_front();
-                }
+                seen_seq = engine_.delivery_seq_locked();
+            }
+            if (!running_.load()) {
+                return;
             }
 
-            const sim::TimePoint now = Now();
-            if (halted_.load()) {
-                // Actuation halted: only the safeguard check runs.
-                if (pred.has_value()) {
-                    stats_.dropped_while_halted.fetch_add(
-                        1, std::memory_order_relaxed);
-                }
-                pred.reset();
-            } else {
-                if (pred.has_value() && !options_.blocking_actuator &&
-                    !pred->FreshAt(now)) {
-                    pred.reset();
-                    stats_.expired_predictions.fetch_add(
-                        1, std::memory_order_relaxed);
-                }
-                actuator_.TakeAction(pred);
-                stats_.actions_taken.fetch_add(1,
-                                               std::memory_order_relaxed);
-                if (pred.has_value()) {
-                    stats_.actions_with_prediction.fetch_add(
-                        1, std::memory_order_relaxed);
-                } else {
-                    stats_.actuator_timeouts.fetch_add(
-                        1, std::memory_order_relaxed);
-                }
-            }
-
-            if (!options_.disable_actuator_safeguard &&
+            const sim::TimePoint now = clock_.Now();
+            // Assessment before the wake, mirroring the event-queue
+            // backend's same-instant order (the assessment chain event
+            // precedes the delivery's wake event).
+            if (!engine_.options().disable_actuator_safeguard &&
                 now - last_assessment >=
-                    schedule_.assess_actuator_interval) {
+                    engine_.schedule().assess_actuator_interval) {
                 last_assessment = now;
-                const bool ok = actuator_.AssessPerformance();
-                stats_.actuator_assessments.fetch_add(
-                    1, std::memory_order_relaxed);
-                if (!ok) {
-                    if (!halted_.exchange(true)) {
-                        stats_.safeguard_triggers.fetch_add(
-                            1, std::memory_order_relaxed);
-                        halt_start = now;
-                    }
-                    actuator_.Mitigate();
-                    stats_.mitigations.fetch_add(
-                        1, std::memory_order_relaxed);
-                } else if (halted_.exchange(false)) {
-                    if (halt_start.has_value()) {
-                        stats_.halted_time_ns.fetch_add(
-                            (now - *halt_start).count(),
-                            std::memory_order_relaxed);
-                        halt_start.reset();
-                    }
-                }
+                engine_.AssessActuator(now);
             }
-        }
-        if (halt_start.has_value()) {
-            stats_.halted_time_ns.fetch_add(
-                (Now() - *halt_start).count(),
-                std::memory_order_relaxed);
+            engine_.ActuatorWake(now, timed_out);
         }
     }
 
-    Model<D, P>& model_;
-    Actuator<P>& actuator_;
-    Schedule schedule_;
-    RuntimeOptions options_;
+    Engine engine_;
+    ClockPolicy clock_;
 
     std::atomic<bool> running_{false};
-    std::atomic<bool> halted_{false};
-    std::chrono::steady_clock::time_point start_;
+    sim::TimePoint actuator_start_{0};
 
     std::thread model_thread_;
     std::thread actuator_thread_;
-
-    std::mutex queue_mutex_;
     std::condition_variable queue_cv_;
-    std::deque<Prediction<P>> pending_;
-
-    AtomicRuntimeStats stats_;
 };
 
 }  // namespace sol::core

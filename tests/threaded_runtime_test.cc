@@ -218,6 +218,51 @@ TEST(ThreadedRuntimeTest, SafeguardMitigatesAndHalts)
     runtime.Stop();
 }
 
+TEST(ThreadedRuntimeTest, SetDataFaultCorruptsSamplesBeforeValidation)
+{
+    ThreadModel model;
+    ThreadActuator actuator;
+    ThreadedRuntime<int, int> runtime(model, actuator, TinySchedule());
+    // Historically SimRuntime-only; the shared engine gives the
+    // threaded runtime the same hook. Corrupt everything: no sample
+    // may survive validation.
+    runtime.SetDataFault([](int& data) { data = -1; });
+    runtime.Start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    runtime.Stop();
+    EXPECT_EQ(model.commits.load(), 0);
+    const RuntimeStats stats = runtime.stats();
+    EXPECT_GT(stats.samples_collected, 0u);
+    EXPECT_EQ(stats.invalid_samples, stats.samples_collected);
+    EXPECT_GT(stats.short_circuit_epochs, 0u);
+}
+
+TEST(ThreadedRuntimeTest, FailedAssessmentPersistsAcrossRestart)
+{
+    ThreadModel model;
+    model.healthy = false;
+    ThreadActuator actuator;
+    Schedule schedule = TinySchedule();
+    // Wide collect interval so the post-restart check below runs well
+    // before the first epoch of the second run.
+    schedule.data_collect_interval = Millis(50);
+    schedule.max_epoch_time = Millis(500);
+    ThreadedRuntime<int, int> runtime(model, actuator, schedule);
+    runtime.Start();
+    // Wait until an assessment actually failed.
+    for (int i = 0; i < 100 && !runtime.model_assessment_failing(); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    runtime.Stop();
+    ASSERT_TRUE(runtime.model_assessment_failing());
+    // The failed assessment must survive the Stop/Start cycle: until
+    // the model passes a new assessment, predictions stay intercepted.
+    // (The old implementation reset this state on every Start.)
+    runtime.Start();
+    EXPECT_TRUE(runtime.model_assessment_failing());
+    runtime.Stop();
+}
+
 TEST(ThreadedRuntimeTest, DestructorStops)
 {
     ThreadModel model;
