@@ -1,5 +1,8 @@
 #include "cluster/interference_arbiter.h"
 
+#include <algorithm>
+#include <chrono>
+
 namespace sol::cluster {
 
 namespace {
@@ -16,21 +19,24 @@ InterferenceArbiter::InterferenceArbiter(InterferenceArbiterConfig config,
                                          telemetry::MetricScope scope)
     : config_(std::move(config)), scope_(std::move(scope))
 {
-}
-
-bool
-InterferenceArbiter::Coupled(core::ActuationDomain a,
-                             core::ActuationDomain b) const
-{
-    if (a == b) {
-        return true;
-    }
-    for (const auto& [x, y] : config_.couplings) {
-        if ((x == a && y == b) || (x == b && y == a)) {
-            return true;
+    // Precompute each domain's lock closure: itself plus every domain
+    // reachable through the coupling relation. Couplings are pairs, not
+    // chains — {A,B} and {B,C} makes B's closure {A,B,C} but leaves A
+    // and C uncoupled, matching the original pairwise Coupled() check.
+    for (std::size_t d = 0; d < core::kNumActuationDomains; ++d) {
+        closure_[d].push_back(d);
+        for (const auto& [x, y] : config_.couplings) {
+            if (DomainIndex(x) == d) {
+                closure_[d].push_back(DomainIndex(y));
+            } else if (DomainIndex(y) == d) {
+                closure_[d].push_back(DomainIndex(x));
+            }
         }
+        std::sort(closure_[d].begin(), closure_[d].end());
+        closure_[d].erase(
+            std::unique(closure_[d].begin(), closure_[d].end()),
+            closure_[d].end());
     }
-    return false;
 }
 
 std::size_t
@@ -45,16 +51,12 @@ InterferenceArbiter::PriorityRank(const std::string& agent) const
 }
 
 const InterferenceArbiter::Hold*
-InterferenceArbiter::BlockingHold(
+InterferenceArbiter::BlockingHoldLocked(
     const core::ActuationRequest& request) const
 {
-    for (std::size_t d = 0; d < holds_.size(); ++d) {
-        const auto& hold = holds_[d];
+    for (const std::size_t d : closure_[DomainIndex(request.domain)]) {
+        const auto& hold = domains_[d].hold;
         if (!hold.has_value() || hold->agent == request.agent) {
-            continue;
-        }
-        if (!Coupled(static_cast<core::ActuationDomain>(d),
-                     request.domain)) {
             continue;
         }
         if (config_.policy == ArbitrationPolicy::kStaticPriority &&
@@ -68,54 +70,135 @@ InterferenceArbiter::BlockingHold(
     return nullptr;
 }
 
+InterferenceArbiter::AgentAccount&
+InterferenceArbiter::AccountFor(const std::string& agent)
+{
+    {
+        std::shared_lock<std::shared_mutex> read(accounts_mutex_);
+        const auto it = accounts_.find(agent);
+        if (it != accounts_.end()) {
+            return *it->second;
+        }
+    }
+    std::unique_lock<std::shared_mutex> write(accounts_mutex_);
+    auto& slot = accounts_[agent];
+    if (!slot) {
+        slot = std::make_unique<AgentAccount>();
+    }
+    return *slot;
+}
+
 core::ActuationDecision
 InterferenceArbiter::Admit(const core::ActuationRequest& request)
 {
-    ++requests_;
-    scope_.Increment(request.agent + ".requests");
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    AgentAccount& account = AccountFor(request.agent);
+    account.requests.fetch_add(1, std::memory_order_relaxed);
 
     if (request.intent == core::ActuationIntent::kRestore) {
-        auto& hold = holds_[DomainIndex(request.domain)];
-        if (hold.has_value() && hold->agent == request.agent) {
-            hold.reset();
+        DomainSlot& slot = domains_[DomainIndex(request.domain)];
+        std::lock_guard<std::mutex> lock(slot.mutex);
+        if (slot.hold.has_value() && slot.hold->agent == request.agent) {
+            slot.hold.reset();
         }
-        scope_.Increment(request.agent + ".restores");
-        scope_.Increment(request.agent + ".admitted");
+        account.restores.fetch_add(1, std::memory_order_relaxed);
+        account.admitted.fetch_add(1, std::memory_order_relaxed);
         return {true, ""};
     }
 
-    const Hold* blocking = BlockingHold(request);
+    // Lock the whole coupling closure in ascending index order, so
+    // overlapping closures serialize instead of deadlocking. Holding
+    // every coupled slot makes "scan for a blocking hold, then grant"
+    // one atomic step: no racing expand can slip a hold into a coupled
+    // domain between the check and the grant.
+    const auto& closure = closure_[DomainIndex(request.domain)];
+    std::chrono::steady_clock::time_point wait_start;
+    if (config_.track_contention) {
+        wait_start = std::chrono::steady_clock::now();
+    }
+    for (const std::size_t d : closure) {
+        domains_[d].mutex.lock();
+    }
+    if (config_.track_contention) {
+        const auto waited =
+            std::chrono::steady_clock::now() - wait_start;
+        lock_wait_ns_.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    waited)
+                    .count()),
+            std::memory_order_relaxed);
+    }
+
+    core::ActuationDecision decision{true, ""};
+    const Hold* blocking = BlockingHoldLocked(request);
     if (blocking != nullptr) {
-        ++conflicts_observed_;
-        scope_.Increment("conflicts");
-        scope_.Increment("denial." + request.agent + ".by." +
-                         blocking->agent);
+        conflicts_observed_.fetch_add(1, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(account.denial_mutex);
+            ++account.denied_by[blocking->agent];
+        }
         if (config_.enabled) {
-            ++conflicts_resolved_;
-            scope_.Increment(request.agent + ".denied");
-            return {false, blocking->agent};
+            conflicts_resolved_.fetch_add(1, std::memory_order_relaxed);
+            account.denied.fetch_add(1, std::memory_order_relaxed);
+            decision = {false, blocking->agent};
         }
         // Disabled (ungoverned baseline): observe but admit.
     }
 
-    auto& hold = holds_[DomainIndex(request.domain)];
-    if (!hold.has_value() || hold->agent != request.agent) {
-        hold = Hold{request.agent, request.magnitude, 0};
+    if (decision.admitted) {
+        auto& hold = domains_[DomainIndex(request.domain)].hold;
+        if (!hold.has_value() || hold->agent != request.agent) {
+            hold = Hold{request.agent, request.magnitude, 0};
+        }
+        hold->magnitude = request.magnitude;
+        ++hold->admissions;
+        account.admitted.fetch_add(1, std::memory_order_relaxed);
     }
-    hold->magnitude = request.magnitude;
-    ++hold->admissions;
-    scope_.Increment(request.agent + ".admitted");
-    return {true, ""};
+
+    for (auto it = closure.rbegin(); it != closure.rend(); ++it) {
+        domains_[*it].mutex.unlock();
+    }
+    return decision;
 }
 
 std::optional<std::string>
 InterferenceArbiter::HolderOf(core::ActuationDomain domain) const
 {
-    const auto& hold = holds_[DomainIndex(domain)];
-    if (!hold.has_value()) {
+    const DomainSlot& slot = domains_[DomainIndex(domain)];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (!slot.hold.has_value()) {
         return std::nullopt;
     }
-    return hold->agent;
+    return slot.hold->agent;
+}
+
+void
+InterferenceArbiter::WriteMetrics()
+{
+    std::shared_lock<std::shared_mutex> read(accounts_mutex_);
+    std::uint64_t conflicts = 0;
+    for (auto& [agent, account] : accounts_) {
+        scope_.SetCounter(
+            agent + ".requests",
+            account->requests.load(std::memory_order_relaxed));
+        scope_.SetCounter(
+            agent + ".admitted",
+            account->admitted.load(std::memory_order_relaxed));
+        scope_.SetCounter(
+            agent + ".denied",
+            account->denied.load(std::memory_order_relaxed));
+        scope_.SetCounter(
+            agent + ".restores",
+            account->restores.load(std::memory_order_relaxed));
+        std::lock_guard<std::mutex> lock(account->denial_mutex);
+        for (const auto& [holder, count] : account->denied_by) {
+            scope_.SetCounter("denial." + agent + ".by." + holder,
+                              count);
+            conflicts += count;
+        }
+    }
+    scope_.SetCounter("conflicts", conflicts);
 }
 
 }  // namespace sol::cluster

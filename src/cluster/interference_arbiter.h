@@ -17,17 +17,39 @@
  * path it takes for a missing prediction), so denial is always safe.
  * A kRestore releases the agent's hold and is never blocked. All
  * decisions depend only on the sequence of prior requests, so a fixed
- * seed reproduces a multi-agent run exactly.
+ * seed reproduces a multi-agent run exactly; under concurrent callers
+ * the decision sequence is whatever admission order the lock table
+ * serializes, and it stays internally consistent (no double grants, no
+ * lost holds).
  *
- * Accounting lands in a telemetry::MetricScope, namespaced per agent:
+ * Concurrency: agents on a ThreadedMultiAgentNode announce intents from
+ * their own actuator threads, so Admit must survive true expand/restore
+ * races. The hold map is a per-domain lock table: an expand locks the
+ * requested domain plus every coupled domain (ascending index order, so
+ * overlapping closures serialize instead of deadlocking), checks for a
+ * blocking hold, and takes its own hold — all under those locks, which
+ * makes "check coupled holds, then grant" atomic. A restore locks only
+ * its own domain. Uncoupled domains never share a lock, so agents on
+ * disjoint envelopes admit in parallel.
+ *
+ * Accounting is contention-safe and lock-free on the admit path:
+ * per-agent atomic counter blocks (created once per agent name under a
+ * shared_mutex) instead of direct writes into the single-threaded
+ * MetricRegistry. WriteMetrics() publishes the counters into the
+ * arbiter's MetricScope, namespaced per agent exactly as before:
  *   <prefix>.<agent>.requests / .admitted / .denied / .restores
  *   <prefix>.conflicts, <prefix>.denial.<agent>.by.<holder>
  */
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -72,6 +94,14 @@ struct InterferenceArbiterConfig {
     std::vector<std::pair<core::ActuationDomain, core::ActuationDomain>>
         couplings = {{core::ActuationDomain::kCpuFrequency,
                       core::ActuationDomain::kCpuCores}};
+
+    /**
+     * Accumulate the wall time expand requests spend waiting for the
+     * domain lock closure (lock_wait_ns()). Off by default: the extra
+     * clock reads cost more than the locks on uncontended nodes, and
+     * deterministic runs never read it.
+     */
+    bool track_contention = false;
 };
 
 /** Detects and resolves conflicting actuations on one node. */
@@ -80,24 +110,50 @@ class InterferenceArbiter : public core::ActuationGovernor
   public:
     /**
      * @param config Policy and coupling matrix.
-     * @param scope Metric namespace the arbiter accounts into.
+     * @param scope Metric namespace WriteMetrics() publishes into.
      */
     InterferenceArbiter(InterferenceArbiterConfig config,
                         telemetry::MetricScope scope);
 
+    /** Thread-safe: callable from any agent thread concurrently. */
     core::ActuationDecision
     Admit(const core::ActuationRequest& request) override;
 
-    /** Agent currently holding a domain, if any. */
+    /** Agent currently holding a domain, if any (thread-safe). */
     std::optional<std::string> HolderOf(core::ActuationDomain domain) const;
 
     /** Conflicting expands denied so far (0 when disabled). */
-    std::uint64_t conflicts_resolved() const { return conflicts_resolved_; }
+    std::uint64_t conflicts_resolved() const
+    {
+        return conflicts_resolved_.load(std::memory_order_relaxed);
+    }
 
     /** Conflicting expands observed (counted even when disabled). */
-    std::uint64_t conflicts_observed() const { return conflicts_observed_; }
+    std::uint64_t conflicts_observed() const
+    {
+        return conflicts_observed_.load(std::memory_order_relaxed);
+    }
 
-    std::uint64_t requests() const { return requests_; }
+    std::uint64_t requests() const
+    {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+    /** Wall nanoseconds expands spent acquiring the lock closure; 0
+     *  unless config.track_contention. */
+    std::uint64_t lock_wait_ns() const
+    {
+        return lock_wait_ns_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Publishes the per-agent accounting into the MetricScope given at
+     * construction (absolute values, so repeated calls are idempotent).
+     * Safe to call while agents keep admitting — counters are
+     * snapshots — but the underlying MetricRegistry is single-threaded,
+     * so only one thread may be writing metrics at a time.
+     */
+    void WriteMetrics();
 
     const InterferenceArbiterConfig& config() const { return config_; }
 
@@ -108,20 +164,51 @@ class InterferenceArbiter : public core::ActuationGovernor
         std::uint64_t admissions = 0;  ///< Times taken or refreshed.
     };
 
-    bool Coupled(core::ActuationDomain a, core::ActuationDomain b) const;
+    /** One entry of the per-domain lock table. */
+    struct DomainSlot {
+        mutable std::mutex mutex;
+        std::optional<Hold> hold;  ///< Guarded by mutex.
+    };
+
+    /** Lock-free per-agent accounting block. */
+    struct AgentAccount {
+        std::atomic<std::uint64_t> requests{0};
+        std::atomic<std::uint64_t> admitted{0};
+        std::atomic<std::uint64_t> denied{0};
+        std::atomic<std::uint64_t> restores{0};
+        /** Denial attribution is rare; a plain guarded map suffices. */
+        std::mutex denial_mutex;
+        std::map<std::string, std::uint64_t> denied_by;
+    };
 
     /** Rank in the priority list; lower is more important. */
     std::size_t PriorityRank(const std::string& agent) const;
 
-    /** The holder blocking `request`, if any. */
-    const Hold* BlockingHold(const core::ActuationRequest& request) const;
+    /** The holder blocking `request`. Caller holds every lock in the
+     *  request domain's closure. */
+    const Hold* BlockingHoldLocked(
+        const core::ActuationRequest& request) const;
+
+    /** The agent's accounting block, created on first use. */
+    AgentAccount& AccountFor(const std::string& agent);
 
     InterferenceArbiterConfig config_;
     telemetry::MetricScope scope_;
-    std::array<std::optional<Hold>, core::kNumActuationDomains> holds_;
-    std::uint64_t requests_ = 0;
-    std::uint64_t conflicts_observed_ = 0;
-    std::uint64_t conflicts_resolved_ = 0;
+
+    /** closure_[d] = sorted domain indices coupled to d, including d
+     *  itself — the lock set of an expand on d. Immutable after
+     *  construction. */
+    std::array<std::vector<std::size_t>, core::kNumActuationDomains>
+        closure_;
+    std::array<DomainSlot, core::kNumActuationDomains> domains_;
+
+    mutable std::shared_mutex accounts_mutex_;
+    std::map<std::string, std::unique_ptr<AgentAccount>> accounts_;
+
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> conflicts_observed_{0};
+    std::atomic<std::uint64_t> conflicts_resolved_{0};
+    std::atomic<std::uint64_t> lock_wait_ns_{0};
 };
 
 }  // namespace sol::cluster

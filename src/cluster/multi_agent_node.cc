@@ -16,10 +16,11 @@ MakeNodeConfig(const MultiAgentNodeConfig& config)
     return node_config;
 }
 
-/** Snapshots one agent's runtime counters into its metric namespace. */
+}  // namespace
+
 void
-WriteRuntimeStats(telemetry::MetricScope scope,
-                  const core::RuntimeStats& stats)
+WriteAgentRuntimeStats(telemetry::MetricScope scope,
+                       const core::RuntimeStats& stats)
 {
     scope.SetGauge("epochs", static_cast<double>(stats.epochs));
     scope.SetGauge("samples_collected",
@@ -59,8 +60,6 @@ WriteRuntimeStats(telemetry::MetricScope scope,
     scope.SetGauge("mitigations", static_cast<double>(stats.mitigations));
     scope.SetGauge("halted_seconds", sim::ToSeconds(stats.halted_time));
 }
-
-}  // namespace
 
 MultiAgentNode::MultiAgentNode(sim::EventQueue& queue,
                                MultiAgentNodeConfig config)
@@ -178,6 +177,9 @@ MultiAgentNode::MultiAgentNode(sim::EventQueue& queue,
         cfg.domain = i % 2 == 0
                          ? core::ActuationDomain::kTelemetryBudget
                          : core::ActuationDomain::kMemoryPlacement;
+        if (config_.customize_synthetic) {
+            config_.customize_synthetic(i, cfg);
+        }
         synthetics_.push_back(std::make_unique<SyntheticAgent>(
             queue_, cfg, &arbiter_, config_.runtime));
         SyntheticAgent* agent = synthetics_.back().get();
@@ -223,6 +225,26 @@ MultiAgentNode::Stop()
 {
     for (const AgentSlot& slot : slots_) {
         slot.stop();
+    }
+}
+
+void
+MultiAgentNode::StopAgent(const std::string& name)
+{
+    for (const AgentSlot& slot : slots_) {
+        if (slot.name == name) {
+            slot.stop();
+        }
+    }
+}
+
+void
+MultiAgentNode::StartAgent(const std::string& name)
+{
+    for (const AgentSlot& slot : slots_) {
+        if (slot.name == name) {
+            slot.start();
+        }
     }
 }
 
@@ -291,9 +313,10 @@ void
 MultiAgentNode::CollectMetrics()
 {
     for (const AgentSlot& slot : slots_) {
-        WriteRuntimeStats(telemetry::MetricScope(metrics_, slot.name),
-                          slot.stats());
+        WriteAgentRuntimeStats(
+            telemetry::MetricScope(metrics_, slot.name), slot.stats());
     }
+    arbiter_.WriteMetrics();
 
     telemetry::MetricScope node_scope(metrics_, "node");
     node_scope.SetGauge("primary_p99_ms",

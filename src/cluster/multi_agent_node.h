@@ -51,6 +51,12 @@
 
 namespace sol::cluster {
 
+/** Snapshots one agent's runtime counters into its metric namespace
+ *  (shared by both node variants, so a gauge-by-gauge diff of their
+ *  registries is meaningful). */
+void WriteAgentRuntimeStats(telemetry::MetricScope scope,
+                            const core::RuntimeStats& stats);
+
 /** Configuration of one multi-agent node. */
 struct MultiAgentNodeConfig {
     /** Metric namespace and display name ("node0", "node1", ...). */
@@ -79,6 +85,17 @@ struct MultiAgentNodeConfig {
      *  synthetics pressure the arbiter without monopolizing the
      *  CPU-frequency/cores conflict surface the real agents study). */
     SyntheticAgentConfig synthetic;
+
+    /**
+     * Per-instance override applied after the defaults above (index,
+     * config already carrying its derived name/seed/domain). Node
+     * parity scenarios use this to give each synthetic its own cadence
+     * or conflict role; both node variants apply it identically, so a
+     * scenario scripted here runs the same on the simulated and the
+     * threaded node.
+     */
+    std::function<void(std::size_t, SyntheticAgentConfig&)>
+        customize_synthetic;
 
     // --- Substrate sizing -------------------------------------------------
     int total_cores = 16;
@@ -129,6 +146,12 @@ class MultiAgentNode
 
     /** Stops all runtimes (drivers keep the substrate advancing). */
     void Stop();
+
+    /** Stops/starts one agent's runtime by name (no-op on unknown
+     *  names). Models an SRE restarting a single agent while its peers
+     *  keep running — the restart scenarios of the node parity suite. */
+    void StopAgent(const std::string& name);
+    void StartAgent(const std::string& name);
 
     /**
      * SRE incident response: runs every registered agent's CleanUp

@@ -88,13 +88,26 @@ SyntheticActuator::TakeAction(std::optional<core::Prediction<double>> pred)
         if (core::AdmitActuation(governor_, config_.name, config_.domain,
                                  core::ActuationIntent::kExpand,
                                  std::abs(pred->value))) {
-            holding_ = true;
-            ++expands_admitted_;
+            holding_.store(true, std::memory_order_relaxed);
+            expands_admitted_.fetch_add(1, std::memory_order_relaxed);
             return;
         }
-        ++expands_denied_;  // Denied: fall through to the safe path.
+        // Denied: fall through to the safe path.
+        expands_denied_.fetch_add(1, std::memory_order_relaxed);
     }
     Restore();
+}
+
+bool
+SyntheticActuator::AssessPerformance()
+{
+    // Scripted failure window: assessments are 1-indexed, so a config
+    // of {from=3, count=2} fails exactly the 3rd and 4th assessment.
+    ++assessments_seen_;
+    return config_.fail_assessments_from == 0 ||
+           assessments_seen_ < config_.fail_assessments_from ||
+           assessments_seen_ >= config_.fail_assessments_from +
+                                    config_.fail_assessments_count;
 }
 
 void
@@ -103,11 +116,11 @@ SyntheticActuator::Restore()
     // Restores are always admitted; announcing one releases any hold.
     core::AdmitActuation(governor_, config_.name, config_.domain,
                          core::ActuationIntent::kRestore);
-    holding_ = false;
+    holding_.store(false, std::memory_order_relaxed);
 }
 
 core::Schedule
-SyntheticAgent::MakeSchedule(const SyntheticAgentConfig& config)
+MakeSyntheticSchedule(const SyntheticAgentConfig& config)
 {
     core::Schedule schedule;
     schedule.data_per_epoch = config.data_per_epoch;
@@ -168,7 +181,8 @@ SyntheticAgent::SyntheticAgent(sim::EventQueue& queue,
     : config_(config),
       model_(config_, queue),
       actuator_(config_),
-      runtime_(queue, model_, actuator_, MakeSchedule(config_), options)
+      runtime_(queue, model_, actuator_, MakeSyntheticSchedule(config_),
+               options)
 {
     actuator_.SetGovernor(governor);
 }

@@ -20,6 +20,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -86,7 +87,22 @@ struct SyntheticAgentConfig {
 
     /** Shared-resource domain this agent contends on. */
     core::ActuationDomain domain = core::ActuationDomain::kTelemetryBudget;
+
+    // --- Scripted faults (defaults off) --------------------------------
+    /**
+     * 1-based index of the first actuator assessment that fails (0 =
+     * never fail). With fail_assessments_count, scripts a deterministic
+     * safeguard trip at a known point in the run — the parity suite
+     * uses it to trip the safeguard while the agent holds a domain.
+     */
+    std::uint64_t fail_assessments_from = 0;
+    std::uint64_t fail_assessments_count = 1;
 };
+
+/** Builds the (possibly jittered/bursty) schedule a synthetic agent
+ *  runs on. Exposed so ThreadedMultiAgentNode hosts the same agent
+ *  logic on a ThreadedRuntime with an identical cadence. */
+core::Schedule MakeSyntheticSchedule(const SyntheticAgentConfig& config);
 
 /** Random-walk telemetry + running-mean model; O(1) per call. */
 class SyntheticModel : public core::Model<double, double>
@@ -131,13 +147,24 @@ class SyntheticActuator : public core::Actuator<double>
     }
 
     void TakeAction(std::optional<core::Prediction<double>> pred) override;
-    bool AssessPerformance() override { return true; }
+    bool AssessPerformance() override;
     void Mitigate() override { Restore(); }
     void CleanUp() override { Restore(); }
 
-    bool holding() const { return holding_; }
-    std::uint64_t expands_admitted() const { return expands_admitted_; }
-    std::uint64_t expands_denied() const { return expands_denied_; }
+    // Counters are atomic so a parity harness (or the node's metric
+    // sweep) can read them while the agent's actuator thread runs.
+    bool holding() const
+    {
+        return holding_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t expands_admitted() const
+    {
+        return expands_admitted_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t expands_denied() const
+    {
+        return expands_denied_.load(std::memory_order_relaxed);
+    }
 
   private:
     void Restore();
@@ -145,9 +172,10 @@ class SyntheticActuator : public core::Actuator<double>
     const SyntheticAgentConfig& config_;
     sim::Rng rng_;
     core::ActuationGovernor* governor_ = nullptr;
-    bool holding_ = false;
-    std::uint64_t expands_admitted_ = 0;
-    std::uint64_t expands_denied_ = 0;
+    std::atomic<bool> holding_{false};
+    std::atomic<std::uint64_t> expands_admitted_{0};
+    std::atomic<std::uint64_t> expands_denied_{0};
+    std::uint64_t assessments_seen_ = 0;  ///< Actuator-thread only.
 };
 
 /** One synthetic agent: model + actuator + SimRuntime, ready to Start. */
@@ -173,8 +201,6 @@ class SyntheticAgent
     SyntheticActuator& actuator() { return actuator_; }
 
   private:
-    static core::Schedule MakeSchedule(const SyntheticAgentConfig& config);
-
     SyntheticAgentConfig config_;
     SyntheticModel model_;
     SyntheticActuator actuator_;

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Manually advanced ClockPolicy: deterministic time for ThreadedRuntime.
+ *
+ * ThreadedRuntime's time source is a policy (see threaded_runtime.h);
+ * this is the test-side implementation. Virtual time advances only when
+ * the harness has granted an unconsumed tick AND the optional drain
+ * gate reports the runtime caught up with all outstanding work, so the
+ * clock is frozen whenever the actuator thread reads it — action,
+ * assessment, and halt timestamps become exact virtual instants, which
+ * is what lets real threads be compared field-for-field against the
+ * event-queue backend (tests/runtime_parity_test.cc for one runtime,
+ * tests/node_parity_test.cc for a whole ThreadedMultiAgentNode, where
+ * each of 77 agents runs on its own ManualClock and the harness
+ * serializes their grants into one global virtual timeline).
+ *
+ * Protocol:
+ *   clock.SetGate(...);      // optional: "runtime drained" predicate
+ *   runtime.Start();
+ *   clock.GrantTicks(n);     // model loop consumes one per SleepFor
+ *   ... wait for Parked() + runtime-specific quiesce conditions ...
+ *   runtime.Stop();          // Interrupt() aborts a blocked SleepFor
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "sim/time.h"
+
+namespace sol::core {
+
+/**
+ * ClockPolicy whose SleepFor consumes explicitly granted ticks (one
+ * tick = one sleep, advancing time by exactly the requested duration)
+ * and only proceeds once the drain gate (if set) is open.
+ */
+class ManualClock
+{
+  public:
+    void
+    OnStart()
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        aborted_ = false;
+    }
+
+    void
+    Interrupt()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            aborted_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    sim::TimePoint
+    Now() const
+    {
+        return sim::TimePoint(
+            sim::Duration(now_ns_.load(std::memory_order_acquire)));
+    }
+
+    void
+    SleepFor(sim::Duration d)
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        ++sleepers_;
+        // Polling wait: the gate flips when the actuator thread bumps
+        // counters, which does not notify this cv.
+        while (!aborted_ &&
+               !(ticks_remaining_ > 0 && (!gate_ || gate_()))) {
+            cv_.wait_for(lock, std::chrono::microseconds(200));
+        }
+        --sleepers_;
+        if (aborted_) {
+            return;
+        }
+        --ticks_remaining_;
+        now_ns_.fetch_add(d.count(), std::memory_order_release);
+    }
+
+    /** Blocking wait until `ready` (the blocking-actuator ablation). */
+    template <typename Ready>
+    void
+    Wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+         Ready ready)
+    {
+        cv.wait(lock, ready);
+    }
+
+    /**
+     * Wait until `ready` or the timeout.
+     *
+     * @return false when the wait timed out with `ready` still false.
+     */
+    template <typename Ready>
+    bool
+    WaitFor(std::condition_variable& cv,
+            std::unique_lock<std::mutex>& lock, sim::Duration timeout,
+            Ready ready)
+    {
+        return cv.wait_for(lock, std::chrono::nanoseconds(timeout),
+                           ready);
+    }
+
+    /** Allows the model loop to run `n` more collect sleeps. */
+    void
+    GrantTicks(std::size_t n)
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            ticks_remaining_ += n;
+        }
+        cv_.notify_all();
+    }
+
+    /** Installs the "runtime drained" predicate a granted tick also
+     *  waits on. Install before Start(): SleepFor polls it unlocked
+     *  relative to the harness. */
+    void
+    SetGate(std::function<bool()> gate)
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        gate_ = std::move(gate);
+    }
+
+    /** True while the model loop is blocked with no ticks left. */
+    bool
+    Parked() const
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return sleepers_ > 0 && ticks_remaining_ == 0;
+    }
+
+  private:
+    mutable std::mutex m_;
+    std::condition_variable cv_;
+    std::atomic<std::int64_t> now_ns_{0};
+    std::size_t ticks_remaining_ = 0;
+    int sleepers_ = 0;
+    bool aborted_ = false;
+    std::function<bool()> gate_;
+};
+
+}  // namespace sol::core

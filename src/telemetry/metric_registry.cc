@@ -19,6 +19,12 @@ MetricRegistry::Increment(const std::string& name, std::uint64_t delta)
 }
 
 void
+MetricRegistry::SetCounter(const std::string& name, std::uint64_t value)
+{
+    counters_[name] = value;
+}
+
+void
 MetricRegistry::SetGauge(const std::string& name, double value)
 {
     gauges_[name] = value;

@@ -34,6 +34,14 @@ class MetricRegistry
     /** Adds delta to a monotonically increasing counter. */
     void Increment(const std::string& name, std::uint64_t delta = 1);
 
+    /**
+     * Sets a counter to an absolute value. For publishers that keep
+     * their own authoritative tally (e.g. atomic hot-path counters)
+     * and flush snapshots into the registry: unlike Increment, a
+     * repeated flush is idempotent.
+     */
+    void SetCounter(const std::string& name, std::uint64_t value);
+
     /** Sets a point-in-time value. */
     void SetGauge(const std::string& name, double value);
 
@@ -147,6 +155,12 @@ class MetricScope
     Increment(const std::string& name, std::uint64_t delta = 1)
     {
         registry_.Increment(Key(name), delta);
+    }
+
+    void
+    SetCounter(const std::string& name, std::uint64_t value)
+    {
+        registry_.SetCounter(Key(name), value);
     }
 
     void

@@ -6,9 +6,13 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "cluster/cluster_driver.h"
 #include "cluster/interference_arbiter.h"
 #include "cluster/multi_agent_node.h"
+#include "cluster/threaded_multi_agent_node.h"
 #include "core/prediction.h"
 #include "sim/event_queue.h"
 
@@ -22,6 +26,7 @@ using cluster::InterferenceArbiter;
 using cluster::InterferenceArbiterConfig;
 using cluster::MultiAgentNode;
 using cluster::MultiAgentNodeConfig;
+using cluster::ThreadedMultiAgentNode;
 using core::ActuationDomain;
 using core::ActuationIntent;
 using core::ActuationRequest;
@@ -68,7 +73,9 @@ TEST(InterferenceArbiter, ResolvesOverclockVsHarvestDeterministically)
                     .admitted);
     EXPECT_EQ(arbiter.conflicts_resolved(), 1u);
 
-    // Per-agent accounting is namespaced in the registry.
+    // Per-agent accounting is kept in contention-safe atomics and
+    // published into the registry on demand.
+    arbiter.WriteMetrics();
     EXPECT_EQ(metrics.Counter("arbiter.smart-overclock.denied"), 1u);
     EXPECT_EQ(metrics.Counter("arbiter.smart-harvest.restores"), 1u);
     EXPECT_EQ(metrics.Counter(
@@ -270,6 +277,38 @@ TEST(MultiAgentNode, CleanUpAllRestoresCleanNodeState)
     EXPECT_EQ(node.node().GrantedCores(node.elastic_vm()), 0);
 }
 
+TEST(MultiAgentNode, TeardownWhileIntentsAreInFlight)
+{
+    // Destroying a running node mid-flight — agents scheduled, holds
+    // live in the arbiter, nothing stopped or cleaned up first — must
+    // tear down via the registry cleanups alone. The aggressive
+    // expand profile keeps coupled-domain holds live at the moment of
+    // destruction.
+    sim::EventQueue queue;
+    MultiAgentNodeConfig config;
+    config.synthetic_agents = 8;
+    config.synthetic.expand_fraction = 1.0;
+    config.customize_synthetic = [](std::size_t i,
+                                    cluster::SyntheticAgentConfig& c) {
+        c.domain = i % 2 == 0 ? ActuationDomain::kCpuFrequency
+                              : ActuationDomain::kCpuCores;
+    };
+    {
+        MultiAgentNode node(queue, config);
+        node.Start();
+        queue.RunFor(sim::Seconds(1));
+        EXPECT_GT(node.arbiter().requests(), 0u);
+        bool any_holding = false;
+        for (std::size_t i = 0; i < node.num_synthetic_agents(); ++i) {
+            any_holding |= node.synthetic_agent(i).actuator().holding();
+        }
+        EXPECT_TRUE(any_holding);
+        // No Stop(), no CleanUpAll(): scope exit does everything.
+    }
+    // The queue outlives the node; pending agent events were cancelled.
+    queue.RunFor(sim::Seconds(1));
+}
+
 TEST(MultiAgentNode, RunIsDeterministicForAFixedSeed)
 {
     auto run = [](std::uint64_t seed) {
@@ -412,6 +451,161 @@ TEST(SyntheticAgents, QueuePendingLimitSurfacesInFleetMetrics)
     EXPECT_GT(out.Gauge("fleet.queue.dropped"), 0.0);
     EXPECT_LE(out.Gauge("fleet.queue.pending"), 32.0);
     driver.Stop();
+}
+
+// ---- ThreadedMultiAgentNode (real threads, real clock) -------------------
+
+template <typename Condition>
+bool
+WaitUntil(Condition condition)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (condition()) {
+            return true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return condition();
+}
+
+TEST(ThreadedMultiAgentNode, RunsSyntheticFleetOnRealThreads)
+{
+    MultiAgentNodeConfig config;
+    config.run_overclock = false;
+    config.run_harvest = false;
+    config.run_memory = false;
+    config.run_monitor = false;
+    config.synthetic_agents = 12;
+    // Wall-clock cadence fast enough to make real progress in a blink.
+    config.synthetic.data_collect_interval = sim::Micros(200);
+    config.synthetic.max_epoch_time = sim::Millis(5);
+    config.synthetic.max_actuation_delay = sim::Millis(10);
+    config.synthetic.assess_actuator_interval = sim::Millis(2);
+    config.synthetic.prediction_ttl = sim::Millis(10);
+
+    ThreadedMultiAgentNode<> node(config);
+    EXPECT_EQ(node.num_agents(), 12u);
+    EXPECT_EQ(node.registry().size(), 12u);
+    EXPECT_TRUE(node.registry().Contains("synthetic0"));
+
+    node.Start();
+    EXPECT_TRUE(node.started());
+    // All 12 agent threads make learning progress and announce intents
+    // into the shared arbiter concurrently.
+    EXPECT_TRUE(WaitUntil([&] {
+        return node.AggregateStats().epochs > 100 &&
+               node.arbiter().requests() > 50;
+    })) << "threaded synthetic fleet made no progress";
+    node.Stop();
+    EXPECT_FALSE(node.started());
+
+    const core::RuntimeStats total = node.AggregateStats();
+    EXPECT_GT(total.samples_collected, total.epochs);
+    EXPECT_GT(total.actions_taken, 0u);
+    node.CollectMetrics();
+    EXPECT_GT(node.metrics().Gauge("synthetic0.epochs"), 0.0);
+    EXPECT_GT(node.metrics().Gauge("node.total_epochs"), 0.0);
+
+    // The whole node restarts cleanly (threads re-spawn).
+    node.Start();
+    const std::uint64_t before = node.AggregateStats().epochs;
+    EXPECT_TRUE(
+        WaitUntil([&] { return node.AggregateStats().epochs > before; }));
+    node.Stop();
+}
+
+TEST(ThreadedMultiAgentNode, RunsRealAgentsOnSharedSubstrate)
+{
+    MultiAgentNodeConfig config;  // All four real agents, no synthetics.
+    ThreadedMultiAgentNode<> node(config);
+    EXPECT_EQ(node.registry().size(), 4u);
+    EXPECT_TRUE(node.registry().Contains("smart-overclock"));
+    EXPECT_TRUE(node.registry().Contains("smart-harvest"));
+    EXPECT_TRUE(node.registry().Contains("smart-memory"));
+    EXPECT_TRUE(node.registry().Contains("smart-monitor"));
+
+    node.Start();
+    // Harvest runs 25 ms epochs on the wall clock; the driver thread
+    // advances the shared substrate underneath all four agents.
+    EXPECT_TRUE(WaitUntil([&] {
+        return node.AgentStats("smart-harvest").epochs > 5 &&
+               node.AgentStats("smart-overclock").epochs > 0;
+    })) << "real agents made no progress on the threaded node";
+    node.Stop();
+
+    node.CollectMetrics();
+    EXPECT_GT(node.metrics().Gauge("smart-harvest.epochs"), 0.0);
+    EXPECT_GT(node.metrics().Gauge("node.primary_freq_ghz"), 0.0);
+
+    // Incident response drives the substrate back to its clean state.
+    node.CleanUpAll();
+}
+
+TEST(ThreadedMultiAgentNode, TeardownWhileIntentsAreInFlight)
+{
+    MultiAgentNodeConfig config;
+    config.run_overclock = false;
+    config.run_harvest = false;
+    config.run_memory = false;
+    config.run_monitor = false;
+    config.synthetic_agents = 8;
+    config.synthetic.data_collect_interval = sim::Micros(200);
+    config.synthetic.max_epoch_time = sim::Millis(5);
+    config.synthetic.max_actuation_delay = sim::Millis(10);
+    config.synthetic.prediction_ttl = sim::Millis(10);
+    config.synthetic.expand_fraction = 1.0;
+    config.customize_synthetic = [](std::size_t i,
+                                    cluster::SyntheticAgentConfig& c) {
+        c.domain = i % 2 == 0 ? ActuationDomain::kCpuFrequency
+                              : ActuationDomain::kCpuCores;
+    };
+
+    ThreadedMultiAgentNode<> node(config);
+    node.Start();
+    // Destroy the node the moment agents are actively hammering the
+    // arbiter: the destructor must stop every runtime thread and run
+    // the registry cleanups while holds are still live.
+    EXPECT_TRUE(
+        WaitUntil([&] { return node.arbiter().requests() > 100; }));
+    // Scope exit with 8 threads mid-intent: no Stop(), no CleanUpAll().
+}
+
+TEST(ThreadedMultiAgentNode, SingleAgentRestartWhilePeersRun)
+{
+    MultiAgentNodeConfig config;
+    config.run_overclock = false;
+    config.run_harvest = false;
+    config.run_memory = false;
+    config.run_monitor = false;
+    config.synthetic_agents = 4;
+    config.synthetic.data_collect_interval = sim::Micros(200);
+    config.synthetic.max_epoch_time = sim::Millis(5);
+    config.synthetic.max_actuation_delay = sim::Millis(10);
+    config.synthetic.prediction_ttl = sim::Millis(10);
+
+    ThreadedMultiAgentNode<> node(config);
+    node.Start();
+    ASSERT_TRUE(WaitUntil(
+        [&] { return node.AgentStats("synthetic1").epochs > 10; }));
+
+    node.StopAgent("synthetic1");
+    const std::uint64_t stopped_at =
+        node.AgentStats("synthetic1").epochs;
+    const std::uint64_t peer_at = node.AgentStats("synthetic0").epochs;
+    // Peers keep making progress while synthetic1 is down.
+    EXPECT_TRUE(WaitUntil([&] {
+        return node.AgentStats("synthetic0").epochs > peer_at + 10;
+    }));
+    EXPECT_EQ(node.AgentStats("synthetic1").epochs, stopped_at);
+
+    // Restart resumes the same agent (stats continue, not reset).
+    node.StartAgent("synthetic1");
+    EXPECT_TRUE(WaitUntil([&] {
+        return node.AgentStats("synthetic1").epochs > stopped_at;
+    }));
+    node.Stop();
 }
 
 // ---- ClusterDriver -------------------------------------------------------

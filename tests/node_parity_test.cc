@@ -1,0 +1,506 @@
+/**
+ * @file
+ * Node-level differential parity: ThreadedMultiAgentNode (77 real
+ * agent threads, hardened concurrent arbiter) must produce
+ * field-for-field identical aggregated RuntimeStats, per-agent runtime
+ * gauges, and arbiter conflict/denial counters to the simulated
+ * MultiAgentNode over identical scripted scenarios. This extends the
+ * single-runtime parity gate (tests/runtime_parity_test.cc) to the
+ * full node: shared arbiter, registry teardown paths, and restarts
+ * while peers hold coupled domains.
+ *
+ * Determinism strategy (see docs/CLUSTER.md "Threaded-node parity"):
+ *
+ *   - Only synthetic agents run (the real four share mutable substrate
+ *     whose advancement is driver-paced, so their telemetry values are
+ *     not instant-for-instant comparable across backends; synthetics
+ *     depend only on their seed streams and the clock).
+ *   - Every agent gets a distinct prime collect interval near 10 ms,
+ *     so no two agents ever touch the arbiter at the same virtual
+ *     instant: the global admission order is simply virtual-time
+ *     order, on both backends.
+ *   - On the threaded leg each agent runs on its own core::ManualClock;
+ *     the harness merges all agents' tick instants into one timeline
+ *     and grants exactly one tick to one agent at a time, quiescing
+ *     (model parked, deliveries drained, due assessments done) before
+ *     the next grant. Real threads, serialized virtual time.
+ *   - Scripted restarts land exactly at the restarted agent's own tick
+ *     instant, where both backends resume phase-aligned.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/multi_agent_node.h"
+#include "cluster/threaded_multi_agent_node.h"
+#include "core/manual_clock.h"
+#include "sim/event_queue.h"
+
+namespace sol::cluster {
+namespace {
+
+using sim::Millis;
+using sim::Seconds;
+
+using ThreadedNode = ThreadedMultiAgentNode<core::ManualClock>;
+
+/** One scripted agent restart: after the agent's own tick `tick`. */
+struct ScriptedRestart {
+    std::size_t agent = 0;
+    std::uint64_t tick = 1;
+};
+
+/** A complete node scenario, run identically on both node variants. */
+struct NodeScenario {
+    std::size_t num_agents = 2;
+    sim::Duration horizon = Millis(80);
+    bool safeguard = false;
+    std::vector<ScriptedRestart> restarts;
+    /** Applied on top of the harness baseline (never override
+     *  data_collect_interval / assess_actuator_interval — the harness
+     *  owns the timing). */
+    std::function<void(std::size_t, SyntheticAgentConfig&)> customize;
+};
+
+/** Distinct prime collect intervals near 10 ms: no two agents ever
+ *  share a virtual instant (k1*p1 == k2*p2 would need p2 | k1 with
+ *  k1 < 20, impossible for primes ~1e7). */
+std::vector<sim::Duration>
+PrimeIntervals(std::size_t n)
+{
+    const auto is_prime = [](std::int64_t v) {
+        for (std::int64_t d = 3; d * d <= v; d += 2) {
+            if (v % d == 0) {
+                return false;
+            }
+        }
+        return true;
+    };
+    std::vector<sim::Duration> intervals;
+    intervals.reserve(n);
+    for (std::int64_t v = 10000019; intervals.size() < n; v += 2) {
+        if (is_prime(v)) {
+            intervals.push_back(sim::Nanos(v));
+        }
+    }
+    return intervals;
+}
+
+MultiAgentNodeConfig
+MakeNodeConfig(const NodeScenario& scenario,
+               const std::vector<sim::Duration>& intervals)
+{
+    MultiAgentNodeConfig config;
+    config.seed = 42;
+    config.run_overclock = false;
+    config.run_harvest = false;
+    config.run_memory = false;
+    config.run_monitor = false;
+    config.synthetic_agents = scenario.num_agents;
+    config.runtime.blocking_actuator = true;
+    config.runtime.disable_actuator_safeguard = !scenario.safeguard;
+    const bool safeguard = scenario.safeguard;
+    const auto user = scenario.customize;
+    config.customize_synthetic = [intervals, safeguard, user](
+                                     std::size_t i,
+                                     SyntheticAgentConfig& cfg) {
+        cfg.data_collect_interval = intervals[i];
+        cfg.assess_actuator_interval = intervals[i];
+        cfg.max_epoch_time = Seconds(100);
+        cfg.max_actuation_delay = Seconds(100);
+        if (safeguard) {
+            // Safeguard-on parity needs one delivery (hence one wake,
+            // hence one due assessment) per tick: the sim backend
+            // assesses on its own periodic event chain, the threaded
+            // one only on delivery wakes.
+            cfg.data_per_epoch = 1;
+            cfg.invalid_fraction = 0.0;
+        }
+        if (user) {
+            user(i, cfg);
+        }
+    };
+    return config;
+}
+
+/** Collect ticks agent i completes before the horizon. */
+std::vector<std::uint64_t>
+TickBudgets(const NodeScenario& scenario,
+            const std::vector<sim::Duration>& intervals)
+{
+    std::vector<std::uint64_t> budgets;
+    budgets.reserve(scenario.num_agents);
+    for (std::size_t i = 0; i < scenario.num_agents; ++i) {
+        budgets.push_back(static_cast<std::uint64_t>(
+            scenario.horizon.count() / intervals[i].count()));
+    }
+    return budgets;
+}
+
+std::string
+AgentName(std::size_t i)
+{
+    return "synthetic" + std::to_string(i);
+}
+
+/** Everything the parity assertion compares. */
+struct NodeLegResult {
+    core::RuntimeStats aggregate;
+    std::uint64_t arbiter_requests = 0;
+    std::uint64_t conflicts_observed = 0;
+    std::uint64_t conflicts_resolved = 0;
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+};
+
+NodeLegResult
+RunSimNodeLeg(const NodeScenario& scenario,
+              const std::vector<sim::Duration>& intervals)
+{
+    sim::EventQueue queue;
+    MultiAgentNode node(queue, MakeNodeConfig(scenario, intervals));
+    node.Start();
+
+    // Restarts in virtual-time order; RunUntil is inclusive, so the
+    // agent's tick-k collect (and its same-instant delivery, wake, and
+    // assessment) completes before the stop.
+    std::vector<std::pair<sim::TimePoint, std::size_t>> restarts;
+    for (const ScriptedRestart& r : scenario.restarts) {
+        restarts.emplace_back(
+            sim::TimePoint(intervals[r.agent] *
+                           static_cast<std::int64_t>(r.tick)),
+            r.agent);
+    }
+    std::sort(restarts.begin(), restarts.end());
+    for (const auto& [when, agent] : restarts) {
+        queue.RunUntil(when);
+        node.StopAgent(AgentName(agent));
+        node.StartAgent(AgentName(agent));
+    }
+    queue.RunUntil(sim::TimePoint(scenario.horizon));
+    node.Stop();
+    node.CollectMetrics();
+
+    NodeLegResult result;
+    result.aggregate = node.AggregateStats();
+    result.arbiter_requests = node.arbiter().requests();
+    result.conflicts_observed = node.arbiter().conflicts_observed();
+    result.conflicts_resolved = node.arbiter().conflicts_resolved();
+    result.counters = node.metrics().counters();
+    result.gauges = node.metrics().gauges();
+    return result;
+}
+
+template <typename Condition>
+bool
+WaitUntil(Condition condition)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (condition()) {
+            return true;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    return condition();
+}
+
+/** Waits until agent `slot` fully digested its `granted` ticks: model
+ *  parked on the tick budget, every delivery acted on or dropped, and
+ *  (safeguard on) every due actuator assessment completed. Once true,
+ *  the agent has no arbiter call in flight (stats are bumped after
+ *  TakeAction returns), so the next agent's grant cannot race it. */
+void
+QuiesceAgent(ThreadedNode& node, std::size_t slot, std::uint64_t granted,
+             bool safeguard)
+{
+    const std::string name = AgentName(slot);
+    const bool done = WaitUntil([&] {
+        if (!node.agent_clock(slot).Parked()) {
+            return false;
+        }
+        const core::RuntimeStats stats = node.AgentStats(name);
+        if (stats.samples_collected != granted) {
+            return false;
+        }
+        if (stats.predictions_delivered !=
+            stats.actions_with_prediction + stats.dropped_while_halted) {
+            return false;
+        }
+        return !safeguard ||
+               stats.actuator_assessments == stats.predictions_delivered;
+    });
+    ASSERT_TRUE(done) << name << " failed to quiesce at tick " << granted;
+}
+
+NodeLegResult
+RunThreadedNodeLeg(const NodeScenario& scenario,
+                   const std::vector<sim::Duration>& intervals)
+{
+    ThreadedNode node(MakeNodeConfig(scenario, intervals));
+    node.Start();
+
+    // Merge every agent's tick instants (and scripted restarts, which
+    // sort after the same agent's same-instant tick) into one global
+    // virtual timeline; all instants are distinct by the prime
+    // construction, so this order IS the sim backend's event order.
+    struct TimelineEvent {
+        std::int64_t when;
+        int kind;  // 0 = grant one tick, 1 = restart.
+        std::size_t agent;
+        std::uint64_t tick;
+        bool operator<(const TimelineEvent& o) const
+        {
+            return std::tie(when, kind) < std::tie(o.when, o.kind);
+        }
+    };
+    const std::vector<std::uint64_t> budgets =
+        TickBudgets(scenario, intervals);
+    std::vector<TimelineEvent> timeline;
+    for (std::size_t i = 0; i < scenario.num_agents; ++i) {
+        for (std::uint64_t k = 1; k <= budgets[i]; ++k) {
+            timeline.push_back(
+                {intervals[i].count() * static_cast<std::int64_t>(k), 0,
+                 i, k});
+        }
+    }
+    for (const ScriptedRestart& r : scenario.restarts) {
+        timeline.push_back(
+            {intervals[r.agent].count() *
+                 static_cast<std::int64_t>(r.tick),
+             1, r.agent, r.tick});
+    }
+    std::sort(timeline.begin(), timeline.end());
+
+    const bool safeguard = scenario.safeguard;
+    for (const TimelineEvent& event : timeline) {
+        if (event.kind == 0) {
+            node.agent_clock(event.agent).GrantTicks(1);
+            QuiesceAgent(node, event.agent, event.tick, safeguard);
+            if (testing::Test::HasFatalFailure()) {
+                break;
+            }
+        } else {
+            node.StopAgent(AgentName(event.agent));
+            node.StartAgent(AgentName(event.agent));
+        }
+    }
+    node.Stop();
+    node.CollectMetrics();
+
+    NodeLegResult result;
+    result.aggregate = node.AggregateStats();
+    result.arbiter_requests = node.arbiter().requests();
+    result.conflicts_observed = node.arbiter().conflicts_observed();
+    result.conflicts_resolved = node.arbiter().conflicts_resolved();
+    result.counters = node.metrics().counters();
+    result.gauges = node.metrics().gauges();
+    return result;
+}
+
+/** Aggregated RuntimeStats must match on every field. */
+void
+ExpectStatsEqual(const core::RuntimeStats& sim,
+                 const core::RuntimeStats& threaded)
+{
+    EXPECT_EQ(sim.samples_collected, threaded.samples_collected);
+    EXPECT_EQ(sim.invalid_samples, threaded.invalid_samples);
+    EXPECT_EQ(sim.epochs, threaded.epochs);
+    EXPECT_EQ(sim.model_updates, threaded.model_updates);
+    EXPECT_EQ(sim.short_circuit_epochs, threaded.short_circuit_epochs);
+    EXPECT_EQ(sim.model_assessments, threaded.model_assessments);
+    EXPECT_EQ(sim.failed_assessments, threaded.failed_assessments);
+    EXPECT_EQ(sim.intercepted_predictions,
+              threaded.intercepted_predictions);
+    EXPECT_EQ(sim.predictions_delivered, threaded.predictions_delivered);
+    EXPECT_EQ(sim.default_predictions, threaded.default_predictions);
+    EXPECT_EQ(sim.expired_predictions, threaded.expired_predictions);
+    EXPECT_EQ(sim.dropped_while_halted, threaded.dropped_while_halted);
+    EXPECT_EQ(sim.peak_queued_predictions,
+              threaded.peak_queued_predictions);
+    EXPECT_EQ(sim.actions_taken, threaded.actions_taken);
+    EXPECT_EQ(sim.actions_with_prediction,
+              threaded.actions_with_prediction);
+    EXPECT_EQ(sim.actuator_timeouts, threaded.actuator_timeouts);
+    EXPECT_EQ(sim.actuator_assessments, threaded.actuator_assessments);
+    EXPECT_EQ(sim.safeguard_triggers, threaded.safeguard_triggers);
+    EXPECT_EQ(sim.mitigations, threaded.mitigations);
+    EXPECT_EQ(sim.halted_time.count(), threaded.halted_time.count());
+}
+
+/** The full node-scope parity assertion. */
+void
+ExpectNodeParity(const NodeLegResult& sim, const NodeLegResult& threaded)
+{
+    ExpectStatsEqual(sim.aggregate, threaded.aggregate);
+
+    EXPECT_EQ(sim.arbiter_requests, threaded.arbiter_requests);
+    EXPECT_EQ(sim.conflicts_observed, threaded.conflicts_observed);
+    EXPECT_EQ(sim.conflicts_resolved, threaded.conflicts_resolved);
+
+    // Every metric counter (all counters are arbiter accounting:
+    // per-agent requests/admitted/denied/restores plus per-pair denial
+    // attribution, which is admission-order sensitive).
+    EXPECT_EQ(sim.counters, threaded.counters);
+
+    // Per-agent runtime gauges, field for field. The sim node also
+    // writes node.* substrate gauges the threaded parity config does
+    // not (no real agents -> no substrate driver); those are the only
+    // keys excluded.
+    for (const auto& [key, value] : threaded.gauges) {
+        if (key.rfind("node.", 0) == 0) {
+            continue;
+        }
+        const auto it = sim.gauges.find(key);
+        ASSERT_TRUE(it != sim.gauges.end()) << "missing gauge " << key;
+        EXPECT_EQ(it->second, value) << "gauge " << key;
+    }
+}
+
+TEST(NodeParityTest, SeventySevenAgentCleanRunMatchesSimulatedNode)
+{
+    NodeScenario scenario;
+    scenario.num_agents = 77;
+    scenario.horizon = Millis(60);
+    scenario.safeguard = false;
+
+    const auto intervals = PrimeIntervals(scenario.num_agents);
+    const NodeLegResult sim = RunSimNodeLeg(scenario, intervals);
+    const NodeLegResult threaded =
+        RunThreadedNodeLeg(scenario, intervals);
+    ExpectNodeParity(sim, threaded);
+
+    // The run did real work on all 77 agents.
+    std::uint64_t expected_samples = 0;
+    for (const std::uint64_t b : TickBudgets(scenario, intervals)) {
+        expected_samples += b;
+    }
+    EXPECT_EQ(sim.aggregate.samples_collected, expected_samples);
+    EXPECT_GT(sim.arbiter_requests, 0u);
+}
+
+TEST(NodeParityTest, ConflictingOverclockVsHarvestIntents)
+{
+    // Two agents with always/mostly-expanding actuators on the coupled
+    // CPU-frequency/CPU-cores pair: the stand-in for SmartOverclock
+    // boosting frequency while SmartHarvest reclaims cores. Agent 0
+    // takes the hold first (its prime interval is shorter) and agent
+    // 1's expands are denied until agent 0's coin restores.
+    NodeScenario scenario;
+    scenario.num_agents = 2;
+    scenario.horizon = Millis(160);
+    scenario.safeguard = false;
+    scenario.customize = [](std::size_t i, SyntheticAgentConfig& cfg) {
+        cfg.data_per_epoch = 1;
+        cfg.invalid_fraction = 0.0;
+        cfg.domain = i == 0 ? core::ActuationDomain::kCpuFrequency
+                            : core::ActuationDomain::kCpuCores;
+        cfg.expand_fraction = i == 0 ? 1.0 : 0.6;
+    };
+
+    const auto intervals = PrimeIntervals(scenario.num_agents);
+    const NodeLegResult sim = RunSimNodeLeg(scenario, intervals);
+    const NodeLegResult threaded =
+        RunThreadedNodeLeg(scenario, intervals);
+    ExpectNodeParity(sim, threaded);
+
+    EXPECT_GT(sim.conflicts_observed, 0u);
+    EXPECT_EQ(sim.conflicts_observed, sim.conflicts_resolved);
+    EXPECT_GT(sim.counters.at("arbiter.denial.synthetic1.by.synthetic0"),
+              0u);
+}
+
+TEST(NodeParityTest, SafeguardTripsMidHold)
+{
+    // Agent 0 expands every action and holds kCpuFrequency; its 4th,
+    // 5th, and 6th actuator assessments fail, so the safeguard trips
+    // while the hold is live. Mitigate restores (releasing the hold),
+    // deliveries drop while halted, and the agent resumes at its 7th
+    // assessment — meanwhile agent 1's expands on the coupled domain
+    // flip from denied to admitted the moment the hold is released.
+    NodeScenario scenario;
+    scenario.num_agents = 2;
+    scenario.horizon = Millis(120);
+    scenario.safeguard = true;
+    scenario.customize = [](std::size_t i, SyntheticAgentConfig& cfg) {
+        cfg.domain = i == 0 ? core::ActuationDomain::kCpuFrequency
+                            : core::ActuationDomain::kCpuCores;
+        cfg.expand_fraction = 1.0;
+        if (i == 0) {
+            cfg.fail_assessments_from = 4;
+            cfg.fail_assessments_count = 3;
+        }
+    };
+
+    const auto intervals = PrimeIntervals(scenario.num_agents);
+    const NodeLegResult sim = RunSimNodeLeg(scenario, intervals);
+    const NodeLegResult threaded =
+        RunThreadedNodeLeg(scenario, intervals);
+    ExpectNodeParity(sim, threaded);
+
+    EXPECT_EQ(sim.aggregate.safeguard_triggers, 1u);
+    EXPECT_EQ(sim.aggregate.mitigations, 3u);
+    EXPECT_GT(sim.aggregate.dropped_while_halted, 0u);
+    EXPECT_GT(sim.conflicts_observed, 0u);
+}
+
+TEST(NodeParityTest, AgentRestartWhilePeerHoldsCoupledDomain)
+{
+    // Agent 0 holds kCpuCores from its first action; agent 1 is
+    // stopped and restarted at its own 4th tick while that coupled
+    // hold is live. The restart must not leak or duplicate deliveries,
+    // and agent 1's post-restart expands must still be denied by the
+    // surviving hold.
+    NodeScenario scenario;
+    scenario.num_agents = 2;
+    scenario.horizon = Millis(160);
+    scenario.safeguard = false;
+    scenario.restarts = {{1, 4}};
+    scenario.customize = [](std::size_t i, SyntheticAgentConfig& cfg) {
+        cfg.data_per_epoch = 1;
+        cfg.invalid_fraction = 0.0;
+        cfg.domain = i == 0 ? core::ActuationDomain::kCpuCores
+                            : core::ActuationDomain::kCpuFrequency;
+        cfg.expand_fraction = i == 0 ? 1.0 : 0.5;
+    };
+
+    const auto intervals = PrimeIntervals(scenario.num_agents);
+    const NodeLegResult sim = RunSimNodeLeg(scenario, intervals);
+    const NodeLegResult threaded =
+        RunThreadedNodeLeg(scenario, intervals);
+    ExpectNodeParity(sim, threaded);
+
+    EXPECT_GT(sim.conflicts_observed, 0u);
+}
+
+TEST(NodeParityTest, MixedFleetWithDefaultEpochShapeAndRestart)
+{
+    // Eight agents with the default synthetic epoch shape (5 samples
+    // per epoch, 2% injected-invalid readings) and a mid-epoch restart:
+    // epochs span multiple ticks, partial epochs reset on restart, and
+    // the two backends must still agree on every counter.
+    NodeScenario scenario;
+    scenario.num_agents = 8;
+    scenario.horizon = Millis(140);
+    scenario.safeguard = false;
+    scenario.restarts = {{3, 7}};
+
+    const auto intervals = PrimeIntervals(scenario.num_agents);
+    const NodeLegResult sim = RunSimNodeLeg(scenario, intervals);
+    const NodeLegResult threaded =
+        RunThreadedNodeLeg(scenario, intervals);
+    ExpectNodeParity(sim, threaded);
+
+    EXPECT_GT(sim.aggregate.epochs, 0u);
+    EXPECT_GT(sim.aggregate.invalid_samples, 0u);
+}
+
+}  // namespace
+}  // namespace sol::cluster

@@ -8,7 +8,8 @@
  *
  * Determinism on real threads comes from two pieces:
  *
- *   - ManualClock, a ClockPolicy whose SleepFor consumes explicitly
+ *   - core::ManualClock (core/manual_clock.h), a ClockPolicy whose
+ *     SleepFor consumes explicitly
  *     granted ticks (one tick = one data_collect_interval) and only
  *     advances virtual time once the actuator has fully caught up with
  *     every delivered prediction (the "drain gate"). The clock is
@@ -40,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/manual_clock.h"
 #include "core/sim_runtime.h"
 #include "core/threaded_runtime.h"
 #include "sim/event_queue.h"
@@ -152,6 +154,14 @@ class ScriptedModel : public Model<int, int>
     bool
     AssessModel() override
     {
+        std::function<void()> barrier;
+        {
+            std::lock_guard<std::mutex> lock(barrier_mutex_);
+            barrier = assess_barrier_;
+        }
+        if (barrier) {
+            barrier();  // Crash-consistency race: block mid-assessment.
+        }
         const std::size_t k = assessments_.fetch_add(1);
         return k < scenario_.model_assessments.size()
                    ? scenario_.model_assessments[k]
@@ -159,6 +169,15 @@ class ScriptedModel : public Model<int, int>
     }
 
     bool ShortCircuitEpoch() override { return short_circuit_; }
+
+    /** Hook run at AssessModel entry (threaded leg only); the race
+     *  harness parks the model thread here while Stop() is joining. */
+    void
+    SetAssessBarrier(std::function<void()> barrier)
+    {
+        std::lock_guard<std::mutex> lock(barrier_mutex_);
+        assess_barrier_ = std::move(barrier);
+    }
 
     std::size_t collects() const { return position_.load(); }
     std::uint64_t commits() const { return commits_.load(); }
@@ -169,6 +188,8 @@ class ScriptedModel : public Model<int, int>
     std::atomic<std::size_t> assessments_{0};
     std::atomic<std::uint64_t> commits_{0};
     bool short_circuit_ = false;  // Model-loop thread only.
+    std::mutex barrier_mutex_;
+    std::function<void()> assess_barrier_;
 };
 
 class ScriptedActuator : public Actuator<int>
@@ -219,112 +240,6 @@ MarkerFault()
         }
     };
 }
-
-/**
- * ClockPolicy that advances virtual time only when (a) the harness has
- * granted an unconsumed tick and (b) the drain gate reports the
- * actuator caught up with every delivery. SleepFor then advances by
- * exactly the requested duration, so the model loop paces virtual time
- * identically to the event queue's collect-tick chain.
- */
-class ManualClock
-{
-  public:
-    void
-    OnStart()
-    {
-        std::lock_guard<std::mutex> lock(m_);
-        aborted_ = false;
-    }
-
-    void
-    Interrupt()
-    {
-        {
-            std::lock_guard<std::mutex> lock(m_);
-            aborted_ = true;
-        }
-        cv_.notify_all();
-    }
-
-    sim::TimePoint
-    Now() const
-    {
-        return sim::TimePoint(
-            sim::Duration(now_ns_.load(std::memory_order_acquire)));
-    }
-
-    void
-    SleepFor(sim::Duration d)
-    {
-        std::unique_lock<std::mutex> lock(m_);
-        ++sleepers_;
-        // Polling wait: the gate flips when the actuator thread bumps
-        // counters, which does not notify this cv.
-        while (!aborted_ &&
-               !(ticks_remaining_ > 0 && (!gate_ || gate_()))) {
-            cv_.wait_for(lock, std::chrono::microseconds(200));
-        }
-        --sleepers_;
-        if (aborted_) {
-            return;
-        }
-        --ticks_remaining_;
-        now_ns_.fetch_add(d.count(), std::memory_order_release);
-    }
-
-    template <typename Ready>
-    void
-    Wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
-         Ready ready)
-    {
-        cv.wait(lock, ready);
-    }
-
-    template <typename Ready>
-    bool
-    WaitFor(std::condition_variable& cv,
-            std::unique_lock<std::mutex>& lock, sim::Duration timeout,
-            Ready ready)
-    {
-        return cv.wait_for(lock, std::chrono::nanoseconds(timeout),
-                           ready);
-    }
-
-    void
-    GrantTicks(std::size_t n)
-    {
-        {
-            std::lock_guard<std::mutex> lock(m_);
-            ticks_remaining_ += n;
-        }
-        cv_.notify_all();
-    }
-
-    void
-    SetGate(std::function<bool()> gate)
-    {
-        std::lock_guard<std::mutex> lock(m_);
-        gate_ = std::move(gate);
-    }
-
-    /** True while the model loop is blocked with no ticks left. */
-    bool
-    Parked() const
-    {
-        std::lock_guard<std::mutex> lock(m_);
-        return sleepers_ > 0 && ticks_remaining_ == 0;
-    }
-
-  private:
-    mutable std::mutex m_;
-    std::condition_variable cv_;
-    std::atomic<std::int64_t> now_ns_{0};
-    std::size_t ticks_remaining_ = 0;
-    int sleepers_ = 0;
-    bool aborted_ = false;
-    std::function<bool()> gate_;
-};
 
 using ParityThreadedRuntime = ThreadedRuntime<int, int, ManualClock>;
 
@@ -611,6 +526,74 @@ TEST(RuntimeParityTest, RestartPersistsFailedModelAssessment)
     EXPECT_EQ(sim.failed_assessments, 3u);
     EXPECT_EQ(sim.intercepted_predictions, 5u);  // Epochs 4-8.
     EXPECT_EQ(threaded.intercepted_predictions, 5u);
+}
+
+TEST(RuntimeParityTest, StopRacingPendingModelAssessmentKeepsPrediction)
+{
+    // Crash-consistency: Stop() lands while the model thread is inside
+    // the epoch-3 model assessment. The model loop has already passed
+    // its running_ check, so it finishes the epoch and queues the
+    // prediction after running_ flipped false — the actuator thread is
+    // gone by then, so the delivery must survive in the engine across
+    // the restart and be acted on at the restart instant, exactly like
+    // the sim leg (where the same-instant wake acts before the stop).
+    Scenario scenario;
+    scenario.ticks = ValidTicks(6);
+    scenario.schedule = ParitySchedule();
+    scenario.options = ParityOptions(/*safeguard_enabled=*/false);
+    scenario.restart_after_tick = 3;
+
+    const RuntimeStats sim = RunSimLeg(scenario);
+
+    ScriptedModel model(scenario);
+    ScriptedActuator actuator(scenario);
+    ParityThreadedRuntime runtime(model, actuator, scenario.schedule,
+                                  scenario.options);
+    runtime.clock().SetGate([&runtime] {
+        const RuntimeStats stats = runtime.stats();
+        return stats.predictions_delivered ==
+               stats.actions_with_prediction + stats.dropped_while_halted;
+    });
+
+    runtime.Start();
+    runtime.clock().GrantTicks(2);
+    Quiesce(runtime, model, actuator, 2, 0);
+
+    std::atomic<bool> in_assessment{false};
+    std::atomic<bool> release{false};
+    model.SetAssessBarrier([&] {
+        in_assessment.store(true);
+        while (!release.load()) {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+    });
+    runtime.clock().GrantTicks(1);
+    ASSERT_TRUE(WaitUntil([&] { return in_assessment.load(); }));
+
+    // Stop() joins the model thread, which is parked in AssessModel.
+    std::thread stopper([&] { runtime.Stop(); });
+    ASSERT_TRUE(WaitUntil([&] { return !runtime.running(); }));
+    release.store(true);
+    stopper.join();
+    model.SetAssessBarrier(nullptr);
+
+    // The epoch-3 delivery happened after running_ flipped false and
+    // nobody acted on it: it must be queued, not lost.
+    EXPECT_EQ(runtime.stats().predictions_delivered, 3u);
+    EXPECT_EQ(runtime.stats().actions_with_prediction, 2u);
+    EXPECT_EQ(runtime.queued_predictions(), 1u);
+
+    runtime.Start();
+    runtime.clock().GrantTicks(3);
+    Quiesce(runtime, model, actuator, 6, 0);
+    runtime.Stop();
+
+    const RuntimeStats threaded = runtime.stats();
+    ExpectStatsEqual(sim, threaded);
+    EXPECT_EQ(threaded.predictions_delivered,
+              threaded.actions_with_prediction);
+    EXPECT_EQ(threaded.samples_collected, 6u);
+    EXPECT_EQ(threaded.epochs, 6u);
 }
 
 TEST(RuntimeParityTest, RestartWhileHaltedKeepsSafeguardEngaged)
