@@ -5,7 +5,7 @@
  * Where micro_fleet measures the serial fleet (every node interleaved
  * on one queue), fleet_scale measures the thing the sharded runner
  * exists for: the same fleet — 64 nodes × 77 agents, ~4.9k concurrent
- * learning agents — stepped across real worker threads, with two hard
+ * learning agents — stepped across real worker threads, with hard
  * verdicts:
  *
  *  1. Determinism: the combined fleet trace hash (an order-independent
@@ -17,12 +17,19 @@
  *     least 3× the single-thread event throughput. The check is only
  *     enforced when the host actually has that many cores (CI smoke
  *     runs and laptop containers still verify determinism).
+ *  3. Flight recorder: traced runs (one SPSC track per shard plus a
+ *     fleet window track, all virtual-timestamped) must serialize
+ *     byte-identical Chrome JSON across repeated runs AND across
+ *     thread counts, must not perturb the simulation (same events,
+ *     same fleet hash), and (in --smoke) must cost <= 5% throughput.
+ *     The widest traced run is written to TRACE_fleet_scale.json
+ *     (Perfetto-loadable).
  *
  * The heterogeneous-load knobs are on (period jitter + burst-profile
  * synthetics), so shards carry non-uniform work and the scaling curve
  * reflects imbalance a real fleet would have, not a lockstep best
  * case. Results land in BENCH_fleet_scale.json: the per-thread-count
- * scaling curve plus the determinism verdict.
+ * scaling curve plus the determinism, trace, and overhead verdicts.
  */
 #include <algorithm>
 #include <chrono>
@@ -35,6 +42,7 @@
 
 #include "fleet/fleet_runner.h"
 #include "telemetry/metric_registry.h"
+#include "telemetry/trace.h"
 
 using sol::cluster::FleetStats;
 using sol::fleet::FleetConfig;
@@ -42,8 +50,25 @@ using sol::fleet::ShardedFleetRunner;
 using sol::sim::EventQueueStats;
 using sol::telemetry::BenchJson;
 using sol::telemetry::TableWriter;
+using sol::telemetry::trace::ChromeTraceWriter;
+using sol::telemetry::trace::TraceSession;
 
 namespace {
+
+// Sanitizers multiply the cost of the recorder's atomics far beyond
+// production reality, so the overhead budget is report-only in
+// sanitized builds (every determinism verdict still gates).
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitizedBuild = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr bool kSanitizedBuild = true;
+#else
+constexpr bool kSanitizedBuild = false;
+#endif
+#else
+constexpr bool kSanitizedBuild = false;
+#endif
 
 struct BenchConfig {
     std::size_t num_nodes = 64;
@@ -53,6 +78,7 @@ struct BenchConfig {
     sol::sim::Duration window = sol::sim::Millis(100);
     std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
     double required_speedup = 3.0;  ///< At the largest thread count.
+    bool smoke = false;
     /** Guard rail per shard; drops make the run invalid, not silent. */
     std::size_t queue_pending_limit = std::size_t{1} << 20;
 };
@@ -66,11 +92,15 @@ struct RunResult {
     std::uint64_t trace_hash = 0;
     EventQueueStats queue;
     FleetStats fleet;
+    std::string trace_json;             ///< Traced runs only.
+    std::uint64_t trace_recorded = 0;   ///< Traced runs only.
+    std::uint64_t trace_dropped = 0;    ///< Traced runs only.
 };
 
 RunResult
-RunFleet(const BenchConfig& bench, std::size_t threads)
+RunFleet(const BenchConfig& bench, std::size_t threads, bool traced)
 {
+    TraceSession session;
     FleetConfig config;
     config.num_nodes = bench.num_nodes;
     config.num_shards = bench.num_nodes;  // One shard per node.
@@ -82,6 +112,9 @@ RunFleet(const BenchConfig& bench, std::size_t threads)
     // Non-uniform shard load: heterogeneous synthetic schedules.
     config.node.synthetic.period_jitter = 0.15;
     config.node.synthetic.burst_fraction = 0.125;
+    if (traced) {
+        config.trace = &session;
+    }
     ShardedFleetRunner runner(config);
 
     const auto start = std::chrono::steady_clock::now();
@@ -106,6 +139,12 @@ RunFleet(const BenchConfig& bench, std::size_t threads)
     result.trace_hash = runner.fleet_trace_hash();
     result.queue = runner.QueueStats();
     result.fleet = runner.Stats();
+    if (traced) {
+        result.trace_recorded = session.total_recorded();
+        result.trace_dropped = session.total_dropped();
+        // All workers are parked; draining here is quiescent.
+        result.trace_json = ChromeTraceWriter::ToString(session);
+    }
     return result;
 }
 
@@ -130,6 +169,7 @@ main(int argc, char** argv)
             // Smoke is the determinism gate; the scaling verdict is the
             // full bench's (CI runners are too small and too noisy for
             // a hard throughput assertion).
+            bench.smoke = true;
             bench.num_nodes = 8;
             bench.min_events = 400'000;
             bench.thread_counts = {1, 2};
@@ -168,9 +208,23 @@ main(int argc, char** argv)
 
     std::vector<RunResult> runs;
     for (const std::size_t threads : bench.thread_counts) {
-        runs.push_back(RunFleet(bench, threads));
+        runs.push_back(RunFleet(bench, threads, /*traced=*/false));
     }
     const RunResult& base = runs.front();
+
+    // --- Flight-recorder legs. Two traced runs at the base thread
+    // count (byte-determinism), one at the widest (thread-count
+    // invariance of the trace itself), and one extra untraced run at
+    // the base count so the overhead probe starts best-of-2 per side
+    // (it resamples below if the first estimate misses the budget).
+    const std::size_t base_threads = bench.thread_counts.front();
+    const std::size_t widest_threads = bench.thread_counts.back();
+    RunResult untraced_again =
+        RunFleet(bench, base_threads, /*traced=*/false);
+    RunResult traced_a = RunFleet(bench, base_threads, /*traced=*/true);
+    RunResult traced_b = RunFleet(bench, base_threads, /*traced=*/true);
+    RunResult traced_wide =
+        RunFleet(bench, widest_threads, /*traced=*/true);
 
     std::cout << "\n";
     TableWriter scaling({"threads", "events", "wall s", "events/sec",
@@ -227,6 +281,77 @@ main(int argc, char** argv)
         complete = complete && run.queue.dropped == 0;
     }
 
+    // Trace verdicts: identical bytes across repeated runs and across
+    // thread counts, and tracing leaves the simulation untouched.
+    const bool trace_repeatable = traced_a.trace_json == traced_b.trace_json;
+    const bool trace_thread_invariant =
+        traced_wide.trace_json == traced_a.trace_json;
+    const bool trace_nonperturbing =
+        traced_a.trace_hash == base.trace_hash &&
+        traced_a.events == base.events;
+    if (!trace_repeatable) {
+        std::cerr << "FAIL: traced runs serialized different bytes ("
+                  << traced_a.trace_json.size() << " vs "
+                  << traced_b.trace_json.size() << ")\n";
+    }
+    if (!trace_thread_invariant) {
+        std::cerr << "FAIL: trace bytes differ across thread counts ("
+                  << traced_a.trace_json.size() << " vs "
+                  << traced_wide.trace_json.size() << ")\n";
+    }
+    if (!trace_nonperturbing) {
+        std::cerr << "FAIL: tracing perturbed the simulation (hash "
+                  << Hex(traced_a.trace_hash) << " vs "
+                  << Hex(base.trace_hash) << ", events "
+                  << traced_a.events << " vs " << base.events << ")\n";
+    }
+
+    double untraced_eps =
+        std::max(base.events_per_sec, untraced_again.events_per_sec);
+    double traced_eps =
+        std::max(traced_a.events_per_sec, traced_b.events_per_sec);
+    double overhead = std::max(0.0, 1.0 - traced_eps / untraced_eps);
+    // Sub-second legs mean one noisy scheduling quantum can fake
+    // several percent of "overhead". Before failing, keep sampling
+    // interleaved untraced/traced rounds (best-of-N per side) until
+    // the budget is met or rounds run out.
+    const bool overhead_gated = bench.smoke && !kSanitizedBuild;
+    for (int round = 0; overhead_gated && overhead > 0.05 && round < 3;
+         ++round) {
+        const RunResult u =
+            RunFleet(bench, base_threads, /*traced=*/false);
+        const RunResult t =
+            RunFleet(bench, base_threads, /*traced=*/true);
+        untraced_eps = std::max(untraced_eps, u.events_per_sec);
+        traced_eps = std::max(traced_eps, t.events_per_sec);
+        overhead = std::max(0.0, 1.0 - traced_eps / untraced_eps);
+    }
+    const bool overhead_ok = !overhead_gated || overhead <= 0.05;
+    if (!overhead_ok) {
+        std::cerr << "FAIL: tracer overhead " << overhead * 100.0
+                  << "% exceeds the 5% budget\n";
+    }
+
+    std::cout << "\n";
+    TableWriter tracer({"leg", "threads", "events", "events/sec",
+                        "recorded", "dropped"});
+    tracer.AddRow({"untraced", std::to_string(base_threads),
+                   std::to_string(base.events),
+                   TableWriter::Num(untraced_eps, 0), "0", "0"});
+    tracer.AddRow({"traced", std::to_string(base_threads),
+                   std::to_string(traced_a.events),
+                   TableWriter::Num(traced_eps, 0),
+                   std::to_string(traced_a.trace_recorded),
+                   std::to_string(traced_a.trace_dropped)});
+    tracer.AddRow({"overhead", "-", "-",
+                   TableWriter::Num(overhead * 100.0, 2) + "%", "-",
+                   "-"});
+    tracer.Print(std::cout);
+    json.AddTable("tracer_overhead", tracer);
+
+    const bool wrote_trace = ChromeTraceWriter::WriteFile(
+        "fleet_scale", traced_wide.trace_json);
+
     const RunResult& widest = runs.back();
     const double speedup =
         widest.events_per_sec / base.events_per_sec;
@@ -239,14 +364,24 @@ main(int argc, char** argv)
         !scaling_measurable || speedup >= bench.required_speedup;
 
     std::cout << "\n";
-    TableWriter verdict({"deterministic", "speedup@" +
-                                              std::to_string(
-                                                  widest.threads),
+    TableWriter verdict({"deterministic", "trace bytes", "trace vs hash",
+                         "tracer overhead", "speedup@" +
+                                               std::to_string(
+                                                   widest.threads),
                          "required", "scaling enforced"});
-    verdict.AddRow({deterministic ? "yes" : "NO",
-                    TableWriter::Num(speedup, 2),
-                    TableWriter::Num(bench.required_speedup, 1),
-                    scaling_measurable ? "yes" : "no (too few cores)"});
+    verdict.AddRow(
+        {deterministic ? "yes" : "NO",
+         trace_repeatable && trace_thread_invariant ? "identical"
+                                                    : "DIVERGED",
+         trace_nonperturbing ? "unperturbed" : "PERTURBED",
+         TableWriter::Num(overhead * 100.0, 2) + "%" +
+             (!bench.smoke          ? " (report only)"
+              : kSanitizedBuild     ? " (report only: sanitized)"
+              : overhead_ok         ? " (PASS)"
+                                    : " (FAIL)"),
+         TableWriter::Num(speedup, 2),
+         TableWriter::Num(bench.required_speedup, 1),
+         scaling_measurable ? "yes" : "no (too few cores)"});
     verdict.Print(std::cout);
     json.AddTable("verdict", verdict);
 
@@ -255,6 +390,11 @@ main(int argc, char** argv)
               << "traces; the fleet hash folds them "
               << "order-independently.\n";
     json.WriteFile();
+    if (wrote_trace) {
+        std::cout << "trace: TRACE_fleet_scale.json ("
+                  << traced_wide.trace_recorded << " events recorded, "
+                  << traced_wide.trace_dropped << " dropped)\n";
+    }
 
     if (!deterministic) {
         std::cerr << "FAIL: fleet trace diverged across thread "
@@ -265,6 +405,11 @@ main(int argc, char** argv)
         std::cerr << "FAIL: run degraded (events: " << base.events
                   << " of " << bench.min_events
                   << " required, drops must be zero)\n";
+        return 1;
+    }
+    if (!trace_repeatable || !trace_thread_invariant ||
+        !trace_nonperturbing || !overhead_ok) {
+        std::cerr << "FAIL: flight-recorder verdicts failed\n";
         return 1;
     }
     if (!scaled) {

@@ -13,6 +13,20 @@
  * wait (track_contention) per expand request, which the lock-table
  * design keeps in the nanoseconds.
  *
+ * Observability legs (this is also the tracer's own benchmark):
+ *   - Latency percentiles: epoch duration on both backends (always-on
+ *     engine histogram), plus the arbiter's admit and lock-wait
+ *     distributions on the threaded node.
+ *   - Tracer overhead: the simulated leg runs untraced and traced
+ *     (best-of-N each, same fixed virtual horizon, so the wall-clock
+ *     delta isolates the recorder cost; extra interleaved rounds run
+ *     only when the first estimate misses the budget); the traced run
+ *     must not perturb the simulation (identical events and epochs).
+ *   - Flight recording: the threaded leg runs with a TraceSession —
+ *     one SPSC track per agent thread plus driver/control tracks —
+ *     and the run writes TRACE_node_concurrency.json (Perfetto-
+ *     loadable). Two traced sim runs must serialize byte-identically.
+ *
  * Verdicts (non-zero exit on failure, also in --smoke):
  *   1. Both backends make real progress: epochs, actions, and arbiter
  *      traffic are all non-zero.
@@ -21,9 +35,13 @@
  *      conflicts bound resolved conflicts.
  *   3. The threaded node tears down clean: after Stop + CleanUpAll no
  *      synthetic agent still holds a domain.
+ *   4. Tracing does not perturb the simulation, sim-mode traces are
+ *      byte-deterministic, and (in --smoke) tracer overhead <= 5%.
  *
- * Results land in BENCH_node_concurrency.json.
+ * Results land in BENCH_node_concurrency.json; the trace in
+ * TRACE_node_concurrency.json.
  */
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <iostream>
@@ -35,20 +53,44 @@
 #include "cluster/threaded_multi_agent_node.h"
 #include "sim/event_queue.h"
 #include "telemetry/metric_registry.h"
+#include "telemetry/trace.h"
 
 using sol::cluster::MultiAgentNode;
 using sol::cluster::MultiAgentNodeConfig;
 using sol::cluster::ThreadedMultiAgentNode;
 using sol::telemetry::BenchJson;
+using sol::telemetry::LatencyHistogram;
+using sol::telemetry::LatencySnapshot;
 using sol::telemetry::TableWriter;
+using sol::telemetry::trace::ChromeTraceWriter;
+using sol::telemetry::trace::TraceSession;
 
 namespace {
+
+// Sanitizers multiply the cost of the recorder's atomics far beyond
+// production reality, so the overhead budget is report-only in
+// sanitized builds (the determinism verdicts still gate).
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitizedBuild = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr bool kSanitizedBuild = true;
+#else
+constexpr bool kSanitizedBuild = false;
+#endif
+#else
+constexpr bool kSanitizedBuild = false;
+#endif
 
 struct BenchConfig {
     std::size_t synthetic_agents = 73;  ///< 73 + 4 real = 77 (paper).
     std::uint64_t seed = 1;
     sol::sim::Duration sim_horizon = sol::sim::Seconds(10);
     std::chrono::milliseconds threaded_wall{2000};
+    bool smoke = false;
+    /** Sim-node trace ring (small on purpose: a long horizon fills it
+     *  and exercises the cheap drop path the overhead gate measures). */
+    std::size_t trace_capacity = 1024;
 };
 
 /** One leg's numbers, normalized for the comparison table. */
@@ -61,6 +103,9 @@ struct LegResult {
     std::uint64_t requests = 0;
     std::uint64_t conflicts = 0;
     std::uint64_t lock_wait_ns = 0;  ///< Threaded only.
+    LatencyHistogram epoch_hist;
+    LatencyHistogram admit_hist;      ///< Threaded only.
+    LatencyHistogram lock_wait_hist;  ///< Threaded only.
 };
 
 /** Agent-side work items, comparable across backends. */
@@ -129,11 +174,22 @@ CheckAccounting(const std::string& backend, std::uint64_t requests,
     return ok;
 }
 
+/**
+ * One simulated-node run over the fixed virtual horizon. With a
+ * session, the node records into a fresh "node0" track timestamped by
+ * the queue's virtual clock.
+ */
 LegResult
-RunSimNode(const BenchConfig& bench, bool& ok)
+RunSimOnce(const BenchConfig& bench, TraceSession* session, bool& ok,
+           bool check)
 {
     sol::sim::EventQueue queue;
-    MultiAgentNode node(queue, MakeConfig(bench, false));
+    MultiAgentNodeConfig config = MakeConfig(bench, false);
+    if (session != nullptr) {
+        config.trace = session->NewRecorder("node0", &queue,
+                                            bench.trace_capacity);
+    }
+    MultiAgentNode node(queue, config);
     node.Start();
 
     const auto start = std::chrono::steady_clock::now();
@@ -152,24 +208,29 @@ RunSimNode(const BenchConfig& bench, bool& ok)
     result.actions = total.actions_taken;
     result.requests = node.arbiter().requests();
     result.conflicts = node.arbiter().conflicts_resolved();
+    result.epoch_hist = node.EpochLatencyHistogram();
 
-    ok = CheckAccounting("simulated", result.requests,
-                         PublishedRequestSum(node.metrics()),
-                         node.arbiter().conflicts_observed(),
-                         node.arbiter().conflicts_resolved()) &&
-         ok;
-    if (result.epochs == 0 || result.actions == 0 ||
-        result.requests == 0) {
-        std::cerr << "FAIL: simulated node made no progress\n";
-        ok = false;
+    if (check) {
+        ok = CheckAccounting("simulated", result.requests,
+                             PublishedRequestSum(node.metrics()),
+                             node.arbiter().conflicts_observed(),
+                             node.arbiter().conflicts_resolved()) &&
+             ok;
+        if (result.epochs == 0 || result.actions == 0 ||
+            result.requests == 0) {
+            std::cerr << "FAIL: simulated node made no progress\n";
+            ok = false;
+        }
     }
     return result;
 }
 
 LegResult
-RunThreadedNode(const BenchConfig& bench, bool& ok)
+RunThreadedNode(const BenchConfig& bench, TraceSession* session, bool& ok)
 {
-    ThreadedMultiAgentNode<> node(MakeConfig(bench, true));
+    MultiAgentNodeConfig config = MakeConfig(bench, true);
+    config.trace_session = session;
+    ThreadedMultiAgentNode<> node(config);
     node.Start();
     const auto start = std::chrono::steady_clock::now();
     std::this_thread::sleep_for(bench.threaded_wall);
@@ -188,6 +249,9 @@ RunThreadedNode(const BenchConfig& bench, bool& ok)
     result.requests = node.arbiter().requests();
     result.conflicts = node.arbiter().conflicts_resolved();
     result.lock_wait_ns = node.arbiter().lock_wait_ns();
+    result.epoch_hist = node.EpochLatencyHistogram();
+    result.admit_hist = node.arbiter().admit_histogram();
+    result.lock_wait_hist = node.arbiter().lock_wait_histogram();
 
     ok = CheckAccounting("threaded", result.requests,
                          PublishedRequestSum(node.metrics()),
@@ -211,6 +275,19 @@ RunThreadedNode(const BenchConfig& bench, bool& ok)
     return result;
 }
 
+void
+AddPercentileRow(TableWriter& table, const std::string& metric,
+                 const LatencyHistogram& hist)
+{
+    const LatencySnapshot snap = hist.Snapshot();
+    table.AddRow({metric, std::to_string(snap.count),
+                  std::to_string(snap.p50_ns),
+                  std::to_string(snap.p90_ns),
+                  std::to_string(snap.p99_ns),
+                  std::to_string(snap.p999_ns),
+                  std::to_string(snap.max_ns)});
+}
+
 }  // namespace
 
 int
@@ -221,6 +298,7 @@ main(int argc, char** argv)
         const std::string arg = argv[i];
         if (arg == "--smoke") {
             // CI-sized: smaller fleet, shorter runs, same verdicts.
+            bench.smoke = true;
             bench.synthetic_agents = 16;
             bench.sim_horizon = sol::sim::Seconds(1);
             bench.threaded_wall = std::chrono::milliseconds(400);
@@ -241,9 +319,82 @@ main(int argc, char** argv)
               << " ms)\n\n";
 
     bool ok = true;
+
+    // --- Simulated leg: untraced x2 / traced x2 over the same fixed
+    // virtual horizon. Wall time varies with machine noise; events do
+    // not, so best-of events/s is the tracer-overhead probe.
+    LegResult sim_untraced = RunSimOnce(bench, nullptr, ok, true);
+    {
+        const LegResult again = RunSimOnce(bench, nullptr, ok, false);
+        sim_untraced.wall_seconds =
+            std::min(sim_untraced.wall_seconds, again.wall_seconds);
+    }
+    TraceSession sim_session_a;
+    TraceSession sim_session_b;
+    LegResult sim_traced = RunSimOnce(bench, &sim_session_a, ok, false);
+    {
+        const LegResult again =
+            RunSimOnce(bench, &sim_session_b, ok, false);
+        sim_traced.wall_seconds =
+            std::min(sim_traced.wall_seconds, again.wall_seconds);
+    }
+
+    if (sim_traced.events != sim_untraced.events ||
+        sim_traced.epochs != sim_untraced.epochs) {
+        std::cerr << "FAIL: tracing perturbed the simulation (events "
+                  << sim_traced.events << " vs " << sim_untraced.events
+                  << ", epochs " << sim_traced.epochs << " vs "
+                  << sim_untraced.epochs << ")\n";
+        ok = false;
+    }
+
+    // Byte-determinism: two identically configured sim runs must
+    // serialize the exact same trace (virtual timestamps only).
+    const std::string trace_a = ChromeTraceWriter::ToString(sim_session_a);
+    const std::string trace_b = ChromeTraceWriter::ToString(sim_session_b);
+    const bool trace_deterministic = trace_a == trace_b;
+    if (!trace_deterministic) {
+        std::cerr << "FAIL: sim-mode trace bytes differ across runs ("
+                  << trace_a.size() << " vs " << trace_b.size()
+                  << " bytes)\n";
+        ok = false;
+    }
+
+    double untraced_eps = static_cast<double>(sim_untraced.events) /
+                          sim_untraced.wall_seconds;
+    double traced_eps = static_cast<double>(sim_traced.events) /
+                        sim_traced.wall_seconds;
+    double overhead = std::max(0.0, 1.0 - traced_eps / untraced_eps);
+    // The gate compares two sub-second wall times, so one noisy
+    // scheduling quantum can fake several percent of "overhead". Before
+    // failing, keep sampling interleaved untraced/traced rounds
+    // (best-of-N per side) until the budget is met or rounds run out.
+    const bool overhead_gated = bench.smoke && !kSanitizedBuild;
+    for (int round = 0; overhead_gated && overhead > 0.05 && round < 3;
+         ++round) {
+        const LegResult u = RunSimOnce(bench, nullptr, ok, false);
+        TraceSession scratch;
+        const LegResult t = RunSimOnce(bench, &scratch, ok, false);
+        untraced_eps = std::max(
+            untraced_eps, static_cast<double>(u.events) / u.wall_seconds);
+        traced_eps = std::max(
+            traced_eps, static_cast<double>(t.events) / t.wall_seconds);
+        overhead = std::max(0.0, 1.0 - traced_eps / untraced_eps);
+    }
+    if (overhead_gated && overhead > 0.05) {
+        std::cerr << "FAIL: tracer overhead " << overhead * 100.0
+                  << "% exceeds the 5% budget\n";
+        ok = false;
+    }
+
+    // --- Threaded leg, flight recorder on: one track per agent thread
+    // plus driver/control. This session becomes the trace artifact.
+    TraceSession session;
+    LegResult threaded = RunThreadedNode(bench, &session, ok);
+
     std::vector<LegResult> legs;
-    legs.push_back(RunSimNode(bench, ok));
-    legs.push_back(RunThreadedNode(bench, ok));
+    legs.push_back(sim_untraced);
+    legs.push_back(threaded);
 
     BenchJson json("node_concurrency");
     TableWriter config_table(
@@ -287,13 +438,63 @@ main(int argc, char** argv)
     table.Print(std::cout);
     json.AddTable("node_concurrency", table);
 
+    // Latency distributions. Sim epochs are virtual ns (deterministic);
+    // threaded rows are wall ns under true contention.
+    std::cout << "\n";
+    TableWriter percentiles({"metric", "count", "p50 ns", "p90 ns",
+                             "p99 ns", "p999 ns", "max ns"});
+    AddPercentileRow(percentiles, "sim epoch (virtual)",
+                     sim_untraced.epoch_hist);
+    AddPercentileRow(percentiles, "threaded epoch", threaded.epoch_hist);
+    AddPercentileRow(percentiles, "threaded arbitration",
+                     threaded.admit_hist);
+    AddPercentileRow(percentiles, "threaded lock wait",
+                     threaded.lock_wait_hist);
+    percentiles.Print(std::cout);
+    json.AddTable("latency_percentiles", percentiles);
+
+    // Tracer cost: same virtual work, recorder on vs off.
+    std::cout << "\n";
+    TableWriter tracer({"leg", "events", "best wall s", "events/sec",
+                        "recorded", "dropped"});
+    tracer.AddRow({"untraced", std::to_string(sim_untraced.events),
+                   TableWriter::Num(sim_untraced.wall_seconds, 3),
+                   TableWriter::Num(untraced_eps, 0), "0", "0"});
+    tracer.AddRow(
+        {"traced", std::to_string(sim_traced.events),
+         TableWriter::Num(sim_traced.wall_seconds, 3),
+         TableWriter::Num(traced_eps, 0),
+         std::to_string(sim_session_a.total_recorded()),
+         std::to_string(sim_session_a.total_dropped())});
+    tracer.AddRow({"overhead", "-", "-",
+                   TableWriter::Num(overhead * 100.0, 2) + "%", "-",
+                   "-"});
+    tracer.Print(std::cout);
+    json.AddTable("tracer_overhead", tracer);
+
+    const bool wrote_trace =
+        ChromeTraceWriter::WriteFile(session, "node_concurrency");
+
     TableWriter verdict({"check", "result"});
     verdict.AddRow({"progress+accounting+teardown",
                     ok ? "PASS" : "FAIL"});
+    verdict.AddRow({"trace determinism",
+                    trace_deterministic ? "PASS" : "FAIL"});
+    verdict.AddRow({"tracer overhead",
+                    TableWriter::Num(overhead * 100.0, 2) + "%" +
+                        (!bench.smoke      ? " (report only)"
+                         : kSanitizedBuild ? " (report only: sanitized)"
+                         : overhead <= 0.05 ? " (PASS)"
+                                            : " (FAIL)")});
     std::cout << "\n";
     verdict.Print(std::cout);
     json.AddTable("verdict", verdict);
     json.WriteFile();
+    if (wrote_trace) {
+        std::cout << "\ntrace: TRACE_node_concurrency.json ("
+                  << session.total_recorded() << " events recorded, "
+                  << session.total_dropped() << " dropped)\n";
+    }
 
     if (!ok) {
         std::cerr << "\nnode_concurrency: FAILED\n";

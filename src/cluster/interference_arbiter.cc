@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "telemetry/trace.h"
+
 namespace sol::cluster {
 
 namespace {
@@ -11,6 +13,15 @@ std::size_t
 DomainIndex(core::ActuationDomain domain)
 {
     return static_cast<std::size_t>(domain);
+}
+
+std::uint64_t
+ElapsedNs(std::chrono::steady_clock::time_point start)
+{
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
 }
 
 }  // namespace
@@ -91,18 +102,42 @@ InterferenceArbiter::AccountFor(const std::string& agent)
 core::ActuationDecision
 InterferenceArbiter::Admit(const core::ActuationRequest& request)
 {
+    // Spans land on the calling thread's bound track (null = untraced),
+    // so 77 concurrent callers never share a ring.
+    telemetry::trace::TraceRecorder* recorder =
+        telemetry::trace::CurrentThreadRecorder();
+    const bool is_restore =
+        request.intent == core::ActuationIntent::kRestore;
+    telemetry::trace::TraceSpan span(
+        recorder, is_restore ? "restore" : "expand", "arbiter");
+    span.AddArg("domain", static_cast<std::int64_t>(
+                              DomainIndex(request.domain)));
+    span.SetString("agent", request.agent);
+
+    std::chrono::steady_clock::time_point admit_start;
+    if (config_.track_contention) {
+        admit_start = std::chrono::steady_clock::now();
+    }
+
     requests_.fetch_add(1, std::memory_order_relaxed);
     AgentAccount& account = AccountFor(request.agent);
     account.requests.fetch_add(1, std::memory_order_relaxed);
 
-    if (request.intent == core::ActuationIntent::kRestore) {
-        DomainSlot& slot = domains_[DomainIndex(request.domain)];
-        std::lock_guard<std::mutex> lock(slot.mutex);
-        if (slot.hold.has_value() && slot.hold->agent == request.agent) {
-            slot.hold.reset();
+    if (is_restore) {
+        {
+            DomainSlot& slot = domains_[DomainIndex(request.domain)];
+            std::lock_guard<std::mutex> lock(slot.mutex);
+            if (slot.hold.has_value() &&
+                slot.hold->agent == request.agent) {
+                slot.hold.reset();
+            }
         }
         account.restores.fetch_add(1, std::memory_order_relaxed);
         account.admitted.fetch_add(1, std::memory_order_relaxed);
+        span.AddArg("admitted", 1);
+        if (config_.track_contention) {
+            admit_hist_.Record(ElapsedNs(admit_start));
+        }
         return {true, ""};
     }
 
@@ -120,14 +155,9 @@ InterferenceArbiter::Admit(const core::ActuationRequest& request)
         domains_[d].mutex.lock();
     }
     if (config_.track_contention) {
-        const auto waited =
-            std::chrono::steady_clock::now() - wait_start;
-        lock_wait_ns_.fetch_add(
-            static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    waited)
-                    .count()),
-            std::memory_order_relaxed);
+        const std::uint64_t waited_ns = ElapsedNs(wait_start);
+        lock_wait_ns_.fetch_add(waited_ns, std::memory_order_relaxed);
+        lock_wait_hist_.Record(waited_ns);
     }
 
     core::ActuationDecision decision{true, ""};
@@ -158,6 +188,17 @@ InterferenceArbiter::Admit(const core::ActuationRequest& request)
 
     for (auto it = closure.rbegin(); it != closure.rend(); ++it) {
         domains_[*it].mutex.unlock();
+    }
+
+    span.AddArg("admitted", decision.admitted ? 1 : 0);
+    if (!decision.admitted && recorder != nullptr) {
+        recorder->Instant("deny", "arbiter",
+                          {{"domain", static_cast<std::int64_t>(
+                                          DomainIndex(request.domain))}},
+                          "holder", decision.conflicting_agent);
+    }
+    if (config_.track_contention) {
+        admit_hist_.Record(ElapsedNs(admit_start));
     }
     return decision;
 }
@@ -199,6 +240,20 @@ InterferenceArbiter::WriteMetrics()
         }
     }
     scope_.SetCounter("conflicts", conflicts);
+
+    if (config_.track_contention) {
+        // SetHistogram snapshots are idempotent like the counter
+        // flushes above.
+        const telemetry::LatencyHistogram lock_wait =
+            lock_wait_hist_.Histogram();
+        if (!lock_wait.empty()) {
+            scope_.SetHistogram("lock_wait_ns", lock_wait);
+        }
+        const telemetry::LatencyHistogram admit = admit_hist_.Histogram();
+        if (!admit.empty()) {
+            scope_.SetHistogram("admit_ns", admit);
+        }
+    }
 }
 
 }  // namespace sol::cluster

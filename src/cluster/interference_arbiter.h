@@ -39,6 +39,17 @@
  * arbiter's MetricScope, namespaced per agent exactly as before:
  *   <prefix>.<agent>.requests / .admitted / .denied / .restores
  *   <prefix>.conflicts, <prefix>.denial.<agent>.by.<holder>
+ *
+ * Observability: with track_contention on, every admit also lands in
+ * two latency histograms — lock_wait_ns (time acquiring the domain
+ * lock closure) and admit_ns (whole-decision latency) — published by
+ * WriteMetrics() as <prefix>.lock_wait_ns / <prefix>.admit_ns. When a
+ * flight recorder is bound to the calling thread
+ * (telemetry::trace::ScopedThreadRecorder, done by ThreadedRuntime's
+ * loops and the shard runner), Admit emits an "expand"/"restore" span
+ * with agent + domain args and a "deny" instant naming the blocking
+ * holder — so arbiter decisions appear on the track of the agent that
+ * made them, keeping every trace ring single-producer.
  */
 #pragma once
 
@@ -97,9 +108,10 @@ struct InterferenceArbiterConfig {
 
     /**
      * Accumulate the wall time expand requests spend waiting for the
-     * domain lock closure (lock_wait_ns()). Off by default: the extra
-     * clock reads cost more than the locks on uncontended nodes, and
-     * deterministic runs never read it.
+     * domain lock closure (lock_wait_ns()) and feed the lock-wait and
+     * admit-latency histograms. Off by default: the extra clock reads
+     * cost more than the locks on uncontended nodes, and deterministic
+     * runs never read it.
      */
     bool track_contention = false;
 };
@@ -144,6 +156,21 @@ class InterferenceArbiter : public core::ActuationGovernor
     std::uint64_t lock_wait_ns() const
     {
         return lock_wait_ns_.load(std::memory_order_relaxed);
+    }
+
+    /** Distribution of per-expand lock-closure wait (wall ns); empty
+     *  unless config.track_contention. Thread-safe copy. */
+    telemetry::LatencyHistogram lock_wait_histogram() const
+    {
+        return lock_wait_hist_.Histogram();
+    }
+
+    /** Distribution of whole-Admit latency (wall ns, expands and
+     *  restores); empty unless config.track_contention. Thread-safe
+     *  copy. */
+    telemetry::LatencyHistogram admit_histogram() const
+    {
+        return admit_hist_.Histogram();
     }
 
     /**
@@ -209,6 +236,10 @@ class InterferenceArbiter : public core::ActuationGovernor
     std::atomic<std::uint64_t> conflicts_observed_{0};
     std::atomic<std::uint64_t> conflicts_resolved_{0};
     std::atomic<std::uint64_t> lock_wait_ns_{0};
+
+    // Populated only under config.track_contention.
+    telemetry::SharedLatencyHistogram lock_wait_hist_;
+    telemetry::SharedLatencyHistogram admit_hist_;
 };
 
 }  // namespace sol::cluster

@@ -120,6 +120,7 @@ MultiAgentNode::MultiAgentNode(sim::EventQueue& queue,
         overclock_runtime_ = std::make_unique<OverclockRuntime>(
             queue_, *overclock_model_, *overclock_actuator_,
             agents::SmartOverclockSchedule(), config_.runtime);
+        overclock_runtime_->SetTraceRecorder(config_.trace);
         AddAgentSlot(agents::kSmartOverclockName, overclock_runtime_.get(),
                      overclock_actuator_.get());
     }
@@ -134,6 +135,7 @@ MultiAgentNode::MultiAgentNode(sim::EventQueue& queue,
         harvest_runtime_ = std::make_unique<HarvestRuntime>(
             queue_, *harvest_model_, *harvest_actuator_,
             agents::SmartHarvestSchedule(), config_.runtime);
+        harvest_runtime_->SetTraceRecorder(config_.trace);
         AddAgentSlot(agents::kSmartHarvestName, harvest_runtime_.get(),
                      harvest_actuator_.get());
     }
@@ -148,6 +150,7 @@ MultiAgentNode::MultiAgentNode(sim::EventQueue& queue,
         memory_runtime_ = std::make_unique<MemoryRuntime>(
             queue_, *memory_model_, *memory_actuator_,
             agents::SmartMemorySchedule(), config_.runtime);
+        memory_runtime_->SetTraceRecorder(config_.trace);
         AddAgentSlot(agents::kSmartMemoryName, memory_runtime_.get(),
                      memory_actuator_.get());
     }
@@ -162,6 +165,7 @@ MultiAgentNode::MultiAgentNode(sim::EventQueue& queue,
         monitor_runtime_ = std::make_unique<MonitorRuntime>(
             queue_, *monitor_model_, *monitor_actuator_,
             agents::SmartMonitorSchedule(), config_.runtime);
+        monitor_runtime_->SetTraceRecorder(config_.trace);
         AddAgentSlot(agents::kSmartMonitorName, monitor_runtime_.get(),
                      monitor_actuator_.get());
     }
@@ -183,6 +187,7 @@ MultiAgentNode::MultiAgentNode(sim::EventQueue& queue,
         synthetics_.push_back(std::make_unique<SyntheticAgent>(
             queue_, cfg, &arbiter_, config_.runtime));
         SyntheticAgent* agent = synthetics_.back().get();
+        agent->runtime().SetTraceRecorder(config_.trace);
         AddAgentSlot(agent->name(), &agent->runtime(),
                      &agent->actuator());
     }
@@ -274,6 +279,16 @@ MultiAgentNode::AggregateStats() const
     return total;
 }
 
+telemetry::LatencyHistogram
+MultiAgentNode::EpochLatencyHistogram() const
+{
+    telemetry::LatencyHistogram merged;
+    for (const AgentSlot& slot : slots_) {
+        merged.Merge(slot.epoch_latency());
+    }
+    return merged;
+}
+
 core::RuntimeStats
 MultiAgentNode::StatsFor(const std::string& name) const
 {
@@ -334,6 +349,11 @@ MultiAgentNode::CollectMetrics()
                         channels_.stats().Coverage());
     node_scope.SetGauge("total_epochs",
                         static_cast<double>(TotalEpochs()));
+    const telemetry::LatencyHistogram epoch_hist = EpochLatencyHistogram();
+    if (!epoch_hist.empty()) {
+        // Snapshot-overwrite, so repeated collections stay idempotent.
+        node_scope.SetHistogram("epoch_ns", epoch_hist);
+    }
 }
 
 }  // namespace sol::cluster

@@ -45,6 +45,7 @@
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "telemetry/metric_registry.h"
+#include "telemetry/trace.h"
 #include "workloads/best_effort.h"
 #include "workloads/memory_patterns.h"
 #include "workloads/tailbench.h"
@@ -119,6 +120,25 @@ struct MultiAgentNodeConfig {
     /** Shared runtime ablation/fault switches (applied to all agents). */
     core::RuntimeOptions runtime;
 
+    /**
+     * Flight-recorder track every agent runtime on this node records
+     * into (spans + safeguard instants; see telemetry/trace.h). The
+     * node's event queue serializes all agents on one thread, so one
+     * SPSC recorder safely serves them all. The caller owns the
+     * recorder; null (the default) disables tracing. The threaded node
+     * variant ignores this and uses trace_session instead — its agents
+     * need one recorder per thread.
+     */
+    telemetry::trace::TraceRecorder* trace = nullptr;
+
+    /**
+     * Trace session the *threaded* node variant creates per-agent
+     * model/actuator recorders in (two tracks per agent plus driver
+     * and control tracks). Ignored by the simulated node; null (the
+     * default) disables tracing.
+     */
+    telemetry::trace::TraceSession* trace_session = nullptr;
+
     InterferenceArbiterConfig arbiter;
 
     agents::SmartOverclockConfig overclock;
@@ -169,6 +189,10 @@ class MultiAgentNode
     /** Field-wise sum of every agent runtime's counters (real and
      *  synthetic) — the node-level roll-up fleet stats build on. */
     core::RuntimeStats AggregateStats() const;
+
+    /** Merged epoch-duration histogram across every agent on the node
+     *  (virtual ns; always on). */
+    telemetry::LatencyHistogram EpochLatencyHistogram() const;
 
     // --- Introspection ---------------------------------------------------
     const std::string& name() const { return config_.name; }
@@ -231,6 +255,7 @@ class MultiAgentNode
         std::function<void()> start;
         std::function<void()> stop;
         std::function<core::RuntimeStats()> stats;
+        std::function<telemetry::LatencyHistogram()> epoch_latency;
     };
 
     /** Registers an agent's runtime in slots_ and the registry. */
@@ -240,7 +265,10 @@ class MultiAgentNode
     {
         slots_.push_back({name, [runtime] { runtime->Start(); },
                           [runtime] { runtime->Stop(); },
-                          [runtime] { return runtime->stats(); }});
+                          [runtime] { return runtime->stats(); },
+                          [runtime] {
+                              return runtime->EpochLatencyHistogram();
+                          }});
         registrations_.emplace_back(registry_, name,
                                     [runtime, actuator] {
                                         runtime->Stop();

@@ -22,6 +22,16 @@ NodeShard::NodeShard(const NodeShardConfig& config)
     : config_(config)
 {
     queue_.SetPendingLimit(config_.queue_pending_limit);
+    if (config_.trace_session != nullptr) {
+        // The queue is the shard's virtual clock, so every event on
+        // this track carries a deterministic timestamp.
+        const std::string track =
+            config_.trace_track.empty()
+                ? "shard" + std::to_string(config_.first_node_index)
+                : config_.trace_track;
+        trace_ = config_.trace_session->NewRecorder(
+            track, &queue_, config_.trace_capacity);
+    }
     nodes_.reserve(config_.num_nodes);
     for (std::size_t i = 0; i < config_.num_nodes; ++i) {
         const std::size_t global = config_.first_node_index + i;
@@ -29,6 +39,7 @@ NodeShard::NodeShard(const NodeShardConfig& config)
         node_config.name = "node" + std::to_string(global);
         node_config.seed =
             sim::DeriveStreamSeed(config_.base_seed, global);
+        node_config.trace = trace_;
         nodes_.push_back(
             std::make_unique<MultiAgentNode>(queue_, node_config));
     }
@@ -37,6 +48,10 @@ NodeShard::NodeShard(const NodeShardConfig& config)
 void
 NodeShard::RunUntil(sim::TimePoint horizon)
 {
+    // Bind the shard track for the duration of the step: arbiter spans
+    // emitted from inside node events land on it, whichever worker
+    // thread is stepping this shard.
+    telemetry::trace::ScopedThreadRecorder bind(trace_);
     if (!started_) {
         started_ = true;
         for (std::size_t i = 0; i < nodes_.size(); ++i) {

@@ -29,6 +29,7 @@
 #include "cluster/multi_agent_node.h"
 #include "sim/event_queue.h"
 #include "telemetry/metric_registry.h"
+#include "telemetry/trace.h"
 
 namespace sol::cluster {
 
@@ -65,6 +66,25 @@ struct NodeShardConfig {
     /** Backpressure bound on this shard's queue (0 = unlimited); see
      *  ClusterConfig::queue_pending_limit for the drop semantics. */
     std::size_t queue_pending_limit = 0;
+
+    /**
+     * Flight-recorder session the shard creates its track in (null
+     * disables tracing). The shard owns one SPSC ring for everything it
+     * steps: its queue serializes every node's agents on whichever
+     * worker thread runs the shard, so one recorder — timestamped
+     * against the shard's virtual clock, hence byte-deterministic — is
+     * safe. It is also injected as every node's `trace` config, and
+     * RunUntil binds it as the thread-current recorder so arbiter spans
+     * land on the shard track too.
+     */
+    telemetry::trace::TraceSession* trace_session = nullptr;
+
+    /** Track name for the shard's recorder; empty derives
+     *  "shard<first_node_index>". */
+    std::string trace_track;
+
+    /** Ring capacity for the shard's recorder (0 = session default). */
+    std::size_t trace_capacity = 0;
 
     /** Template applied to every node (name/seed overridden per node). */
     MultiAgentNodeConfig node;
@@ -107,9 +127,15 @@ class NodeShard
     sim::EventQueue& queue() { return queue_; }
     const sim::EventQueue& queue() const { return queue_; }
 
+    /** The shard's trace recorder (null when tracing is disabled). */
+    telemetry::trace::TraceRecorder* trace() { return trace_; }
+
   private:
     NodeShardConfig config_;
     sim::EventQueue queue_;
+    /** Owned by config_.trace_session; created before the nodes so it
+     *  can be injected into their configs. */
+    telemetry::trace::TraceRecorder* trace_ = nullptr;
     std::vector<std::unique_ptr<MultiAgentNode>> nodes_;
     bool started_ = false;
 };

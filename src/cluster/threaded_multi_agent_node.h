@@ -34,6 +34,16 @@
  * substrate at node_tick cadence under the same mutex. Synthetic agents
  * touch no substrate and run entirely unlocked — they contend only
  * inside the arbiter, which is the contention the paper studies.
+ *
+ * Observability: with config.trace_session set, the node creates one
+ * flight-recorder track per thread — "<node>.driver", "<node>.control",
+ * and "<node>.<agent>.model" / "<node>.<agent>.actuator" per agent —
+ * keeping every SPSC ring single-producer across 2×77 agent threads.
+ * Agent tracks read the agent's own PolicyClock, so under ManualClock
+ * the trace timestamps are virtual and deterministic. Lifecycle events
+ * (node/agent start/stop, CleanUpAll) land on the control track, which
+ * assumes a single controlling thread — the same assumption
+ * Start/Stop/StopAgent already make.
  */
 #pragma once
 
@@ -63,6 +73,7 @@
 #include "sim/rng.h"
 #include "sim/time.h"
 #include "telemetry/metric_registry.h"
+#include "telemetry/trace.h"
 #include "workloads/best_effort.h"
 #include "workloads/memory_patterns.h"
 #include "workloads/tailbench.h"
@@ -238,6 +249,10 @@ class ThreadedSyntheticAgent
     Runtime& runtime() { return runtime_; }
     SyntheticActuator& actuator() { return actuator_; }
 
+    /** The agent's PolicyClock — trace tracks timestamp against it so
+     *  ManualClock runs get virtual, deterministic timestamps. */
+    const sim::Clock& clock() const { return clock_; }
+
   private:
     SyntheticAgentConfig config_;
     PolicyClock<ClockPolicy> clock_;  // Before model_: it captures it.
@@ -271,6 +286,14 @@ class ThreadedMultiAgentNode
                    telemetry::MetricScope(metrics_, "arbiter")),
           incident_rng_(sim::DeriveStreamSeed(config_.seed, 1))
     {
+        // Driver/control tracks first, then agent tracks in build
+        // order: creation order fixes the tid order in the trace.
+        if (config_.trace_session != nullptr) {
+            driver_trace_ = config_.trace_session->NewRecorder(
+                config_.name + ".driver", &trace_clock_);
+            control_trace_ = config_.trace_session->NewRecorder(
+                config_.name + ".control", &trace_clock_);
+        }
         BuildSubstrate();
         BuildRealAgents();
         BuildSynthetics();
@@ -297,6 +320,9 @@ class ThreadedMultiAgentNode
             return;
         }
         started_ = true;
+        if (control_trace_ != nullptr) {
+            control_trace_->Instant("node_start", "node");
+        }
         if (has_real_agents_ && !driver_running_.exchange(true)) {
             driver_thread_ = std::thread([this] { DriverLoop(); });
         }
@@ -313,6 +339,9 @@ class ThreadedMultiAgentNode
         for (const AgentSlot& slot : slots_) {
             slot.stop();
         }
+        if (started_ && control_trace_ != nullptr) {
+            control_trace_->Instant("node_stop", "node");
+        }
         started_ = false;
     }
 
@@ -325,6 +354,10 @@ class ThreadedMultiAgentNode
         for (const AgentSlot& slot : slots_) {
             if (slot.name == name) {
                 slot.stop();
+                if (control_trace_ != nullptr) {
+                    control_trace_->Instant("agent_stop", "node", {},
+                                            "agent", name);
+                }
             }
         }
     }
@@ -335,12 +368,23 @@ class ThreadedMultiAgentNode
         for (const AgentSlot& slot : slots_) {
             if (slot.name == name) {
                 slot.start();
+                if (control_trace_ != nullptr) {
+                    control_trace_->Instant("agent_start", "node", {},
+                                            "agent", name);
+                }
             }
         }
     }
 
     /** SRE incident response via the node-local registry. */
-    void CleanUpAll() { registry_.CleanUpAll(); }
+    void
+    CleanUpAll()
+    {
+        if (control_trace_ != nullptr) {
+            control_trace_->Instant("cleanup_all", "node");
+        }
+        registry_.CleanUpAll();
+    }
 
     /** Refreshes per-agent runtime gauges, the arbiter's counters, and
      *  (when real agents run) the substrate gauges in metrics(). */
@@ -375,6 +419,25 @@ class ThreadedMultiAgentNode
         }
         node_scope.SetGauge("total_epochs",
                             static_cast<double>(TotalEpochs()));
+        const telemetry::LatencyHistogram epoch_hist =
+            EpochLatencyHistogram();
+        if (!epoch_hist.empty()) {
+            // Snapshot-overwrite, so repeated collections stay
+            // idempotent (same rule as the arbiter's histograms).
+            node_scope.SetHistogram("epoch_ns", epoch_hist);
+        }
+    }
+
+    /** Merged epoch-duration histogram across every agent on the node
+     *  (ns in the agents' ClockPolicy timebase; always on). */
+    telemetry::LatencyHistogram
+    EpochLatencyHistogram() const
+    {
+        telemetry::LatencyHistogram merged;
+        for (const AgentSlot& slot : slots_) {
+            merged.Merge(slot.epoch_latency());
+        }
+        return merged;
     }
 
     std::uint64_t
@@ -464,6 +527,7 @@ class ThreadedMultiAgentNode
         std::function<void()> start;
         std::function<void()> stop;
         std::function<core::RuntimeStats()> stats;
+        std::function<telemetry::LatencyHistogram()> epoch_latency;
         ClockPolicy* clock = nullptr;
     };
 
@@ -520,12 +584,36 @@ class ThreadedMultiAgentNode
         slots_.push_back({name, [runtime] { runtime->Start(); },
                           [runtime] { runtime->Stop(); },
                           [runtime] { return runtime->stats(); },
+                          [runtime] {
+                              return runtime->EpochLatencyHistogram();
+                          },
                           &runtime->clock()});
         registrations_.emplace_back(registry_, name,
                                     [runtime, actuator] {
                                         runtime->Stop();
                                         actuator->CleanUp();
                                     });
+    }
+
+    /**
+     * Creates the agent's two SPSC tracks — "<node>.<agent>.model" and
+     * "<node>.<agent>.actuator" — timestamped against the agent's own
+     * clock, and attaches them to its runtime. No-op without a trace
+     * session.
+     */
+    template <typename Runtime>
+    void
+    AttachAgentTrace(const std::string& agent_name, Runtime* runtime,
+                     const sim::Clock* clock)
+    {
+        if (config_.trace_session == nullptr) {
+            return;
+        }
+        const std::string base = config_.name + "." + agent_name;
+        runtime->SetTraceRecorders(
+            config_.trace_session->NewRecorder(base + ".model", clock),
+            config_.trace_session->NewRecorder(base + ".actuator",
+                                               clock));
     }
 
     void
@@ -553,6 +641,9 @@ class ThreadedMultiAgentNode
                 *overclock_locked_model_, *overclock_locked_actuator_,
                 agents::SmartOverclockSchedule(), config_.runtime);
             overclock_clock_->Bind(&overclock_runtime_->clock());
+            AttachAgentTrace(agents::kSmartOverclockName,
+                             overclock_runtime_.get(),
+                             overclock_clock_.get());
             AddAgentSlot(agents::kSmartOverclockName,
                          overclock_runtime_.get(),
                          overclock_locked_actuator_.get());
@@ -576,6 +667,9 @@ class ThreadedMultiAgentNode
                 *harvest_locked_model_, *harvest_locked_actuator_,
                 agents::SmartHarvestSchedule(), config_.runtime);
             harvest_clock_->Bind(&harvest_runtime_->clock());
+            AttachAgentTrace(agents::kSmartHarvestName,
+                             harvest_runtime_.get(),
+                             harvest_clock_.get());
             AddAgentSlot(agents::kSmartHarvestName,
                          harvest_runtime_.get(),
                          harvest_locked_actuator_.get());
@@ -599,6 +693,8 @@ class ThreadedMultiAgentNode
                 *memory_locked_model_, *memory_locked_actuator_,
                 agents::SmartMemorySchedule(), config_.runtime);
             memory_clock_->Bind(&memory_runtime_->clock());
+            AttachAgentTrace(agents::kSmartMemoryName,
+                             memory_runtime_.get(), memory_clock_.get());
             AddAgentSlot(agents::kSmartMemoryName, memory_runtime_.get(),
                          memory_locked_actuator_.get());
         }
@@ -621,6 +717,9 @@ class ThreadedMultiAgentNode
                 *monitor_locked_model_, *monitor_locked_actuator_,
                 agents::SmartMonitorSchedule(), config_.runtime);
             monitor_clock_->Bind(&monitor_runtime_->clock());
+            AttachAgentTrace(agents::kSmartMonitorName,
+                             monitor_runtime_.get(),
+                             monitor_clock_.get());
             AddAgentSlot(agents::kSmartMonitorName,
                          monitor_runtime_.get(),
                          monitor_locked_actuator_.get());
@@ -649,6 +748,8 @@ class ThreadedMultiAgentNode
                 std::make_unique<ThreadedSyntheticAgent<ClockPolicy>>(
                     cfg, &arbiter_, config_.runtime));
             auto* agent = synthetics_.back().get();
+            AttachAgentTrace(agent->name(), &agent->runtime(),
+                             &agent->clock());
             AddAgentSlot(agent->name(), &agent->runtime(),
                          &agent->actuator());
         }
@@ -660,6 +761,7 @@ class ThreadedMultiAgentNode
     void
     DriverLoop()
     {
+        telemetry::trace::ScopedThreadRecorder bind(driver_trace_);
         auto last = std::chrono::steady_clock::now();
         sim::Duration memory_accum{0};
         sim::Duration channel_accum{0};
@@ -670,6 +772,8 @@ class ThreadedMultiAgentNode
             const auto elapsed =
                 std::chrono::duration_cast<sim::Duration>(wall - last);
             last = wall;
+            telemetry::trace::TraceSpan tick_span(driver_trace_,
+                                                  "node_tick", "node");
             std::lock_guard<std::mutex> lock(substrate_mutex_);
             const sim::TimePoint start = substrate_now_;
             substrate_now_ += elapsed;
@@ -698,6 +802,12 @@ class ThreadedMultiAgentNode
 
     MultiAgentNodeConfig config_;
     sim::Rng rng_;
+
+    /** Wall timebase for the driver/control tracks (agent tracks use
+     *  their agent's PolicyClock instead). */
+    telemetry::trace::SteadyClock trace_clock_;
+    telemetry::trace::TraceRecorder* driver_trace_ = nullptr;
+    telemetry::trace::TraceRecorder* control_trace_ = nullptr;
 
     /** Serializes all real-agent and driver substrate access. */
     std::mutex substrate_mutex_;

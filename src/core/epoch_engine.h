@@ -56,6 +56,8 @@
 #include "core/runtime_stats.h"
 #include "core/schedule.h"
 #include "sim/time.h"
+#include "telemetry/latency_histogram.h"
+#include "telemetry/trace.h"
 
 namespace sol::core {
 
@@ -168,6 +170,17 @@ struct ThreadedEnginePolicy {
  * the actuator thread only; Deliver/ActuatorWake/AssessActuator touch
  * the shared queue + halt flag under the policy mutex internally.
  *
+ * Observability: the engine always records every epoch's duration into
+ * a LatencyHistogram (EpochLatencyHistogram()), and — when trace
+ * recorders are attached via SetTraceRecorders — emits phase spans
+ * (collect / model_update / model_assess / actuate / assess_actuator,
+ * plus a per-epoch "epoch" span) and safeguard instants
+ * (safeguard_trigger / mitigate / safeguard_resume /
+ * model_assessment_failed / prediction_dropped). Two recorders keep
+ * the rings SPSC: model-side steps record into the first, actuator-
+ * side steps into the second (the sim backend passes the same one
+ * twice). With no recorders attached the cost is a null test per step.
+ *
  * @tparam D Telemetry datum type.
  * @tparam P Prediction payload type.
  * @tparam Policy SimEnginePolicy or ThreadedEnginePolicy.
@@ -258,6 +271,8 @@ class EpochEngine
     CollectOutcome
     CollectOnce(sim::TimePoint now)
     {
+        telemetry::trace::TraceSpan span(model_trace_, "collect",
+                                         "engine");
         D data = model_.CollectData();
         StatsOps::Inc(stats_.samples_collected);
         if (data_fault_) {
@@ -271,6 +286,7 @@ class EpochEngine
         } else {
             StatsOps::Inc(stats_.invalid_samples);
         }
+        span.AddArg("valid", valid ? 1 : 0);
 
         if (model_.ShortCircuitEpoch()) {
             return CollectOutcome::kEpochShortCircuit;
@@ -285,33 +301,46 @@ class EpochEngine
     }
 
     /**
-     * Closes the epoch and produces the prediction to deliver. With
-     * enough data the model updates and predicts, assessed every
-     * assess_model_every_epochs; while the assessment fails the
-     * prediction is intercepted and DefaultPredict delivered instead
-     * (the model keeps learning so it can recover). Without enough
-     * data the epoch counts as short-circuited and the default is
-     * delivered directly.
+     * Closes the epoch at `now` and produces the prediction to
+     * deliver. With enough data the model updates and predicts,
+     * assessed every assess_model_every_epochs; while the assessment
+     * fails the prediction is intercepted and DefaultPredict delivered
+     * instead (the model keeps learning so it can recover). Without
+     * enough data the epoch counts as short-circuited and the default
+     * is delivered directly. The epoch's duration (now - BeginEpoch's
+     * instant) lands in the always-on epoch latency histogram and, if
+     * tracing, as an "epoch" span.
      */
     Prediction<P>
-    FinishEpoch(bool enough_data)
+    FinishEpoch(sim::TimePoint now, bool enough_data)
     {
         const std::uint64_t epoch_number = StatsOps::IncGet(stats_.epochs);
         Prediction<P> pred;
         if (enough_data) {
-            model_.UpdateModel();
-            StatsOps::Inc(stats_.model_updates);
-            pred = model_.ModelPredict();
+            {
+                telemetry::trace::TraceSpan span(model_trace_,
+                                                 "model_update", "engine");
+                model_.UpdateModel();
+                StatsOps::Inc(stats_.model_updates);
+                pred = model_.ModelPredict();
+            }
 
             if (!options_.disable_model_assessment &&
                 epoch_number % static_cast<std::uint64_t>(
                                    schedule_.assess_model_every_epochs) ==
                     0) {
+                telemetry::trace::TraceSpan span(model_trace_,
+                                                 "model_assess", "engine");
                 StatsOps::Inc(stats_.model_assessments);
                 const bool ok = model_.AssessModel();
                 Policy::Set(model_ok_, ok);
+                span.AddArg("ok", ok ? 1 : 0);
                 if (!ok) {
                     StatsOps::Inc(stats_.failed_assessments);
+                    if (model_trace_ != nullptr) {
+                        model_trace_->Instant("model_assessment_failed",
+                                              "safeguard");
+                    }
                 }
             }
             if (!Policy::Get(model_ok_)) {
@@ -323,6 +352,20 @@ class EpochEngine
         } else {
             StatsOps::Inc(stats_.short_circuit_epochs);
             pred = model_.DefaultPredict();
+        }
+
+        const sim::Duration epoch_duration = now - epoch_start_;
+        const auto duration_ns = static_cast<std::uint64_t>(
+            epoch_duration.count() < 0 ? 0 : epoch_duration.count());
+        if (model_trace_ != nullptr) {
+            model_trace_->Complete(
+                "epoch", "engine", epoch_start_, epoch_duration,
+                {{"epoch", static_cast<std::int64_t>(epoch_number)},
+                 {"short_circuit", enough_data ? 0 : 1}});
+        }
+        {
+            std::lock_guard<typename Policy::Mutex> lock(mutex_);
+            epoch_hist_.Record(duration_ns);
         }
         return pred;
     }
@@ -349,6 +392,9 @@ class EpochEngine
         ++delivery_seq_;
         if (Policy::Get(halted_)) {
             StatsOps::Inc(stats_.dropped_while_halted);
+            if (model_trace_ != nullptr) {
+                model_trace_->Instant("prediction_dropped", "safeguard");
+            }
             return false;
         }
         pending_.push_back(std::move(pred));
@@ -374,6 +420,9 @@ class EpochEngine
     WakeOutcome
     ActuatorWake(sim::TimePoint now, bool from_timeout)
     {
+        telemetry::trace::TraceSpan span(actuator_trace_, "actuate",
+                                         "engine");
+        span.AddArg("from_timeout", from_timeout ? 1 : 0);
         std::optional<Prediction<P>> pred;
         {
             std::lock_guard<typename Policy::Mutex> lock(mutex_);
@@ -399,6 +448,7 @@ class EpochEngine
             pred.reset();
             StatsOps::Inc(stats_.expired_predictions);
         }
+        span.AddArg("with_prediction", pred.has_value() ? 1 : 0);
         actuator_.TakeAction(pred);
         StatsOps::Inc(stats_.actions_taken);
         if (pred.has_value()) {
@@ -421,8 +471,11 @@ class EpochEngine
     bool
     AssessActuator(sim::TimePoint now)
     {
+        telemetry::trace::TraceSpan span(actuator_trace_,
+                                         "assess_actuator", "engine");
         StatsOps::Inc(stats_.actuator_assessments);
         const bool ok = actuator_.AssessPerformance();
+        span.AddArg("ok", ok ? 1 : 0);
         if (!ok) {
             bool newly_halted = false;
             {
@@ -436,15 +489,25 @@ class EpochEngine
             }
             if (newly_halted) {
                 StatsOps::Inc(stats_.safeguard_triggers);
+                if (actuator_trace_ != nullptr) {
+                    actuator_trace_->Instant("safeguard_trigger",
+                                             "safeguard");
+                }
             }
             actuator_.Mitigate();
             StatsOps::Inc(stats_.mitigations);
+            if (actuator_trace_ != nullptr) {
+                actuator_trace_->Instant("mitigate", "safeguard");
+            }
             return false;
         }
         std::lock_guard<typename Policy::Mutex> lock(mutex_);
         if (Policy::Get(halted_)) {
             Policy::Set(halted_, false);
             StatsOps::AddHaltedTime(stats_, now - halt_start_);
+            if (actuator_trace_ != nullptr) {
+                actuator_trace_->Instant("safeguard_resume", "safeguard");
+            }
             return true;
         }
         return false;
@@ -462,6 +525,45 @@ class EpochEngine
     SetDataFault(std::function<void(D&)> fault)
     {
         data_fault_ = std::move(fault);
+    }
+
+    // ---- Observability ---------------------------------------------------
+
+    /**
+     * Attaches flight-recorder tracks. `model_side` receives the
+     * model-loop spans (collect / model_update / model_assess / epoch),
+     * `actuator_side` the actuator-loop spans (actuate /
+     * assess_actuator) and safeguard instants. Each recorder is SPSC,
+     * so the two sides must be distinct recorders when the loops run
+     * on distinct threads; a single-threaded backend passes the same
+     * recorder twice. Either may be null (that side untraced). Attach
+     * before the owning runtime starts: the pointers are read by the
+     * loop threads without synchronization.
+     */
+    void
+    SetTraceRecorders(telemetry::trace::TraceRecorder* model_side,
+                      telemetry::trace::TraceRecorder* actuator_side)
+    {
+        model_trace_ = model_side;
+        actuator_trace_ = actuator_side;
+    }
+
+    telemetry::trace::TraceRecorder* model_trace() const
+    {
+        return model_trace_;
+    }
+    telemetry::trace::TraceRecorder* actuator_trace() const
+    {
+        return actuator_trace_;
+    }
+
+    /** Copies out the always-on epoch-duration histogram (ns; safe
+     *  from any thread under the threaded policy). */
+    telemetry::LatencyHistogram
+    EpochLatencyHistogram() const
+    {
+        std::lock_guard<typename Policy::Mutex> lock(mutex_);
+        return epoch_hist_;
     }
 
     // ---- Introspection ---------------------------------------------------
@@ -519,12 +621,20 @@ class EpochEngine
     int valid_samples_ = 0;
     typename Policy::Flag model_ok_{true};
 
-    // Prediction queue + halt state (guarded by mutex_).
+    // Trace recorders (set before start; loop threads read them
+    // without synchronization; null = untraced).
+    telemetry::trace::TraceRecorder* model_trace_ = nullptr;
+    telemetry::trace::TraceRecorder* actuator_trace_ = nullptr;
+
+    // Prediction queue + halt state + epoch histogram (guarded by
+    // mutex_; the histogram rides the existing guard because it is
+    // written by the model thread and copied out by any thread).
     mutable typename Policy::Mutex mutex_;
     std::deque<Prediction<P>> pending_;
     std::uint64_t delivery_seq_ = 0;
     typename Policy::Flag halted_{false};
     sim::TimePoint halt_start_{0};
+    telemetry::LatencyHistogram epoch_hist_;
 
     Stats stats_;
 };

@@ -133,6 +133,25 @@ class SimRuntime
         engine_.SetDataFault(std::move(fault));
     }
 
+    /**
+     * Attaches a flight-recorder track for this runtime's spans and
+     * instants. One recorder serves both engine sides — the event
+     * queue serializes everything on one thread, so SPSC holds. Call
+     * before Start(); null detaches.
+     */
+    void
+    SetTraceRecorder(telemetry::trace::TraceRecorder* recorder)
+    {
+        engine_.SetTraceRecorders(recorder, recorder);
+    }
+
+    /** Copy of the always-on epoch-duration histogram (virtual ns). */
+    telemetry::LatencyHistogram
+    EpochLatencyHistogram() const
+    {
+        return engine_.EpochLatencyHistogram();
+    }
+
     const RuntimeStats& stats() const { return engine_.stats(); }
     bool actuator_halted() const { return engine_.actuator_halted(); }
     bool model_assessment_failing() const
@@ -184,7 +203,7 @@ class SimRuntime
             return;
         }
         engine_.Deliver(engine_.FinishEpoch(
-            outcome == CollectOutcome::kEpochComplete));
+            now, outcome == CollectOutcome::kEpochComplete));
         // Wake the actuator for the new prediction (or, while halted,
         // for nothing — the wake is a harmless no-op then).
         auto alive = alive_;

@@ -205,6 +205,29 @@ class ThreadedRuntime
 
     const RuntimeOptions& options() const { return engine_.options(); }
 
+    /**
+     * Attaches flight-recorder tracks: one for the model thread, one
+     * for the actuator thread (distinct recorders — each ring is
+     * SPSC). The loops also bind their recorder as the thread-current
+     * recorder, so governor/arbiter calls made from inside agent code
+     * land on the calling agent's track. Call before Start(); either
+     * may be null.
+     */
+    void
+    SetTraceRecorders(telemetry::trace::TraceRecorder* model_side,
+                      telemetry::trace::TraceRecorder* actuator_side)
+    {
+        engine_.SetTraceRecorders(model_side, actuator_side);
+    }
+
+    /** Copy of the always-on epoch-duration histogram (wall ns; safe
+     *  from any thread). */
+    telemetry::LatencyHistogram
+    EpochLatencyHistogram() const
+    {
+        return engine_.EpochLatencyHistogram();
+    }
+
     /** The time-source policy (tests drive their manual clock). */
     ClockPolicy& clock() { return clock_; }
 
@@ -215,15 +238,19 @@ class ThreadedRuntime
     void
     ModelLoop()
     {
+        telemetry::trace::ScopedThreadRecorder bind(
+            engine_.model_trace());
         while (running_.load()) {
             engine_.BeginEpoch(clock_.Now());
             CollectOutcome outcome = CollectOutcome::kEpochContinues;
+            sim::TimePoint tick_now{};
             while (running_.load()) {
                 clock_.SleepFor(engine_.schedule().data_collect_interval);
                 if (!running_.load()) {
                     return;
                 }
-                outcome = engine_.CollectOnce(clock_.Now());
+                tick_now = clock_.Now();
+                outcome = engine_.CollectOnce(tick_now);
                 if (outcome != CollectOutcome::kEpochContinues) {
                     break;
                 }
@@ -233,7 +260,7 @@ class ThreadedRuntime
                 return;
             }
             engine_.Deliver(engine_.FinishEpoch(
-                outcome == CollectOutcome::kEpochComplete));
+                tick_now, outcome == CollectOutcome::kEpochComplete));
             // Notify even for a delivery dropped while halted: the
             // kick lets a blocking actuator re-run its safeguard
             // assessment and resume.
@@ -244,6 +271,8 @@ class ThreadedRuntime
     void
     ActuatorLoop()
     {
+        telemetry::trace::ScopedThreadRecorder bind(
+            engine_.actuator_trace());
         sim::TimePoint last_assessment = actuator_start_;
         std::uint64_t seen_seq = 0;
         while (running_.load()) {

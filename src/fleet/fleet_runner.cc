@@ -44,6 +44,13 @@ ShardedFleetRunner::ShardedFleetRunner(const FleetConfig& config,
     const std::size_t num_shards = resolved.num_shards;
     const std::size_t num_threads = resolved.num_threads;
 
+    if (config_.trace != nullptr) {
+        // Fleet track before any shard track: fixed creation order
+        // keeps the serialized tid order deterministic. No clock —
+        // window events carry explicit virtual timestamps.
+        fleet_trace_ = config_.trace->NewRecorder("fleet", nullptr);
+    }
+
     // Balanced contiguous partition: the first (num_nodes % num_shards)
     // shards own one extra node. Depends only on (num_nodes,
     // num_shards) — never on the thread count.
@@ -58,6 +65,9 @@ ShardedFleetRunner::ShardedFleetRunner(const FleetConfig& config,
         shard.base_seed = config_.base_seed;
         shard.start_stagger = config_.start_stagger;
         shard.queue_pending_limit = config_.queue_pending_limit;
+        shard.trace_session = config_.trace;
+        shard.trace_track = "shard" + std::to_string(s);
+        shard.trace_capacity = config_.trace_capacity;
         shard.node = config_.node;
         next_node += shard.num_nodes;
         shards_.push_back(std::make_unique<cluster::NodeShard>(shard));
@@ -175,6 +185,14 @@ ShardedFleetRunner::Run(sim::Duration span)
             failed_ = true;
             std::rethrow_exception(failure);
         }
+        if (fleet_trace_ != nullptr) {
+            // One span per barrier-synced window, in virtual time: the
+            // same bytes for any thread count.
+            fleet_trace_->Complete(
+                "window", "fleet", now_, horizon - now_,
+                {{"window", static_cast<std::int64_t>(window_index_)},
+                 {"merge", merge_this_window_ ? 1 : 0}});
+        }
         now_ = horizon;
     }
 }
@@ -279,6 +297,19 @@ ShardedFleetRunner::CollectFleetMetrics(telemetry::MetricRegistry& out)
     telemetry::MetricScope scope(out, "fleet");
     scope.SetGauge("num_shards", static_cast<double>(shards_.size()));
     scope.SetGauge("num_threads", static_cast<double>(workers_.size()));
+
+    // Fleet-wide epoch-duration distribution (virtual ns): the merge is
+    // bucket-wise addition, so the result is exact and independent of
+    // shard/thread layout.
+    telemetry::LatencyHistogram epoch_hist;
+    for (auto& shard : shards_) {
+        for (std::size_t n = 0; n < shard->num_nodes(); ++n) {
+            epoch_hist.Merge(shard->node(n).EpochLatencyHistogram());
+        }
+    }
+    if (!epoch_hist.empty()) {
+        scope.SetHistogram("epoch_ns", epoch_hist);
+    }
 }
 
 }  // namespace sol::fleet

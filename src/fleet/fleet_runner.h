@@ -96,6 +96,22 @@ struct FleetConfig {
      */
     std::size_t metrics_every_n_windows = 1;
 
+    /**
+     * Flight-recorder session for the whole run (null disables
+     * tracing). The runner creates one "fleet" track for window-barrier
+     * events plus one track per shard (see NodeShardConfig); creation
+     * order (fleet first, shards by index) is fixed, so the serialized
+     * trace is byte-deterministic for a fixed (base_seed, num_shards,
+     * window schedule) regardless of thread count. The caller owns the
+     * session and serializes it after Run.
+     */
+    telemetry::trace::TraceSession* trace = nullptr;
+
+    /** Per-shard trace ring capacity (0 = session default). Shards on
+     *  long runs fill and drop — the head of the run survives, and the
+     *  drop count lands in the trace. */
+    std::size_t trace_capacity = 4096;
+
     /** Template applied to every node (name/seed overridden per node). */
     cluster::MultiAgentNodeConfig node;
 };
@@ -205,6 +221,10 @@ class ShardedFleetRunner
     void MergeShardWindowMetrics(std::size_t shard_index);
 
     FleetConfig config_;
+    /** Fleet-level track for window-barrier events; owned by
+     *  config_.trace (null when tracing is disabled). Written only by
+     *  the main thread between barriers. */
+    telemetry::trace::TraceRecorder* fleet_trace_ = nullptr;
     std::vector<std::unique_ptr<cluster::NodeShard>> shards_;
 
     // Window protocol state. Written by the main thread before the

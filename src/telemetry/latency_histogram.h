@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Log-bucketed latency histogram: real distributions for the runtime's
+ * hot-path durations.
+ *
+ * Until PR 7 the only latency the system reported was a single average
+ * (the arbiter's lock_wait_ns() sum); tail behavior — the thing the
+ * paper's safeguard story is about — was invisible. LatencyHistogram is
+ * the HDR-style fix: values (nanoseconds) land in power-of-two ranges
+ * split into 2^kSubBits linear sub-buckets, giving ~12.5% relative
+ * bucket width over the full uint64 range in ~4 KB of counters, with
+ * O(1) recording (a bit-scan and one increment, no allocation).
+ *
+ * Design constraints, in order:
+ *   - Mergeable: bucket-wise addition, so per-agent histograms roll up
+ *     to node and fleet distributions exactly (MetricRegistry::MergeFrom
+ *     merges histograms this way; see SharedMetricRegistry's rules).
+ *   - Deterministic: percentiles are integer bucket representatives
+ *     computed only from the recorded values, so a simulated run's
+ *     p99 is bit-reproducible and golden-testable.
+ *   - Cheap enough for always-on: EpochEngine records every epoch's
+ *     duration whether or not tracing is enabled.
+ *
+ * SharedLatencyHistogram wraps one histogram in a mutex for genuinely
+ * concurrent producers (the arbiter's admit path under
+ * track_contention); everything else records into thread-owned
+ * histograms and merges at collection points.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+namespace sol::telemetry {
+
+/** Percentile summary of one histogram (integer nanoseconds). */
+struct LatencySnapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+    std::uint64_t min_ns = 0;
+    std::uint64_t max_ns = 0;
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p90_ns = 0;
+    std::uint64_t p99_ns = 0;
+    std::uint64_t p999_ns = 0;
+};
+
+/** Mergeable log-bucketed histogram of nanosecond durations. */
+class LatencyHistogram
+{
+  public:
+    /** Linear sub-buckets per power-of-two range (8 => <=12.5% bucket
+     *  width beyond the exact 0..7 range). */
+    static constexpr int kSubBits = 3;
+    static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBits;
+    static constexpr std::size_t kNumBuckets =
+        kSubBuckets + (64 - kSubBits) * kSubBuckets;
+
+    /** Adds one sample (O(1), allocation-free). */
+    void Record(std::uint64_t value_ns);
+
+    /** Bucket-wise addition of another histogram (exact: merging then
+     *  querying equals querying the concatenated samples). */
+    void Merge(const LatencyHistogram& other);
+
+    void Reset();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum_ns() const { return sum_; }
+    std::uint64_t min_ns() const { return count_ == 0 ? 0 : min_; }
+    std::uint64_t max_ns() const { return max_; }
+    bool empty() const { return count_ == 0; }
+
+    /**
+     * Value at percentile `p` (0..100): the representative (midpoint)
+     * of the bucket containing the ceil(p/100 * count)-th sample,
+     * clamped to the observed [min, max]. Deterministic integer
+     * arithmetic; 0 when empty.
+     */
+    std::uint64_t ValueAtPercentile(double p) const;
+
+    /** p50/p90/p99/p999 plus count/sum/min/max in one pass-friendly
+     *  struct (the shape MetricRegistry::WriteJson emits). */
+    LatencySnapshot Snapshot() const;
+
+  private:
+    static std::size_t BucketIndex(std::uint64_t value_ns);
+    static std::uint64_t BucketRepresentative(std::size_t index);
+
+    std::array<std::uint64_t, kNumBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * Mutex-guarded histogram for concurrent producers.
+ *
+ * The arbiter's admit path is called from every agent's actuator
+ * thread; its latency histograms take this lock per sample. The
+ * critical section is a bit-scan and five integer updates, so the lock
+ * costs less than the clock reads that produce the sample (and the
+ * whole path is gated behind track_contention).
+ */
+class SharedLatencyHistogram
+{
+  public:
+    void
+    Record(std::uint64_t value_ns)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        histogram_.Record(value_ns);
+    }
+
+    /** Copies the histogram out (thread-safe). */
+    LatencyHistogram
+    Histogram() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return histogram_;
+    }
+
+    LatencySnapshot
+    Snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return histogram_.Snapshot();
+    }
+
+    void
+    Reset()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        histogram_.Reset();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    LatencyHistogram histogram_;
+};
+
+}  // namespace sol::telemetry

@@ -36,6 +36,27 @@ MetricRegistry::AppendSeries(const std::string& name, double x, double y)
     series_[name].push_back(SeriesPoint{x, y});
 }
 
+void
+MetricRegistry::RecordLatency(const std::string& name,
+                              std::uint64_t value_ns)
+{
+    histograms_[name].Record(value_ns);
+}
+
+void
+MetricRegistry::SetHistogram(const std::string& name,
+                             const LatencyHistogram& histogram)
+{
+    histograms_[name] = histogram;
+}
+
+void
+MetricRegistry::MergeHistogram(const std::string& name,
+                               const LatencyHistogram& histogram)
+{
+    histograms_[name].Merge(histogram);
+}
+
 std::uint64_t
 MetricRegistry::Counter(const std::string& name) const
 {
@@ -50,10 +71,36 @@ MetricRegistry::Gauge(const std::string& name) const
     return it == gauges_.end() ? 0.0 : it->second;
 }
 
+const LatencyHistogram&
+MetricRegistry::Histogram(const std::string& name) const
+{
+    static const LatencyHistogram kEmpty;
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? kEmpty : it->second;
+}
+
+bool
+MetricRegistry::HasCounter(const std::string& name) const
+{
+    return counters_.count(name) > 0;
+}
+
 bool
 MetricRegistry::HasGauge(const std::string& name) const
 {
     return gauges_.count(name) > 0;
+}
+
+bool
+MetricRegistry::HasSeries(const std::string& name) const
+{
+    return series_.count(name) > 0;
+}
+
+bool
+MetricRegistry::HasHistogram(const std::string& name) const
+{
+    return histograms_.count(name) > 0;
 }
 
 const std::vector<SeriesPoint>&
@@ -75,6 +122,12 @@ MetricRegistry::PrintSummary(std::ostream& os) const
         os << "  " << name << " = " << value << "\n";
     }
     os.unsetf(std::ios_base::floatfield);
+    for (const auto& [name, histogram] : histograms_) {
+        const LatencySnapshot snapshot = histogram.Snapshot();
+        os << "  " << name << " = n=" << snapshot.count << " p50="
+           << snapshot.p50_ns << " p99=" << snapshot.p99_ns
+           << " max=" << snapshot.max_ns << " ns\n";
+    }
 }
 
 void
@@ -180,6 +233,19 @@ MetricRegistry::WriteJson(std::ostream& os) const
         os << "]";
         first = false;
     }
+    os << "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, histogram] : histograms_) {
+        const LatencySnapshot s = histogram.Snapshot();
+        os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+           << "\": {\"count\": " << s.count << ", \"sum_ns\": "
+           << s.sum_ns << ", \"min_ns\": " << s.min_ns
+           << ", \"max_ns\": " << s.max_ns << ", \"p50_ns\": "
+           << s.p50_ns << ", \"p90_ns\": " << s.p90_ns
+           << ", \"p99_ns\": " << s.p99_ns << ", \"p999_ns\": "
+           << s.p999_ns << "}";
+        first = false;
+    }
     os << "\n  }\n}\n";
 }
 
@@ -198,6 +264,9 @@ MetricRegistry::MergeFrom(const MetricRegistry& other,
         auto& dst = series_[p + name];
         dst.insert(dst.end(), points.begin(), points.end());
     }
+    for (const auto& [name, histogram] : other.histograms_) {
+        histograms_[p + name].Merge(histogram);
+    }
 }
 
 void
@@ -206,6 +275,7 @@ MetricRegistry::Clear()
     counters_.clear();
     gauges_.clear();
     series_.clear();
+    histograms_.clear();
 }
 
 TableWriter::TableWriter(std::vector<std::string> headers)

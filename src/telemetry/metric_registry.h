@@ -2,12 +2,21 @@
  * @file
  * Named metric collection for experiments and runtime introspection.
  *
- * Benchmarks accumulate counters/gauges/series here and render them as
- * aligned tables (the rows the paper's figures plot), CSV, or JSON.
- * Multi-agent harnesses namespace their metrics per agent/node with
- * MetricScope, and every bench binary emits a machine-readable
- * BENCH_<name>.json alongside its human tables via BenchJson so figure
- * data stays diffable across PRs.
+ * Benchmarks accumulate counters/gauges/series/latency-histograms here
+ * and render them as aligned tables (the rows the paper's figures
+ * plot), CSV, or JSON. Multi-agent harnesses namespace their metrics
+ * per agent/node with MetricScope, and every bench binary emits a
+ * machine-readable BENCH_<name>.json alongside its human tables via
+ * BenchJson so figure data stays diffable across PRs.
+ *
+ * A MetricRegistry is single-threaded by design: every hot-path writer
+ * owns its registry exclusively and snapshots flow upward through
+ * MergeFrom at collection points (SharedMetricRegistry adds the one
+ * lock the sharded fleet needs at window barriers). Lookups of unknown
+ * names are non-mutating and well-defined: Counter/Gauge return 0,
+ * Series returns an empty vector, Histogram returns an empty
+ * histogram; use HasCounter/HasGauge/HasSeries/HasHistogram to
+ * distinguish "absent" from "zero".
  */
 #pragma once
 
@@ -19,6 +28,8 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/latency_histogram.h"
+
 namespace sol::telemetry {
 
 /** One (x, y) point in a reported series. */
@@ -27,7 +38,8 @@ struct SeriesPoint {
     double y;
 };
 
-/** Registry of counters, gauges, and series keyed by name. */
+/** Registry of counters, gauges, series, and latency histograms keyed
+ *  by name. */
 class MetricRegistry
 {
   public:
@@ -48,21 +60,58 @@ class MetricRegistry
     /** Appends a point to a named series. */
     void AppendSeries(const std::string& name, double x, double y);
 
+    /** Adds one nanosecond sample to a named latency histogram. */
+    void RecordLatency(const std::string& name, std::uint64_t value_ns);
+
+    /** Replaces a histogram with a snapshot (idempotent flush, the
+     *  SetCounter idiom for distribution-owning publishers). */
+    void SetHistogram(const std::string& name,
+                      const LatencyHistogram& histogram);
+
+    /** Bucket-wise adds a histogram into a named one. */
+    void MergeHistogram(const std::string& name,
+                        const LatencyHistogram& histogram);
+
     std::uint64_t Counter(const std::string& name) const;
     double Gauge(const std::string& name) const;
-    const std::vector<SeriesPoint>& Series(const std::string& name) const;
-    bool HasGauge(const std::string& name) const;
 
-    /** Writes all counters and gauges as an aligned two-column table. */
+    /**
+     * Series points for `name`. An unknown name returns a reference to
+     * a shared empty vector (never inserts); this is part of the API
+     * contract, not an accident — probing a series never mutates the
+     * registry.
+     */
+    const std::vector<SeriesPoint>& Series(const std::string& name) const;
+
+    /** Histogram for `name`; unknown names return a shared empty
+     *  histogram (never inserts). */
+    const LatencyHistogram& Histogram(const std::string& name) const;
+
+    bool HasCounter(const std::string& name) const;
+    bool HasGauge(const std::string& name) const;
+    bool HasSeries(const std::string& name) const;
+    bool HasHistogram(const std::string& name) const;
+
+    /** Writes all counters, gauges, and histogram summaries as an
+     *  aligned two-column table. */
     void PrintSummary(std::ostream& os) const;
 
-    /** Writes one series as CSV rows (x,y). */
+    /**
+     * Writes one series as CSV rows (x,y). An unknown name writes
+     * nothing — no header, no error — matching Series()'s empty-result
+     * contract.
+     */
     void PrintSeriesCsv(std::ostream& os, const std::string& name) const;
 
-    /** Writes every counter, gauge, and series as one JSON object. */
+    /** Writes every counter, gauge, series, and histogram snapshot as
+     *  one JSON object (histograms as integer-ns count/sum/min/max/
+     *  p50/p90/p99/p999). */
     void WriteJson(std::ostream& os) const;
 
-    /** Merges another registry's metrics under `prefix + "."`. */
+    /**
+     * Merges another registry's metrics under `prefix + "."`: counters
+     * add, gauges overwrite, series append, histograms bucket-wise add.
+     */
     void MergeFrom(const MetricRegistry& other, const std::string& prefix);
 
     void Clear();
@@ -72,11 +121,16 @@ class MetricRegistry
         return counters_;
     }
     const std::map<std::string, double>& gauges() const { return gauges_; }
+    const std::map<std::string, LatencyHistogram>& histograms() const
+    {
+        return histograms_;
+    }
 
   private:
     std::map<std::string, std::uint64_t> counters_;
     std::map<std::string, double> gauges_;
     std::map<std::string, std::vector<SeriesPoint>> series_;
+    std::map<std::string, LatencyHistogram> histograms_;
 };
 
 /**
@@ -95,6 +149,12 @@ class MetricRegistry
  * order-insensitive operations are exposed: counter merges add,
  * gauge/series merges overwrite *namespaced* keys (each producer owns
  * its prefix, so concurrent merges never overwrite each other's keys).
+ *
+ * Histogram merge rules: histograms merge by bucket-wise addition
+ * (count/sum add, min/max extend), which is commutative and
+ * associative — so unlike gauges, two producers *may* merge into the
+ * same histogram key and the result is exact regardless of merge
+ * order. Merging is equivalent to recording the concatenated samples.
  */
 class SharedMetricRegistry
 {
@@ -173,6 +233,26 @@ class MetricScope
     AppendSeries(const std::string& name, double x, double y)
     {
         registry_.AppendSeries(Key(name), x, y);
+    }
+
+    void
+    RecordLatency(const std::string& name, std::uint64_t value_ns)
+    {
+        registry_.RecordLatency(Key(name), value_ns);
+    }
+
+    void
+    SetHistogram(const std::string& name,
+                 const LatencyHistogram& histogram)
+    {
+        registry_.SetHistogram(Key(name), histogram);
+    }
+
+    void
+    MergeHistogram(const std::string& name,
+                   const LatencyHistogram& histogram)
+    {
+        registry_.MergeHistogram(Key(name), histogram);
     }
 
     std::uint64_t

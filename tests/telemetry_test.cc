@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 
+#include "telemetry/latency_histogram.h"
 #include "telemetry/metric_registry.h"
 #include "telemetry/online_stats.h"
 #include "telemetry/window_percentile.h"
@@ -387,6 +389,202 @@ TEST(BenchJsonTest, MetricsSectionsEmbedRegistries)
     std::ostringstream out;
     json.Write(out);
     EXPECT_NE(out.str().find("\"conflicts\": 4"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, EmptySnapshotIsZero)
+{
+    LatencyHistogram hist;
+    EXPECT_TRUE(hist.empty());
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hist.min_ns(), 0u);
+    EXPECT_EQ(hist.max_ns(), 0u);
+    const LatencySnapshot snap = hist.Snapshot();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_EQ(snap.p50_ns, 0u);
+    EXPECT_EQ(snap.p999_ns, 0u);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact)
+{
+    // Values below the sub-bucket count land in unit-wide buckets.
+    LatencyHistogram hist;
+    for (std::uint64_t v = 0; v < 8; ++v) {
+        hist.Record(v);
+    }
+    EXPECT_EQ(hist.count(), 8u);
+    EXPECT_EQ(hist.min_ns(), 0u);
+    EXPECT_EQ(hist.max_ns(), 7u);
+    EXPECT_EQ(hist.ValueAtPercentile(1.0), 0u);
+    EXPECT_EQ(hist.ValueAtPercentile(100.0), 7u);
+}
+
+TEST(LatencyHistogramTest, PercentilesWithinBucketError)
+{
+    // Log-bucketed with 8 sub-buckets: relative error <= 1/8 per value.
+    LatencyHistogram hist;
+    for (std::uint64_t v = 1; v <= 10'000; ++v) {
+        hist.Record(v);
+    }
+    const std::uint64_t p50 = hist.ValueAtPercentile(50.0);
+    EXPECT_GE(p50, 4'400u);
+    EXPECT_LE(p50, 5'650u);
+    const std::uint64_t p99 = hist.ValueAtPercentile(99.0);
+    EXPECT_GE(p99, 8'700u);
+    EXPECT_LE(p99, 10'000u);  // Clamped to the observed max.
+    const std::uint64_t p100 = hist.ValueAtPercentile(100.0);
+    EXPECT_GE(p100, 8'750u);  // Top bucket's representative...
+    EXPECT_LE(p100, 10'000u);  // ...never above the observed max.
+}
+
+TEST(LatencyHistogramTest, PercentileClampedToObservedRange)
+{
+    LatencyHistogram hist;
+    hist.Record(1'000'000);
+    // A single sample: every percentile is that sample, not a bucket
+    // representative above or below it.
+    EXPECT_EQ(hist.ValueAtPercentile(0.0), 1'000'000u);
+    EXPECT_EQ(hist.ValueAtPercentile(50.0), 1'000'000u);
+    EXPECT_EQ(hist.ValueAtPercentile(99.9), 1'000'000u);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedRecording)
+{
+    LatencyHistogram a;
+    LatencyHistogram b;
+    LatencyHistogram combined;
+    for (std::uint64_t v = 1; v <= 500; ++v) {
+        a.Record(v * 3);
+        combined.Record(v * 3);
+    }
+    for (std::uint64_t v = 1; v <= 500; ++v) {
+        b.Record(v * 7'919);
+        combined.Record(v * 7'919);
+    }
+    a.Merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.sum_ns(), combined.sum_ns());
+    EXPECT_EQ(a.min_ns(), combined.min_ns());
+    EXPECT_EQ(a.max_ns(), combined.max_ns());
+    for (const double p : {50.0, 90.0, 99.0, 99.9}) {
+        EXPECT_EQ(a.ValueAtPercentile(p), combined.ValueAtPercentile(p));
+    }
+}
+
+TEST(LatencyHistogramTest, ResetClears)
+{
+    LatencyHistogram hist;
+    hist.Record(42);
+    hist.Reset();
+    EXPECT_TRUE(hist.empty());
+    EXPECT_EQ(hist.ValueAtPercentile(50.0), 0u);
+}
+
+TEST(SharedLatencyHistogramTest, RecordsThroughTheLock)
+{
+    SharedLatencyHistogram shared;
+    shared.Record(100);
+    shared.Record(200);
+    const LatencyHistogram copy = shared.Histogram();
+    EXPECT_EQ(copy.count(), 2u);
+    EXPECT_EQ(copy.sum_ns(), 300u);
+    shared.Reset();
+    EXPECT_TRUE(shared.Histogram().empty());
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry: histograms + the unknown-name contract
+// ---------------------------------------------------------------------------
+
+TEST(MetricRegistryTest, HasCounterAndHasSeriesDistinguishMissing)
+{
+    MetricRegistry registry;
+    registry.Increment("present", 0);  // Zero-valued but registered.
+    registry.AppendSeries("curve", 1.0, 2.0);
+    EXPECT_TRUE(registry.HasCounter("present"));
+    EXPECT_FALSE(registry.HasCounter("absent"));
+    EXPECT_TRUE(registry.HasSeries("curve"));
+    EXPECT_FALSE(registry.HasSeries("absent"));
+    // The unknown-name reads themselves return zero/empty...
+    EXPECT_EQ(registry.Counter("absent"), 0u);
+    EXPECT_TRUE(registry.Series("absent").empty());
+    // ...and never materialize the name as a side effect.
+    EXPECT_FALSE(registry.HasCounter("absent"));
+    EXPECT_FALSE(registry.HasSeries("absent"));
+}
+
+TEST(MetricRegistryTest, PrintSeriesCsvUnknownNameWritesNothing)
+{
+    MetricRegistry registry;
+    std::ostringstream out;
+    registry.PrintSeriesCsv(out, "no_such_series");
+    EXPECT_TRUE(out.str().empty());
+    EXPECT_FALSE(registry.HasSeries("no_such_series"));
+}
+
+TEST(MetricRegistryTest, HistogramsRecordMergeAndSnapshot)
+{
+    MetricRegistry registry;
+    registry.RecordLatency("epoch_ns", 1'000);
+    registry.RecordLatency("epoch_ns", 3'000);
+    EXPECT_TRUE(registry.HasHistogram("epoch_ns"));
+    EXPECT_FALSE(registry.HasHistogram("absent"));
+    EXPECT_EQ(registry.Histogram("epoch_ns").count(), 2u);
+    EXPECT_TRUE(registry.Histogram("absent").empty());
+
+    LatencyHistogram more;
+    more.Record(5'000);
+    registry.MergeHistogram("epoch_ns", more);
+    EXPECT_EQ(registry.Histogram("epoch_ns").count(), 3u);
+
+    // SetHistogram overwrites (the idempotent-flush idiom).
+    registry.SetHistogram("epoch_ns", more);
+    EXPECT_EQ(registry.Histogram("epoch_ns").count(), 1u);
+}
+
+TEST(MetricRegistryTest, WriteJsonEmitsHistogramPercentiles)
+{
+    MetricRegistry registry;
+    for (std::uint64_t v = 1; v <= 100; ++v) {
+        registry.RecordLatency("admit_ns", v * 1'000);
+    }
+    std::ostringstream out;
+    registry.WriteJson(out);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"admit_ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"p50_ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99_ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, MergeFromMergesHistogramsBucketwise)
+{
+    MetricRegistry node;
+    node.RecordLatency("epoch_ns", 2'000);
+    MetricRegistry fleet;
+    fleet.RecordLatency("node0.epoch_ns", 1'000);
+    fleet.MergeFrom(node, "node0");
+    EXPECT_EQ(fleet.Histogram("node0.epoch_ns").count(), 2u);
+    EXPECT_EQ(fleet.Histogram("node0.epoch_ns").sum_ns(), 3'000u);
+}
+
+TEST(MetricScopeTest, HistogramCallsPrefix)
+{
+    MetricRegistry registry;
+    MetricScope scope(registry, "arbiter");
+    scope.RecordLatency("lock_wait_ns", 500);
+    EXPECT_TRUE(registry.HasHistogram("arbiter.lock_wait_ns"));
+    LatencyHistogram replacement;
+    replacement.Record(1);
+    replacement.Record(2);
+    scope.SetHistogram("lock_wait_ns", replacement);
+    EXPECT_EQ(registry.Histogram("arbiter.lock_wait_ns").count(), 2u);
+    scope.MergeHistogram("lock_wait_ns", replacement);
+    EXPECT_EQ(registry.Histogram("arbiter.lock_wait_ns").count(), 4u);
 }
 
 }  // namespace
