@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Trace-driven scenario suite with behavior-regression verdicts.
+ *
+ * Runs every scenario in workloads::ScenarioLibrary() — the realistic
+ * demand shapes and the adversarial storms — and gates on *behavior*,
+ * not speed:
+ *
+ *  1. Determinism: each scenario must produce an identical fleet trace
+ *     hash, driver hash, event total, and behavior counter vector at
+ *     1, 2, and 8 worker threads. Any divergence fails the bench.
+ *  2. Regression: each scenario writes BENCH_scenario_<name>.json
+ *     whose "behavior" table holds the full verdict-counter vector
+ *     (safeguard triggers, arbiter conflicts and denials, prediction
+ *     drops, short-circuit epochs, epoch-latency percentiles in
+ *     virtual ns). CI diffs those tables against the committed golden
+ *     baselines in bench/baselines/ via tools/check_bench_verdicts.py,
+ *     so a change in what the runtime *does* under a storm — not just
+ *     how fast it does it — fails the build.
+ *
+ * --smoke runs the CI shape (the mode the baselines are recorded in);
+ * the default full shape is for local investigation. Wall-clock
+ * numbers are report-only everywhere: virtual-time behavior is the
+ * product under test.
+ */
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/metric_registry.h"
+#include "workloads/scenarios.h"
+
+using sol::telemetry::BenchJson;
+using sol::telemetry::TableWriter;
+using sol::workloads::RunScenario;
+using sol::workloads::SameBehavior;
+using sol::workloads::Scenario;
+using sol::workloads::ScenarioLibrary;
+using sol::workloads::ScenarioOptions;
+using sol::workloads::ScenarioResult;
+
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+std::string
+Hex(std::uint64_t value)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << value;
+    return os.str();
+}
+
+void
+ListScenarios()
+{
+    TableWriter table({"scenario", "kind", "summary"});
+    for (const Scenario& s : ScenarioLibrary()) {
+        table.AddRow(
+            {s.name, s.adversarial ? "adversarial" : "realistic",
+             s.summary});
+    }
+    table.Print(std::cout);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string only;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--list") {
+            ListScenarios();
+            return 0;
+        } else if (arg == "--scenario" && i + 1 < argc) {
+            only = argv[++i];
+        } else {
+            std::cerr << "usage: scenario_suite [--smoke] [--list] "
+                      << "[--scenario <name>]\n";
+            return 2;
+        }
+    }
+    if (!only.empty() && sol::workloads::FindScenario(only) == nullptr) {
+        std::cerr << "unknown scenario: " << only
+                  << " (try --list)\n";
+        return 2;
+    }
+
+    std::cout << "=== scenario_suite: trace-driven & adversarial "
+              << "workloads, behavior-gated ===\n";
+    std::cout << "(mode: " << (smoke ? "smoke" : "full")
+              << "; every scenario must be behavior-identical at 1/2/8 "
+              << "worker threads)\n\n";
+
+    TableWriter summary({"scenario", "kind", "agents", "events",
+                         "epochs", "safeguards", "denials",
+                         "trace hash", "1/2/8 threads"});
+    bool all_deterministic = true;
+    std::size_t ran = 0;
+
+    for (const Scenario& scenario : ScenarioLibrary()) {
+        if (!only.empty() && scenario.name != only) {
+            continue;
+        }
+        ++ran;
+
+        std::vector<ScenarioResult> runs;
+        for (const std::size_t threads : kThreadCounts) {
+            ScenarioOptions options;
+            options.num_threads = threads;
+            options.smoke = smoke;
+            runs.push_back(RunScenario(scenario, options));
+        }
+        const ScenarioResult& base = runs.front();
+
+        bool deterministic = true;
+        for (const ScenarioResult& run : runs) {
+            if (!SameBehavior(base, run)) {
+                deterministic = false;
+                std::cerr << "FAIL: " << scenario.name
+                          << " diverged at " << run.threads
+                          << " threads (hash " << Hex(run.fleet_trace_hash)
+                          << " vs " << Hex(base.fleet_trace_hash)
+                          << ", events " << run.total_events << " vs "
+                          << base.total_events << ")\n";
+            }
+        }
+        all_deterministic = all_deterministic && deterministic;
+
+        summary.AddRow(
+            {scenario.name,
+             scenario.adversarial ? "adversarial" : "realistic",
+             std::to_string(base.Counter("agents")),
+             std::to_string(base.total_events),
+             std::to_string(base.Counter("epochs")),
+             std::to_string(base.Counter("safeguard_triggers")),
+             std::to_string(base.Counter("expands_denied")),
+             Hex(base.fleet_trace_hash),
+             deterministic ? "identical" : "DIVERGED"});
+
+        // One JSON per scenario so baselines stay independently
+        // updatable and a drift report names the scenario directly.
+        BenchJson json("scenario_" + scenario.name);
+
+        TableWriter run_table({"mode", "nodes", "synthetics/node",
+                               "horizon ms", "seed", "threads checked",
+                               "deterministic", "fleet trace hash",
+                               "driver hash", "events", "wall s"});
+        run_table.AddRow(
+            {smoke ? "smoke" : "full",
+             std::to_string(base.shape.num_nodes),
+             std::to_string(base.shape.synthetic_agents),
+             TableWriter::Num(sol::sim::ToMillis(base.shape.horizon), 0),
+             std::to_string(scenario.base_seed), "1/2/8",
+             deterministic ? "yes" : "NO",
+             Hex(base.fleet_trace_hash), Hex(base.driver_hash),
+             std::to_string(base.total_events),
+             TableWriter::Num(base.wall_seconds, 3)});
+        json.AddTable("run", run_table);
+
+        TableWriter behavior_table({"metric", "value"});
+        for (const auto& [metric, value] : base.behavior) {
+            behavior_table.AddRow({metric, std::to_string(value)});
+        }
+        json.AddTable("behavior", behavior_table);
+        json.WriteFile();
+    }
+
+    summary.Print(std::cout);
+    std::cout << "\nBehavior tables land in BENCH_scenario_<name>.json; "
+              << "tools/check_bench_verdicts.py diffs them against "
+              << "bench/baselines/ and fails CI on drift.\n";
+
+    if (ran == 0) {
+        std::cerr << "FAIL: no scenario ran\n";
+        return 2;
+    }
+    if (!all_deterministic) {
+        std::cerr << "FAIL: behavior diverged across thread counts\n";
+        return 1;
+    }
+    return 0;
+}

@@ -181,6 +181,8 @@ MultiAgentNode::MultiAgentNode(sim::EventQueue& queue,
         cfg.domain = i % 2 == 0
                          ? core::ActuationDomain::kTelemetryBudget
                          : core::ActuationDomain::kMemoryPlacement;
+        cfg.trace_driver = config_.trace_driver;
+        cfg.tenant = config_.node_index * config_.synthetic_agents + i;
         if (config_.customize_synthetic) {
             config_.customize_synthetic(i, cfg);
         }

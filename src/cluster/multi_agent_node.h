@@ -66,6 +66,23 @@ struct MultiAgentNodeConfig {
     /** Per-node RNG stream seed; drives workloads and agent seeds. */
     std::uint64_t seed = 1;
 
+    /**
+     * Global fleet index of this node (NodeShard sets it from the
+     * node's global position). Only used to derive fleet-global tenant
+     * indices for the trace driver, so single-node deployments can
+     * leave it 0.
+     */
+    std::size_t node_index = 0;
+
+    /**
+     * Trace-driven demand oracle applied to every synthetic agent on
+     * the node (workloads/trace_driver.h); null (the default) keeps
+     * the flat synthetic-periodic load every prior PR hashed. Not
+     * owned; must outlive the node. Synthetic i consults it as tenant
+     * `node_index * synthetic_agents + i`.
+     */
+    const workloads::TraceDriver* trace_driver = nullptr;
+
     /** Which agents run; disabled agents leave their substrate idle. */
     bool run_overclock = true;
     bool run_harvest = true;

@@ -39,6 +39,7 @@ NodeShard::NodeShard(const NodeShardConfig& config)
         node_config.name = "node" + std::to_string(global);
         node_config.seed =
             sim::DeriveStreamSeed(config_.base_seed, global);
+        node_config.node_index = global;
         node_config.trace = trace_;
         nodes_.push_back(
             std::make_unique<MultiAgentNode>(queue_, node_config));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "workloads/trace_driver.h"
+
 namespace sol::cluster {
 
 namespace {
@@ -32,7 +34,15 @@ SyntheticModel::CollectData()
 {
     // Mean-reverting random walk, bounded well inside the valid band.
     signal_ = 0.95 * signal_ + rng_.NextGaussian();
-    if (rng_.NextBool(config_.invalid_fraction)) {
+    double invalid_fraction = config_.invalid_fraction;
+    if (config_.trace_driver != nullptr) {
+        // Correlated invalid-data storms: the rate is a pure function
+        // of (tenant, virtual time), so the RNG stream stays in sync
+        // across runs, thread counts, and node backends.
+        invalid_fraction = config_.trace_driver->InvalidRateAt(
+            config_.tenant, clock_.Now(), invalid_fraction);
+    }
+    if (rng_.NextBool(invalid_fraction)) {
         return kFaultValue;  // Out-of-range reading (driver glitch).
     }
     return signal_;
@@ -49,6 +59,7 @@ SyntheticModel::CommitData(sim::TimePoint /*time*/, const double& data)
 {
     epoch_sum_ += data;
     ++epoch_count_;
+    ++epoch_commits_;
 }
 
 void
@@ -59,6 +70,7 @@ SyntheticModel::UpdateModel()
     }
     epoch_sum_ = 0.0;
     epoch_count_ = 0;
+    epoch_commits_ = 0;
 }
 
 core::Prediction<double>
@@ -71,8 +83,39 @@ SyntheticModel::ModelPredict()
 core::Prediction<double>
 SyntheticModel::DefaultPredict()
 {
+    epoch_commits_ = 0;  // Epoch exit (see header); harmless double
+                         // reset on the interception path.
     return core::MakeDefaultPrediction(0.0, clock_.Now(),
                                        config_.prediction_ttl);
+}
+
+bool
+SyntheticModel::AssessModel()
+{
+    // Mid-run model degradation: scripted by storm window, recovered
+    // the moment the window closes (the engine keeps the model
+    // learning and re-assesses every epoch).
+    return config_.trace_driver == nullptr ||
+           !config_.trace_driver->ModelDegradedAt(config_.tenant,
+                                                  clock_.Now());
+}
+
+bool
+SyntheticModel::ShortCircuitEpoch()
+{
+    if (config_.trace_driver == nullptr) {
+        return false;
+    }
+    const int target = config_.trace_driver->EpochTargetAt(
+        config_.tenant, clock_.Now(), config_.data_per_epoch);
+    if (target >= config_.data_per_epoch) {
+        // Full demand: let the engine's own completeness check end the
+        // epoch (the engine tests ShortCircuitEpoch *before* it, so
+        // returning true here would turn every epoch into a
+        // short-circuit and suppress model-driven actuation entirely).
+        return false;
+    }
+    return epoch_commits_ >= static_cast<std::uint64_t>(target);
 }
 
 SyntheticActuator::SyntheticActuator(const SyntheticAgentConfig& config)
@@ -84,7 +127,15 @@ void
 SyntheticActuator::TakeAction(std::optional<core::Prediction<double>> pred)
 {
     const bool model_driven = pred.has_value() && !pred->is_default;
-    if (model_driven && rng_.NextBool(config_.expand_fraction)) {
+    double expand_fraction = config_.expand_fraction;
+    if (config_.trace_driver != nullptr && clock_ != nullptr) {
+        // Actuation pressure follows demand: flash crowds raise the
+        // expand probability (arbiter conflicts/denials spike), quiet
+        // periods lower it.
+        expand_fraction = config_.trace_driver->ExpandFractionAt(
+            config_.tenant, clock_->Now(), expand_fraction);
+    }
+    if (model_driven && rng_.NextBool(expand_fraction)) {
         if (core::AdmitActuation(governor_, config_.name, config_.domain,
                                  core::ActuationIntent::kExpand,
                                  std::abs(pred->value))) {
@@ -104,10 +155,18 @@ SyntheticActuator::AssessPerformance()
     // Scripted failure window: assessments are 1-indexed, so a config
     // of {from=3, count=2} fails exactly the 3rd and 4th assessment.
     ++assessments_seen_;
-    return config_.fail_assessments_from == 0 ||
-           assessments_seen_ < config_.fail_assessments_from ||
-           assessments_seen_ >= config_.fail_assessments_from +
-                                    config_.fail_assessments_count;
+    const bool scripted_ok =
+        config_.fail_assessments_from == 0 ||
+        assessments_seen_ < config_.fail_assessments_from ||
+        assessments_seen_ >= config_.fail_assessments_from +
+                                 config_.fail_assessments_count;
+    // Storm-scripted failures (cascading safeguard trips): fail while
+    // a fail_actuator window covers this tenant, recover after it.
+    const bool storm_failing =
+        config_.trace_driver != nullptr && clock_ != nullptr &&
+        config_.trace_driver->ActuatorFailingAt(config_.tenant,
+                                                clock_->Now());
+    return scripted_ok && !storm_failing;
 }
 
 void
@@ -171,6 +230,23 @@ MakeSyntheticSchedule(const SyntheticAgentConfig& config)
                                         sim::Nanos(1));
         }
     }
+
+    // Zipfian tenant popularity: cold tenants collect up to
+    // cadence_stretch x slower than hot ones. A pure construction-time
+    // scale (no RNG draw), identical in both node backends.
+    if (config.trace_driver != nullptr) {
+        const double scale =
+            config.trace_driver->CadenceScale(config.tenant);
+        if (scale > 1.0) {
+            const auto stretched = static_cast<std::int64_t>(
+                static_cast<double>(
+                    schedule.data_collect_interval.count()) *
+                scale);
+            schedule.data_collect_interval =
+                std::max<sim::Duration>(sim::Nanos(stretched),
+                                        sim::Nanos(1));
+        }
+    }
     return schedule;
 }
 
@@ -185,6 +261,7 @@ SyntheticAgent::SyntheticAgent(sim::EventQueue& queue,
                options)
 {
     actuator_.SetGovernor(governor);
+    actuator_.SetClock(&queue);
 }
 
 }  // namespace sol::cluster

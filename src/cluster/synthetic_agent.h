@@ -34,6 +34,10 @@
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 
+namespace sol::workloads {
+class TraceDriver;
+}  // namespace sol::workloads
+
 namespace sol::cluster {
 
 /** Tunables for one synthetic agent. */
@@ -88,6 +92,22 @@ struct SyntheticAgentConfig {
     /** Shared-resource domain this agent contends on. */
     core::ActuationDomain domain = core::ActuationDomain::kTelemetryBudget;
 
+    // --- Demand modulation (defaults off) ------------------------------
+    /**
+     * Trace-driven demand oracle (workloads/trace_driver.h); null (the
+     * default) keeps the flat behavior above, bit-for-bit. When set,
+     * the agent evaluates its invalid-read probability, expand
+     * probability, per-epoch sample target, and model/actuator health
+     * as pure functions of virtual time — so a modulated fleet stays
+     * exactly as deterministic as an unmodulated one. Not owned; must
+     * outlive the agent.
+     */
+    const workloads::TraceDriver* trace_driver = nullptr;
+
+    /** Fleet-global tenant index the driver keys popularity and storm
+     *  ranges on (node_index * synthetics_per_node + agent index). */
+    std::size_t tenant = 0;
+
     // --- Scripted faults (defaults off) --------------------------------
     /**
      * 1-based index of the first actuator assessment that fails (0 =
@@ -117,7 +137,8 @@ class SyntheticModel : public core::Model<double, double>
     void UpdateModel() override;
     core::Prediction<double> ModelPredict() override;
     core::Prediction<double> DefaultPredict() override;
-    bool AssessModel() override { return true; }
+    bool AssessModel() override;
+    bool ShortCircuitEpoch() override;
 
   private:
     const SyntheticAgentConfig& config_;
@@ -127,6 +148,13 @@ class SyntheticModel : public core::Model<double, double>
     double epoch_sum_ = 0.0;
     std::uint64_t epoch_count_ = 0;
     double model_value_ = 0.0;   ///< Snapshot taken by UpdateModel.
+    /** Valid samples committed this epoch. Unlike epoch_count_ (which
+     *  deliberately carries over deadline-truncated epochs so the mean
+     *  keeps converging), this resets on *every* epoch exit — both
+     *  UpdateModel and DefaultPredict, which together cover all of
+     *  EpochEngine::FinishEpoch's paths — because the demand-driven
+     *  ShortCircuitEpoch target is a per-epoch quota. */
+    std::uint64_t epoch_commits_ = 0;
 };
 
 /**
@@ -145,6 +173,12 @@ class SyntheticActuator : public core::Actuator<double>
     {
         governor_ = governor;
     }
+
+    /** Installs the agent's time source (may be nullptr). Only needed
+     *  when config.trace_driver is set: the actuator evaluates its
+     *  demand-scaled expand probability and storm-scripted assessment
+     *  failures at clock->Now(). */
+    void SetClock(const sim::Clock* clock) { clock_ = clock; }
 
     void TakeAction(std::optional<core::Prediction<double>> pred) override;
     bool AssessPerformance() override;
@@ -172,6 +206,7 @@ class SyntheticActuator : public core::Actuator<double>
     const SyntheticAgentConfig& config_;
     sim::Rng rng_;
     core::ActuationGovernor* governor_ = nullptr;
+    const sim::Clock* clock_ = nullptr;
     std::atomic<bool> holding_{false};
     std::atomic<std::uint64_t> expands_admitted_{0};
     std::atomic<std::uint64_t> expands_denied_{0};

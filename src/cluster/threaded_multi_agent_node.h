@@ -243,6 +243,7 @@ class ThreadedSyntheticAgent
     {
         clock_.Bind(&runtime_.clock());
         actuator_.SetGovernor(governor);
+        actuator_.SetClock(&clock_);
     }
 
     const std::string& name() const { return config_.name; }
@@ -741,6 +742,9 @@ class ThreadedMultiAgentNode
             cfg.domain = i % 2 == 0
                              ? core::ActuationDomain::kTelemetryBudget
                              : core::ActuationDomain::kMemoryPlacement;
+            cfg.trace_driver = config_.trace_driver;
+            cfg.tenant =
+                config_.node_index * config_.synthetic_agents + i;
             if (config_.customize_synthetic) {
                 config_.customize_synthetic(i, cfg);
             }

@@ -186,11 +186,18 @@ JsonNumber(double v)
     return ss.str();
 }
 
-/** True when a table cell parses fully as a finite double. */
+/** True when a table cell parses fully as a finite double. "0x..."
+ *  cells are excluded even though strtod accepts C99 hex floats: they
+ *  are 64-bit trace-hash fingerprints, and a double would silently
+ *  truncate them past 2^53 — they must survive as exact strings. */
 bool
 LooksNumeric(const std::string& cell, double* value)
 {
     if (cell.empty()) {
+        return false;
+    }
+    if (cell.size() > 1 && cell[0] == '0' &&
+        (cell[1] == 'x' || cell[1] == 'X')) {
         return false;
     }
     char* end = nullptr;

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Seeded, deterministic demand-curve engine for trace-driven scenarios.
+ *
+ * Every result before this subsystem was produced under flat
+ * synthetic-periodic load: each synthetic agent collected at a fixed
+ * cadence with fixed invalid-data and actuation-pressure rates. Real
+ * fleets see none of that uniformity — tenant popularity is Zipfian,
+ * demand follows diurnal cycles, flash crowds arrive, and faults come
+ * correlated (an entire shard's telemetry goes bad at once). The
+ * TraceDriver is the workload-generator answer (in the YCSB shape):
+ * a compact description of *demand over virtual time* that the
+ * synthetic agents consult to modulate
+ *
+ *   - collection density: low demand shrinks the per-epoch sample
+ *     target (via Model::ShortCircuitEpoch), so quiet tenants learn on
+ *     sparse data and fall back to conservative default actions, while
+ *     peak demand fills full epochs and re-enables model-driven
+ *     actuation;
+ *   - data validity: storm windows push a tenant range's invalid-read
+ *     probability up to adversarial levels (correlated invalid-data
+ *     storms across a shard);
+ *   - actuation pressure: the expand probability scales with demand
+ *     (and a configurable gain), so flash crowds translate into
+ *     arbiter conflict/denial spikes;
+ *   - fault injection: storm windows can degrade a tenant's model
+ *     (AssessModel fails) or its actuator (AssessPerformance fails),
+ *     scripting mid-run safeguard trips and recoveries.
+ *
+ * Determinism is the load-bearing property. Every query is a *pure
+ * function of (config, tenant, virtual time)* — the driver holds no
+ * mutable state, so a fleet consulting it is exactly as deterministic
+ * as one that does not: identical trace hashes and behavior counters at
+ * any worker-thread count, and bit-identical behavior between the
+ * simulated and threaded node backends (tests/scenario_test.cc and
+ * tests/node_parity_test.cc hold both). Curve math deliberately avoids
+ * transcendental libm calls whose last-ulp rounding varies across
+ * platforms: the diurnal cycle is a triangle wave (add/mul/div only,
+ * all correctly rounded under IEEE-754), Zipf weights special-case the
+ * classic skew=1 to an exact division, and every continuous output is
+ * quantized to a fixed grid so committed golden baselines
+ * (bench/baselines/) survive toolchain changes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sol::workloads {
+
+/** Shape of the fleet-wide demand level over virtual time. */
+enum class DemandCurveKind {
+    kFlat,        ///< Constant `base`.
+    kRamp,        ///< Linear base -> peak over the first `period`.
+    kStep,        ///< `base` before `at`, `peak` from `at` on.
+    kDiurnal,     ///< Triangle wave base..peak with cycle `period`.
+    kFlashCrowd,  ///< `base`, except `peak` in [at, at + duration).
+};
+
+/** One demand curve (levels are fractions of full demand, in (0, 1]). */
+struct DemandCurve {
+    DemandCurveKind kind = DemandCurveKind::kFlat;
+    double base = 1.0;
+    double peak = 1.0;
+    /** Cycle length (kDiurnal) or ramp length (kRamp). */
+    sim::Duration period = sim::Seconds(10);
+    /** Transition instant (kStep) or burst start (kFlashCrowd). */
+    sim::TimePoint at{0};
+    /** Burst length (kFlashCrowd). */
+    sim::Duration duration{0};
+};
+
+/**
+ * A correlated fault window over a contiguous tenant range. Tenants are
+ * numbered node-major (tenant = node_index * synthetics_per_node + i),
+ * so a range is a set of whole nodes/shards — the "entire shard's data
+ * goes bad at once" adversarial shape.
+ */
+struct StormWindow {
+    sim::TimePoint from{0};
+    sim::TimePoint until{0};  ///< Exclusive.
+    std::size_t tenant_begin = 0;
+    std::size_t tenant_end = 0;  ///< Exclusive.
+    /** Invalid-read probability inside the window (< 0 keeps the
+     *  agent's configured base rate — a pure degrade/fail storm). */
+    double invalid_rate = -1.0;
+    /** Model assessments fail inside the window (mid-run model
+     *  degradation; the safeguard intercepts predictions). */
+    bool degrade_model = false;
+    /** Actuator assessments fail inside the window (safeguard trips,
+     *  halts actuation, mitigates; recovery after the window). */
+    bool fail_actuator = false;
+};
+
+/** Full description of one demand trace. */
+struct TraceDriverConfig {
+    /** Identifies the trace; folded into trace_hash(). */
+    std::uint64_t seed = 1;
+
+    /** Tenants the Zipf popularity ranking spans (one synthetic agent
+     *  per tenant; see MultiAgentNodeConfig::node_index). */
+    std::size_t num_tenants = 1;
+
+    /**
+     * Zipf popularity skew: tenant rank r gets weight 1/(r+1)^skew,
+     * normalized so the hottest tenant has weight 1. 0 = uniform.
+     * skew == 1 (the classic distribution) is computed with an exact
+     * division; other values go through std::pow (see file comment).
+     */
+    double zipf_skew = 0.0;
+
+    DemandCurve curve;
+
+    /** Floor on DemandAt so an epoch target never reaches zero. */
+    double min_demand = 0.2;
+
+    /**
+     * How much slower the coldest tenant collects than the hottest
+     * (schedule-construction-time scaling of the collect interval).
+     * 1 (default) keeps the fleet cadence uniform.
+     */
+    double cadence_stretch = 1.0;
+
+    /** Gain on the demand-scaled expand probability: pressure at
+     *  demand d is base_expand * d * pressure_gain (clamped to [0,1]). */
+    double pressure_gain = 1.0;
+
+    std::vector<StormWindow> storms;
+};
+
+/**
+ * Immutable demand oracle the synthetic agents consult. Thread-safe by
+ * construction (const state only); one instance is shared by every
+ * node of a fleet run.
+ */
+class TraceDriver
+{
+  public:
+    explicit TraceDriver(TraceDriverConfig config);
+
+    /** Popularity weight of a tenant in (0, 1]; hottest tenant = 1.
+     *  Quantized to 1/1024 steps. */
+    double TenantWeight(std::size_t tenant) const;
+
+    /** Fleet demand level at `t`, in [min_demand, 1], quantized to
+     *  1/4096 steps. */
+    double DemandAt(sim::TimePoint t) const;
+
+    /** Construction-time factor (>= 1) on a tenant's collect interval:
+     *  1 for the hottest tenant, `cadence_stretch` for weight-0. */
+    double CadenceScale(std::size_t tenant) const;
+
+    /** Invalid-read probability for (tenant, t): the innermost active
+     *  storm's rate, else `base`. */
+    double InvalidRateAt(std::size_t tenant, sim::TimePoint t,
+                         double base) const;
+
+    /** Demand-scaled expand probability (see pressure_gain). */
+    double ExpandFractionAt(std::size_t tenant, sim::TimePoint t,
+                            double base) const;
+
+    /**
+     * Per-epoch valid-sample target under the demand at `t`:
+     * ceil(demand * data_per_epoch), clamped to [1, data_per_epoch].
+     * Equal to data_per_epoch at full demand (normal epochs); smaller
+     * targets end epochs early via Model::ShortCircuitEpoch, which the
+     * engine counts as short-circuit epochs (conservative defaults).
+     */
+    int EpochTargetAt(std::size_t tenant, sim::TimePoint t,
+                      int data_per_epoch) const;
+
+    /** True while a degrade_model storm covers (tenant, t). */
+    bool ModelDegradedAt(std::size_t tenant, sim::TimePoint t) const;
+
+    /** True while a fail_actuator storm covers (tenant, t). */
+    bool ActuatorFailingAt(std::size_t tenant, sim::TimePoint t) const;
+
+    /** FNV-1a fingerprint of the whole config (quantized weights
+     *  included): two drivers with equal hashes produce identical
+     *  modulation for every (tenant, t). */
+    std::uint64_t trace_hash() const { return hash_; }
+
+    const TraceDriverConfig& config() const { return config_; }
+
+  private:
+    /** Demand before the min_demand clamp and quantization. */
+    double RawDemandAt(sim::TimePoint t) const;
+
+    const StormWindow* ActiveStorm(std::size_t tenant, sim::TimePoint t,
+                                   bool (*flag)(const StormWindow&)) const;
+
+    TraceDriverConfig config_;
+    std::vector<double> weights_;  ///< Quantized, index = tenant rank.
+    std::uint64_t hash_ = 0;
+};
+
+}  // namespace sol::workloads

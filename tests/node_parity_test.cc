@@ -41,6 +41,7 @@
 #include "cluster/threaded_multi_agent_node.h"
 #include "core/manual_clock.h"
 #include "sim/event_queue.h"
+#include "workloads/trace_driver.h"
 
 namespace sol::cluster {
 namespace {
@@ -62,6 +63,9 @@ struct NodeScenario {
     sim::Duration horizon = Millis(80);
     bool safeguard = false;
     std::vector<ScriptedRestart> restarts;
+    /** Optional demand oracle (must not stretch cadence: the harness
+     *  timeline is built from the prime intervals). */
+    const workloads::TraceDriver* trace_driver = nullptr;
     /** Applied on top of the harness baseline (never override
      *  data_collect_interval / assess_actuator_interval — the harness
      *  owns the timing). */
@@ -103,6 +107,7 @@ MakeNodeConfig(const NodeScenario& scenario,
     config.run_memory = false;
     config.run_monitor = false;
     config.synthetic_agents = scenario.num_agents;
+    config.trace_driver = scenario.trace_driver;
     config.runtime.blocking_actuator = true;
     config.runtime.disable_actuator_safeguard = !scenario.safeguard;
     const bool safeguard = scenario.safeguard;
@@ -500,6 +505,51 @@ TEST(NodeParityTest, MixedFleetWithDefaultEpochShapeAndRestart)
 
     EXPECT_GT(sim.aggregate.epochs, 0u);
     EXPECT_GT(sim.aggregate.invalid_samples, 0u);
+}
+
+TEST(NodeParityTest, TraceDrivenFlashCrowdMatchesSimulatedNode)
+{
+    // A TraceDriver flash crowd over both backends: demand 0.5 outside
+    // the 60-100 ms flash window (epoch targets shrink to 3 of 5
+    // samples, epochs short-circuit into default actions), full demand
+    // plus 2x actuation pressure inside it (full epochs, model-driven
+    // expands). The driver is a pure function of the virtual clock and
+    // both backends read the same instants, so every modulated counter
+    // — short-circuits, model updates, arbiter admissions — must stay
+    // field-for-field identical. No cadence stretch: the harness
+    // timeline owns the tick instants.
+    NodeScenario scenario;
+    scenario.num_agents = 8;
+    scenario.horizon = Millis(160);
+    scenario.safeguard = false;
+    scenario.customize = [](std::size_t, SyntheticAgentConfig& cfg) {
+        cfg.expand_fraction = 0.6;
+    };
+
+    workloads::TraceDriverConfig driver_config;
+    driver_config.seed = 21;
+    driver_config.num_tenants = scenario.num_agents;
+    driver_config.curve.kind = workloads::DemandCurveKind::kFlashCrowd;
+    driver_config.curve.base = 0.5;
+    driver_config.curve.peak = 1.0;
+    driver_config.curve.at = sim::TimePoint(Millis(60));
+    driver_config.curve.duration = Millis(40);
+    driver_config.pressure_gain = 2.0;
+    const workloads::TraceDriver driver(driver_config);
+    scenario.trace_driver = &driver;
+
+    const auto intervals = PrimeIntervals(scenario.num_agents);
+    const NodeLegResult sim = RunSimNodeLeg(scenario, intervals);
+    const NodeLegResult threaded =
+        RunThreadedNodeLeg(scenario, intervals);
+    ExpectNodeParity(sim, threaded);
+
+    // The modulation really happened on both sides: thin epochs outside
+    // the flash, full model-driven epochs inside it.
+    EXPECT_GT(sim.aggregate.short_circuit_epochs, 0u);
+    EXPECT_GT(sim.aggregate.model_updates, 0u);
+    EXPECT_GT(sim.aggregate.default_predictions, 0u);
+    EXPECT_GT(sim.arbiter_requests, 0u);
 }
 
 }  // namespace

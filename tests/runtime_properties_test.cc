@@ -5,8 +5,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "core/sim_runtime.h"
 #include "sim/event_queue.h"
@@ -224,6 +228,214 @@ TEST_P(StallSweepTest, ActuatorKeepsActingThroughStalls)
 
 INSTANTIATE_TEST_SUITE_P(Stalls, StallSweepTest,
                          ::testing::Values(50, 200, 500, 900));
+
+// --- EventQueue differential test --------------------------------------
+//
+// The arena-backed pairing heap must be observationally identical to
+// the obviously-correct reference: a sorted vector popping the strict
+// (time, insertion-sequence) minimum. A long seeded stream of mixed
+// schedule/cancel/step/run-until operations is applied to both; any
+// divergence in execution order, clock position, or counter accounting
+// fails. Cancels target random live handles (and occasionally stale
+// ones, which must be no-ops on both sides).
+
+/** Reference model: the queue semantics in their simplest form. */
+class ReferenceQueue
+{
+  public:
+    void
+    Schedule(std::int64_t when, int id)
+    {
+        pending_.push_back({when, next_seq_++, id});
+        ++scheduled_;
+    }
+
+    /** True when the id was still pending (mirrors a cancel taking
+     *  effect); stale ids are no-ops. */
+    bool
+    Cancel(int id)
+    {
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+            if (it->id == id) {
+                pending_.erase(it);
+                ++cancelled_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool
+    Step()
+    {
+        const auto it = Earliest();
+        if (it == pending_.end()) {
+            return false;
+        }
+        now_ = std::max(now_, it->when);
+        executed_order_.push_back(it->id);
+        pending_.erase(it);
+        return true;
+    }
+
+    void
+    RunUntil(std::int64_t horizon)
+    {
+        while (true) {
+            const auto it = Earliest();
+            if (it == pending_.end() || it->when > horizon) {
+                break;
+            }
+            now_ = std::max(now_, it->when);
+            executed_order_.push_back(it->id);
+            pending_.erase(it);
+        }
+        now_ = std::max(now_, horizon);
+    }
+
+    std::int64_t now() const { return now_; }
+    std::size_t pending() const { return pending_.size(); }
+    std::uint64_t scheduled() const { return scheduled_; }
+    std::uint64_t cancelled() const { return cancelled_; }
+    const std::vector<int>& executed_order() const
+    {
+        return executed_order_;
+    }
+
+  private:
+    struct Entry {
+        std::int64_t when;
+        std::uint64_t seq;
+        int id;
+    };
+
+    std::vector<Entry>::iterator
+    Earliest()
+    {
+        auto best = pending_.end();
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+            if (best == pending_.end() || it->when < best->when ||
+                (it->when == best->when && it->seq < best->seq)) {
+                best = it;
+            }
+        }
+        return best;
+    }
+
+    std::vector<Entry> pending_;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t scheduled_ = 0;
+    std::uint64_t cancelled_ = 0;
+    std::int64_t now_ = 0;
+    std::vector<int> executed_order_;
+};
+
+/** Runs the seeded op stream against both queues, checking lockstep
+ *  (void so ASSERT_* can bail; results land in the out-params). */
+void
+RunDifferential(std::uint64_t seed, int num_ops,
+                std::vector<int>* order_out, std::uint64_t* hash_out)
+{
+    EventQueue queue;
+    ReferenceQueue reference;
+    sim::Rng rng(seed);
+
+    std::vector<int> executed_order;
+    std::vector<std::pair<int, sim::EventHandle>> handles;
+    int next_id = 0;
+
+    for (int op = 0; op < num_ops; ++op) {
+        const std::uint64_t choice = rng.NextBelow(100);
+        if (choice < 55) {
+            // Schedule at a random offset; 1-in-5 at the current
+            // instant (same-instant FIFO is the subtle invariant).
+            const std::int64_t offset =
+                rng.NextBool(0.2) ? 0 : rng.NextInRange(0, 5000);
+            const std::int64_t when = queue.Now().count() + offset;
+            const int id = next_id++;
+            sim::EventHandle handle = queue.ScheduleAt(
+                sim::TimePoint(sim::Nanos(when)),
+                [id, &executed_order] { executed_order.push_back(id); });
+            reference.Schedule(when, id);
+            handles.emplace_back(id, std::move(handle));
+        } else if (choice < 70) {
+            // Cancel a random handle — often live, sometimes already
+            // fired or cancelled (must be a no-op on both sides).
+            if (!handles.empty()) {
+                auto& [id, handle] =
+                    handles[rng.NextBelow(handles.size())];
+                const bool was_pending = handle.pending();
+                handle.Cancel();
+                const bool ref_effect = reference.Cancel(id);
+                ASSERT_EQ(was_pending, ref_effect)
+                    << "handle/reference liveness disagreed for " << id;
+            }
+        } else if (choice < 85) {
+            const bool stepped = queue.Step();
+            const bool ref_stepped = reference.Step();
+            ASSERT_EQ(stepped, ref_stepped) << "Step at op " << op;
+        } else {
+            const std::int64_t horizon =
+                queue.Now().count() + rng.NextInRange(0, 3000);
+            queue.RunUntil(sim::TimePoint(sim::Nanos(horizon)));
+            reference.RunUntil(horizon);
+        }
+
+        ASSERT_EQ(queue.Now().count(), reference.now())
+            << "clocks diverged at op " << op;
+        ASSERT_EQ(queue.pending(), reference.pending())
+            << "pending diverged at op " << op;
+        ASSERT_EQ(executed_order.size(),
+                  reference.executed_order().size())
+            << "executed count diverged at op " << op;
+    }
+
+    // Drain both and compare the complete execution order.
+    while (queue.Step()) {
+    }
+    while (reference.Step()) {
+    }
+    EXPECT_EQ(executed_order, reference.executed_order());
+
+    const sim::EventQueueStats stats = queue.stats();
+    EXPECT_EQ(stats.scheduled, reference.scheduled());
+    EXPECT_EQ(stats.cancelled, reference.cancelled());
+    EXPECT_EQ(stats.executed, executed_order.size());
+    EXPECT_EQ(stats.pending, 0u);
+    EXPECT_EQ(stats.dropped, 0u);
+    EXPECT_EQ(stats.scheduled,
+              stats.executed + stats.cancelled + stats.pending);
+
+    *order_out = executed_order;
+    *hash_out = queue.trace_hash();
+}
+
+class EventQueueDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(EventQueueDifferentialTest, MatchesSortedVectorReference)
+{
+    const std::uint64_t seed = GetParam();
+    std::vector<int> order;
+    std::uint64_t hash = 0;
+    RunDifferential(seed, 10'000, &order, &hash);
+    if (testing::Test::HasFatalFailure()) {
+        return;
+    }
+    EXPECT_FALSE(order.empty());
+
+    // The same seed must replay the same order and trace fingerprint.
+    std::vector<int> order2;
+    std::uint64_t hash2 = 0;
+    RunDifferential(seed, 10'000, &order2, &hash2);
+    EXPECT_EQ(order, order2);
+    EXPECT_EQ(hash, hash2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueDifferentialTest,
+                         ::testing::Values(1u, 42u, 0xdeadbeefu));
 
 }  // namespace
 }  // namespace sol::core

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Behavior-determinism gates for the trace-driven scenario library.
+ *
+ * Three properties, per scenario:
+ *   1. Repeatability — the same scenario replays an identical trace
+ *      hash and behavior counter vector run over run.
+ *   2. Thread-count invariance — 1, 2, and 8 worker threads produce
+ *      byte-identical behavior (the property the committed baselines
+ *      in bench/baselines/ lean on).
+ *   3. Signature — each adversarial scenario actually exhibits the
+ *      pathology it advertises (invalid-data spike, safeguard cascade,
+ *      model-degradation interceptions) relative to the steady-state
+ *      control, and the flat control itself is bit-identical to an
+ *      entirely unmodulated fleet.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "fleet/fleet_runner.h"
+#include "workloads/scenarios.h"
+
+namespace sol::workloads {
+namespace {
+
+/** Copy with a reduced smoke shape: 8 single-node shards so an
+ *  8-thread run really uses 8 workers, and a short horizon to keep the
+ *  sweep cheap under TSan. */
+Scenario
+Shrunk(const Scenario& scenario)
+{
+    Scenario copy = scenario;
+    copy.smoke = ScenarioShape{8, 4, sim::Millis(500)};
+    return copy;
+}
+
+ScenarioResult
+RunSmoke(const Scenario& scenario, std::size_t threads)
+{
+    ScenarioOptions options;
+    options.num_threads = threads;
+    options.smoke = true;
+    return RunScenario(scenario, options);
+}
+
+TEST(ScenarioLibrary, ShapeAndLookup)
+{
+    const auto& library = ScenarioLibrary();
+    ASSERT_GE(library.size(), 6u);
+
+    std::size_t adversarial = 0;
+    std::set<std::string> names;
+    for (const Scenario& scenario : library) {
+        EXPECT_TRUE(names.insert(scenario.name).second)
+            << "duplicate scenario name " << scenario.name;
+        EXPECT_FALSE(scenario.summary.empty()) << scenario.name;
+        EXPECT_TRUE(scenario.build_driver != nullptr) << scenario.name;
+        EXPECT_EQ(FindScenario(scenario.name), &scenario);
+        adversarial += scenario.adversarial ? 1 : 0;
+    }
+    EXPECT_GE(adversarial, 3u);
+    EXPECT_EQ(FindScenario("no_such_scenario"), nullptr);
+}
+
+class ScenarioDeterminismTest
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ScenarioDeterminismTest, BehaviorIdenticalAcrossRunsAndThreads)
+{
+    const Scenario* scenario = FindScenario(GetParam());
+    ASSERT_NE(scenario, nullptr);
+    const Scenario shrunk = Shrunk(*scenario);
+
+    const ScenarioResult base = RunSmoke(shrunk, 1);
+
+    // Sanity on the base run before comparing anything against it.
+    EXPECT_EQ(base.Counter("agents"),
+              shrunk.smoke.num_nodes *
+                  (shrunk.smoke.synthetic_agents + 4));
+    EXPECT_GT(base.total_events, 0u);
+    EXPECT_EQ(base.Counter("queue_dropped"), 0u);
+    EXPECT_EQ(base.Counter("epochs"),
+              base.Counter("model_updates") +
+                  base.Counter("short_circuit_epochs"));
+    EXPECT_FALSE(base.behavior.empty());
+
+    const ScenarioResult again = RunSmoke(shrunk, 1);
+    EXPECT_TRUE(SameBehavior(base, again))
+        << "repeat run diverged for " << shrunk.name;
+
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+        const ScenarioResult run = RunSmoke(shrunk, threads);
+        EXPECT_TRUE(SameBehavior(base, run))
+            << shrunk.name << " diverged at " << threads << " threads";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Library, ScenarioDeterminismTest,
+    ::testing::Values("steady_state", "zipf_hotspots", "diurnal_cycle",
+                      "flash_crowd", "invalid_storm",
+                      "cascading_safeguards", "model_degradation"));
+
+TEST(ScenarioBehavior, SteadyStateEqualsDriverlessFleet)
+{
+    // The flat-demand control must be a no-op modulation: the exact
+    // trace an unmodulated fleet of the same shape and seed produces.
+    const Scenario* scenario = FindScenario("steady_state");
+    ASSERT_NE(scenario, nullptr);
+    const ScenarioResult driven = RunSmoke(*scenario, 1);
+
+    fleet::FleetConfig fleet;
+    fleet.num_nodes = scenario->smoke.num_nodes;
+    fleet.num_shards = scenario->smoke.num_nodes;
+    fleet.num_threads = 1;
+    fleet.base_seed = scenario->base_seed;
+    fleet.window = sim::Millis(100);
+    fleet.queue_pending_limit = std::size_t{1} << 20;
+    fleet.node.synthetic_agents = scenario->smoke.synthetic_agents;
+    fleet::ShardedFleetRunner runner(fleet);
+    runner.Run(scenario->smoke.horizon);
+    runner.Stop();
+
+    EXPECT_EQ(driven.fleet_trace_hash, runner.fleet_trace_hash());
+    EXPECT_EQ(driven.total_events, runner.total_executed());
+}
+
+TEST(ScenarioBehavior, AdversarialSignaturesShowAgainstControl)
+{
+    // Full smoke shape: the committed-baseline mode, where each storm
+    // has room to express its pathology.
+    const ScenarioResult steady =
+        RunSmoke(*FindScenario("steady_state"), 1);
+    const ScenarioResult zipf =
+        RunSmoke(*FindScenario("zipf_hotspots"), 1);
+    const ScenarioResult storm =
+        RunSmoke(*FindScenario("invalid_storm"), 1);
+    const ScenarioResult cascade =
+        RunSmoke(*FindScenario("cascading_safeguards"), 1);
+    const ScenarioResult degraded =
+        RunSmoke(*FindScenario("model_degradation"), 1);
+
+    // Zipf: cold tenants collect 3x slower, so the fleet completes
+    // far fewer epochs than the uniform control.
+    EXPECT_LT(zipf.Counter("epochs"), steady.Counter("epochs"));
+
+    // Invalid-data storm: more rejected samples and more epochs dying
+    // short of their data target than the control ever shows.
+    EXPECT_GT(storm.Counter("invalid_samples"),
+              steady.Counter("invalid_samples"));
+    EXPECT_GT(storm.Counter("short_circuit_epochs"),
+              steady.Counter("short_circuit_epochs"));
+
+    // Safeguard cascade: actuator assessments fail across half the
+    // fleet, so trips, mitigations, and halted time all spike.
+    EXPECT_GT(cascade.Counter("safeguard_triggers"),
+              steady.Counter("safeguard_triggers"));
+    EXPECT_GT(cascade.Counter("mitigations"),
+              steady.Counter("mitigations"));
+    EXPECT_GT(cascade.Counter("halted_ns"), steady.Counter("halted_ns"));
+
+    // Model degradation: the model safeguard catches the bad models —
+    // interceptions track failed assessments, and both dwarf the
+    // control's background rate.
+    EXPECT_GT(degraded.Counter("failed_assessments"),
+              3 * steady.Counter("failed_assessments"));
+    EXPECT_EQ(degraded.Counter("failed_assessments"),
+              degraded.Counter("intercepted_predictions"));
+}
+
+}  // namespace
+}  // namespace sol::workloads

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Diff BENCH_scenario_*.json behavior verdicts against golden baselines.
+
+bench/scenario_suite emits one BENCH_scenario_<name>.json per scenario
+whose "behavior" table is the scenario's machine-readable verdict:
+safeguard triggers, arbiter conflicts and denials, prediction drops,
+short-circuit epochs, epoch-latency percentiles, plus the run's fleet
+trace hash. Scenarios are byte-deterministic (pure-virtual-time demand
+modulation on a thread-count-invariant fleet), so these values are
+exact: any difference from the committed baseline in bench/baselines/
+means the runtime's *behavior* changed, and this checker fails CI until
+the change is either fixed or consciously re-baselined with --update.
+
+Usage:
+  tools/check_bench_verdicts.py [--bench-dir build] \
+      [--baseline-dir bench/baselines] [--update] [FILE...]
+
+With FILE arguments only those JSONs are checked; otherwise every
+BENCH_scenario_*.json in --bench-dir. Exit status: 0 all verdicts
+match, 1 behavior drift (or missing baseline), 2 usage/IO error.
+"""
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+# Fields of the "run" table that gate. Wall-clock and thread bookkeeping
+# are report-only; everything else describes *what happened*.
+RUN_GATED = (
+    "mode",
+    "nodes",
+    "synthetics/node",
+    "horizon ms",
+    "seed",
+    "deterministic",
+    "fleet trace hash",
+    "driver hash",
+    "events",
+)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"error: cannot read {path}: {err}")
+
+
+def row_map(doc, section, path):
+    """Single-row section as {header: cell}."""
+    try:
+        sec = doc["sections"][section]
+        return dict(zip(sec["headers"], sec["rows"][0]))
+    except (KeyError, IndexError):
+        raise SystemExit(f"error: {path} has no usable '{section}' table")
+
+
+def behavior_map(doc, section, path):
+    """(metric, value) rows as an ordered {metric: value}."""
+    try:
+        return {row[0]: row[1] for row in doc["sections"][section]["rows"]}
+    except (KeyError, IndexError):
+        raise SystemExit(f"error: {path} has no usable '{section}' table")
+
+
+def check_file(current_path, baseline_path):
+    """Returns a list of human-readable drift lines (empty = clean)."""
+    current = load(current_path)
+    baseline = load(baseline_path)
+    drifts = []
+
+    run_now = row_map(current, "run", current_path)
+    run_base = row_map(baseline, "run", baseline_path)
+    if run_now.get("deterministic") != "yes":
+        drifts.append("run was not thread-count deterministic")
+    for field in RUN_GATED:
+        if run_now.get(field) != run_base.get(field):
+            drifts.append(
+                f"run.{field}: baseline {run_base.get(field)!r} "
+                f"!= current {run_now.get(field)!r}")
+
+    behave_now = behavior_map(current, "behavior", current_path)
+    behave_base = behavior_map(baseline, "behavior", baseline_path)
+    for metric in behave_base:
+        if metric not in behave_now:
+            drifts.append(f"behavior.{metric}: missing from current run")
+        elif behave_now[metric] != behave_base[metric]:
+            drifts.append(
+                f"behavior.{metric}: baseline {behave_base[metric]} "
+                f"!= current {behave_now[metric]}")
+    for metric in behave_now:
+        if metric not in behave_base:
+            drifts.append(
+                f"behavior.{metric}: new metric absent from baseline "
+                f"(re-baseline with --update)")
+    return drifts
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate BENCH_scenario_*.json against golden baselines")
+    parser.add_argument("files", nargs="*", type=pathlib.Path,
+                        help="specific BENCH_scenario_*.json files")
+    parser.add_argument("--bench-dir", type=pathlib.Path,
+                        default=pathlib.Path("."),
+                        help="directory holding fresh BENCH_scenario_*.json")
+    parser.add_argument("--baseline-dir", type=pathlib.Path,
+                        default=pathlib.Path("bench/baselines"),
+                        help="directory of committed golden baselines")
+    parser.add_argument("--update", action="store_true",
+                        help="copy current results over the baselines "
+                             "instead of failing on drift")
+    args = parser.parse_args()
+
+    files = args.files or sorted(args.bench_dir.glob("BENCH_scenario_*.json"))
+    if not files:
+        print(f"error: no BENCH_scenario_*.json under {args.bench_dir}",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        for path in files:
+            shutil.copyfile(path, args.baseline_dir / path.name)
+            print(f"baselined {path.name}")
+        return 0
+
+    failures = 0
+    for path in files:
+        baseline = args.baseline_dir / path.name
+        if not baseline.exists():
+            print(f"FAIL {path.name}: no baseline at {baseline} "
+                  f"(record one with --update)", file=sys.stderr)
+            failures += 1
+            continue
+        drifts = check_file(path, baseline)
+        if drifts:
+            failures += 1
+            print(f"FAIL {path.name}: behavior drifted from baseline:",
+                  file=sys.stderr)
+            for line in drifts:
+                print(f"  {line}", file=sys.stderr)
+        else:
+            print(f"ok   {path.name}")
+
+    if failures:
+        print(f"\n{failures} of {len(files)} scenario verdicts drifted. "
+              f"If the change is intended, re-record with:\n"
+              f"  tools/check_bench_verdicts.py --bench-dir <build> "
+              f"--baseline-dir bench/baselines --update",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(files)} scenario verdicts match the baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
