@@ -1,5 +1,6 @@
 #include "cluster/multi_agent_node.h"
 
+#include <stdexcept>
 #include <utility>
 
 namespace sol::cluster {
@@ -59,6 +60,41 @@ WriteAgentRuntimeStats(telemetry::MetricScope scope,
                    static_cast<double>(stats.safeguard_triggers));
     scope.SetGauge("mitigations", static_cast<double>(stats.mitigations));
     scope.SetGauge("halted_seconds", sim::ToSeconds(stats.halted_time));
+}
+
+void
+AppendNodeHealthSample(telemetry::SharedTimeSeriesStore& health,
+                       const std::string& prefix,
+                       const core::RuntimeStats& stats,
+                       const InterferenceArbiter& arbiter,
+                       const telemetry::LatencyHistogram& epochs,
+                       std::size_t num_agents, sim::TimePoint at)
+{
+    const std::string p = prefix.empty() ? "" : prefix + ".";
+    const auto append = [&health, &p, at](const char* name,
+                                          std::uint64_t value) {
+        health.Append(p + name, at, static_cast<std::int64_t>(value));
+    };
+    append("safeguard.trips", stats.safeguard_triggers);
+    append("safeguard.mitigations", stats.mitigations);
+    append("model.failures", stats.failed_assessments);
+    append("model.intercepted", stats.intercepted_predictions);
+    append("data.harvested", stats.samples_collected);
+    append("data.invalid", stats.invalid_samples);
+    append("epochs", stats.epochs);
+    append("actions", stats.actions_taken);
+    append("arbiter.requests", arbiter.requests());
+    append("arbiter.denied", arbiter.conflicts_resolved());
+    append("agent.halted_ns",
+           static_cast<std::uint64_t>(stats.halted_time.count()));
+    append("agent.active_ns",
+           num_agents * static_cast<std::uint64_t>(at.count()));
+    const telemetry::LatencySnapshot s = epochs.Snapshot();
+    append("epoch_latency.count", s.count);
+    append("epoch_latency.p50_ns", s.p50_ns);
+    append("epoch_latency.p90_ns", s.p90_ns);
+    append("epoch_latency.p99_ns", s.p99_ns);
+    append("epoch_latency.p999_ns", s.p999_ns);
 }
 
 MultiAgentNode::MultiAgentNode(sim::EventQueue& queue,
@@ -205,10 +241,27 @@ MultiAgentNode::Start()
     }
     started_ = true;
 
+    if (config_.health != nullptr &&
+        config_.health_period <= sim::Duration::zero()) {
+        throw std::invalid_argument(
+            "MultiAgentNodeConfig::health_period must be positive");
+    }
     const sim::Duration node_tick = config_.node_tick;
+    next_health_sample_ = queue_.Now() + config_.health_period;
     node_driver_ = std::make_unique<sim::PeriodicTask>(
-        queue_, node_tick,
-        [this, node_tick] { node_.Advance(queue_.Now(), node_tick); });
+        queue_, node_tick, [this, node_tick] {
+            node_.Advance(queue_.Now(), node_tick);
+            // Health sampling piggybacks on the driver tick that is
+            // already scheduled: observe-only, so the event trace is
+            // byte-identical with sampling on or off.
+            if (config_.health != nullptr &&
+                queue_.Now() >= next_health_sample_) {
+                SampleNodeHealth(queue_.Now());
+                do {
+                    next_health_sample_ += config_.health_period;
+                } while (next_health_sample_ <= queue_.Now());
+            }
+        });
     const sim::Duration memory_tick = config_.memory_tick;
     memory_driver_ = std::make_unique<sim::PeriodicTask>(
         queue_, memory_tick, [this, memory_tick] {
@@ -259,6 +312,14 @@ void
 MultiAgentNode::CleanUpAll()
 {
     registry_.CleanUpAll();
+}
+
+void
+MultiAgentNode::SampleNodeHealth(sim::TimePoint at)
+{
+    AppendNodeHealthSample(*config_.health, config_.name,
+                           AggregateStats(), arbiter_,
+                           EpochLatencyHistogram(), num_agents(), at);
 }
 
 std::uint64_t

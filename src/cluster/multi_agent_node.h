@@ -45,6 +45,7 @@
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "telemetry/metric_registry.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
 #include "workloads/best_effort.h"
 #include "workloads/memory_patterns.h"
@@ -57,6 +58,20 @@ namespace sol::cluster {
  *  registries is meaningful). */
 void WriteAgentRuntimeStats(telemetry::MetricScope scope,
                             const core::RuntimeStats& stats);
+
+/**
+ * Appends one node-health timeline sample under `prefix + "."`:
+ * safeguard/model/data/arbiter counters, halted-vs-active agent time,
+ * and the merged epoch-latency percentiles, all at virtual time `at`.
+ * Shared by both node variants so their timelines are name-compatible
+ * (the node parity suite can diff them series-by-series).
+ */
+void AppendNodeHealthSample(telemetry::SharedTimeSeriesStore& health,
+                            const std::string& prefix,
+                            const core::RuntimeStats& stats,
+                            const InterferenceArbiter& arbiter,
+                            const telemetry::LatencyHistogram& epochs,
+                            std::size_t num_agents, sim::TimePoint at);
 
 /** Configuration of one multi-agent node. */
 struct MultiAgentNodeConfig {
@@ -155,6 +170,22 @@ struct MultiAgentNodeConfig {
      * default) disables tracing.
      */
     telemetry::trace::TraceSession* trace_session = nullptr;
+
+    /**
+     * Node-local health timeline (null disables). Both node variants
+     * sample the same "<name>.*" series via AppendNodeHealthSample at
+     * `health_period` cadence, piggybacked on the node driver tick —
+     * no new events are scheduled, so enabling it never perturbs event
+     * traces. On the simulated node timestamps are virtual queue time;
+     * on the threaded node they are the driver's substrate clock. The
+     * caller owns the store (shared so a live scrape thread can read
+     * while the driver samples). The threaded variant samples from its
+     * driver thread, which only runs when a real agent is enabled.
+     */
+    telemetry::SharedTimeSeriesStore* health = nullptr;
+
+    /** Cadence of node-health samples (must be positive). */
+    sim::Duration health_period = sim::Millis(100);
 
     InterferenceArbiterConfig arbiter;
 
@@ -329,8 +360,12 @@ class MultiAgentNode
     std::unique_ptr<MonitorRuntime> monitor_runtime_;
     std::vector<std::unique_ptr<SyntheticAgent>> synthetics_;
 
+    /** Appends one health sample at `at` (driver-tick piggyback). */
+    void SampleNodeHealth(sim::TimePoint at);
+
     // Substrate drivers (armed by Start()).
     sim::Rng incident_rng_;
+    sim::TimePoint next_health_sample_{0};
     std::unique_ptr<sim::PeriodicTask> node_driver_;
     std::unique_ptr<sim::PeriodicTask> memory_driver_;
     std::unique_ptr<sim::PeriodicTask> channel_driver_;

@@ -769,6 +769,7 @@ class ThreadedMultiAgentNode
         auto last = std::chrono::steady_clock::now();
         sim::Duration memory_accum{0};
         sim::Duration channel_accum{0};
+        sim::Duration health_accum{0};
         while (driver_running_.load()) {
             std::this_thread::sleep_for(
                 std::chrono::nanoseconds(config_.node_tick));
@@ -792,6 +793,21 @@ class ThreadedMultiAgentNode
             if (channel_accum >= config_.channel_tick) {
                 channels_.Advance(start, channel_accum, incident_rng_);
                 channel_accum = sim::Duration{0};
+            }
+            if (config_.health != nullptr) {
+                // Same driver-tick piggyback as the simulated node
+                // (AppendNodeHealthSample keeps the series names
+                // identical); agent stats and arbiter counters are
+                // atomics, epoch histograms shared-snapshot copies, so
+                // reading them from the driver thread is safe.
+                health_accum += elapsed;
+                if (health_accum >= config_.health_period) {
+                    AppendNodeHealthSample(
+                        *config_.health, config_.name, AggregateStats(),
+                        arbiter_, EpochLatencyHistogram(), slots_.size(),
+                        substrate_now_);
+                    health_accum = sim::Duration{0};
+                }
             }
         }
     }

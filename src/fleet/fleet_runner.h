@@ -46,7 +46,9 @@
 #include "cluster/node_shard.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
+#include "telemetry/alerting.h"
 #include "telemetry/metric_registry.h"
+#include "telemetry/timeseries.h"
 
 namespace sol::fleet {
 
@@ -111,6 +113,32 @@ struct FleetConfig {
      *  long runs fill and drop — the head of the run survives, and the
      *  drop count lands in the trace. */
     std::size_t trace_capacity = 4096;
+
+    /**
+     * Health timeline store sampled at window barriers (null disables).
+     * Every `health_every_n_windows`-th barrier, the main thread —
+     * workers parked, so no races and no dependence on thread count —
+     * walks every node and appends the fleet's health counters,
+     * error-budget denominators, and the merged epoch-latency
+     * percentiles as "fleet.*" series at the window's virtual horizon.
+     * Sampling is observe-only: it schedules no events and mutates no
+     * sampled state, so enabling it leaves fleet_trace_hash() and every
+     * per-shard trace byte-identical. Caller owns the store.
+     */
+    telemetry::TimeSeriesStore* health = nullptr;
+
+    /**
+     * Alert rules evaluated against `health` right after each sample
+     * (null disables; ignored without `health`). Firing/resolved
+     * transitions land in the engine's event log and, when tracing is
+     * on, as instants on the "fleet" track at the sampled horizon.
+     * Caller owns the engine (and reads its events/SLO status after
+     * the run).
+     */
+    telemetry::AlertEngine* alerts = nullptr;
+
+    /** Sample health every Nth window boundary (0 = never). */
+    std::size_t health_every_n_windows = 1;
 
     /** Template applied to every node (name/seed overridden per node). */
     cluster::MultiAgentNodeConfig node;
@@ -219,6 +247,10 @@ class ShardedFleetRunner
 
     /** Merges one shard's health gauges into window_metrics_. */
     void MergeShardWindowMetrics(std::size_t shard_index);
+
+    /** Appends the fleet's "fleet.*" health series at `at` and runs the
+     *  alert rules. Main thread only, workers parked. */
+    void SampleFleetHealth(sim::TimePoint at);
 
     FleetConfig config_;
     /** Fleet-level track for window-barrier events; owned by

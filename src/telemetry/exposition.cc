@@ -1,0 +1,95 @@
+#include "telemetry/exposition.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "telemetry/metric_registry.h"
+#include "telemetry/timeseries.h"
+
+namespace sol::telemetry {
+
+namespace {
+
+/** Formats a gauge value: integral doubles print without a decimal
+ *  point, others with enough digits to round-trip-read visually. */
+void
+WriteGaugeValue(std::ostream& os, double value)
+{
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::abs(value) < 1e15) {
+        os << static_cast<long long>(value);
+    } else {
+        os << std::setprecision(12) << value;
+    }
+}
+
+}  // namespace
+
+void
+PrometheusWriter::WriteRegistry(std::ostream& os,
+                                const MetricRegistry& registry)
+{
+    registry.VisitCounters(
+        [&os](const std::string& name, std::uint64_t value) {
+            const std::string sanitized = SanitizeMetricName(name);
+            os << "# TYPE " << sanitized << " counter\n"
+               << sanitized << " " << value << "\n";
+        });
+    registry.VisitGauges([&os](const std::string& name, double value) {
+        const std::string sanitized = SanitizeMetricName(name);
+        os << "# TYPE " << sanitized << " gauge\n" << sanitized << " ";
+        WriteGaugeValue(os, value);
+        os << "\n";
+    });
+    registry.VisitHistograms(
+        [&os](const std::string& name, const LatencyHistogram& histogram) {
+            const LatencySnapshot s = histogram.Snapshot();
+            const std::string sanitized = SanitizeMetricName(name);
+            os << "# TYPE " << sanitized << "_count counter\n"
+               << sanitized << "_count " << s.count << "\n"
+               << "# TYPE " << sanitized << "_sum_ns counter\n"
+               << sanitized << "_sum_ns " << s.sum_ns << "\n"
+               << "# TYPE " << sanitized << "_p50_ns gauge\n"
+               << sanitized << "_p50_ns " << s.p50_ns << "\n"
+               << "# TYPE " << sanitized << "_p90_ns gauge\n"
+               << sanitized << "_p90_ns " << s.p90_ns << "\n"
+               << "# TYPE " << sanitized << "_p99_ns gauge\n"
+               << sanitized << "_p99_ns " << s.p99_ns << "\n"
+               << "# TYPE " << sanitized << "_p999_ns gauge\n"
+               << sanitized << "_p999_ns " << s.p999_ns << "\n";
+        });
+}
+
+void
+PrometheusWriter::WriteLatest(std::ostream& os, const TimeSeriesStore& store)
+{
+    store.VisitSeries(
+        [&os](const std::string& name, const TimeSeries& series) {
+            if (series.empty()) {
+                return;
+            }
+            const TimeSample latest = series.Latest();
+            os << SanitizeMetricName(name) << " " << latest.value << " "
+               << latest.at.count() / 1'000'000 << "\n";
+        });
+}
+
+std::string
+PrometheusWriter::RegistryToString(const MetricRegistry& registry)
+{
+    std::ostringstream ss;
+    WriteRegistry(ss, registry);
+    return ss.str();
+}
+
+std::string
+PrometheusWriter::LatestToString(const TimeSeriesStore& store)
+{
+    std::ostringstream ss;
+    WriteLatest(ss, store);
+    return ss.str();
+}
+
+}  // namespace sol::telemetry

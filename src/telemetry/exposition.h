@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Prometheus text exposition of registries and timelines.
+ *
+ * A real SOL control plane is scraped, not log-tailed: Prometheus pulls
+ * `metric_name value [timestamp_ms]` lines off an HTTP endpoint.
+ * PrometheusWriter is the serialization half of that endpoint — it
+ * renders a MetricRegistry snapshot or the latest sample of every
+ * TimeSeriesStore series as text exposition format (version 0.0.4),
+ * so live threaded runs can dump scrape-compatible snapshots and tests
+ * can diff them byte-for-byte.
+ *
+ * Caveats, documented rather than hidden (docs/OBSERVABILITY.md):
+ *  - Names pass through SanitizeMetricName ("a.b" → "a_b"); the
+ *    mapping is stable but not injective, and the dotted registry name
+ *    remains the source of truth.
+ *  - Registry histograms export as pre-computed quantile gauges
+ *    (`<name>_p50_ns` etc.) plus `_count`/`_sum_ns`, not as native
+ *    `histogram` bucket series — the log-bucketed rings don't carry
+ *    cumulative le-buckets.
+ *  - Timestamps are *virtual* nanoseconds rendered as integer
+ *    milliseconds (exposition's unit); a scraper that assumes wall
+ *    clock will see the simulation epoch, which is exactly the point
+ *    for deterministic replay and exactly wrong for a real deployment.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/time.h"
+
+namespace sol::telemetry {
+
+class MetricRegistry;
+class TimeSeriesStore;
+
+/** Serializes metrics as Prometheus text exposition format. */
+class PrometheusWriter
+{
+  public:
+    /**
+     * Writes every counter, gauge, and histogram summary of `registry`
+     * (name order; no timestamps — a registry is "now"). Counters
+     * export as `# TYPE <name> counter`, gauges as `gauge`, histograms
+     * as `_count`/`_sum_ns` plus `_p50_ns/_p90_ns/_p99_ns/_p999_ns`
+     * gauges.
+     */
+    static void WriteRegistry(std::ostream& os,
+                              const MetricRegistry& registry);
+
+    /**
+     * Writes the latest sample of every series in `store` as an
+     * untyped metric with an explicit millisecond timestamp (series
+     * already carry their kind in the name: `.milli`, `.p99_ns`, ...).
+     */
+    static void WriteLatest(std::ostream& os, const TimeSeriesStore& store);
+
+    static std::string RegistryToString(const MetricRegistry& registry);
+    static std::string LatestToString(const TimeSeriesStore& store);
+};
+
+}  // namespace sol::telemetry

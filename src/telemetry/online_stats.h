@@ -17,6 +17,13 @@ class OnlineStats
     /** Adds one observation. */
     void Add(double x);
 
+    /** Combines another accumulator into this one (Chan et al.
+     *  parallel-variance combination): the result is statistically
+     *  identical to having Add()ed both sample streams into one
+     *  accumulator. Lets per-shard stats roll up at collection points
+     *  the way histograms already merge. */
+    void Merge(const OnlineStats& other);
+
     /** Removes all state. */
     void Reset();
 

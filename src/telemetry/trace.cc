@@ -201,6 +201,26 @@ TraceRecorder::Instant(const char* name, const char* category,
     Publish();
 }
 
+void
+TraceRecorder::InstantAt(const char* name, const char* category,
+                         sim::TimePoint at,
+                         std::initializer_list<TraceArg> args,
+                         const char* string_key,
+                         std::string_view string_value)
+{
+    TraceEvent* slot = Claim();
+    if (slot == nullptr) {
+        return;
+    }
+    slot->kind = TraceEvent::Kind::kInstant;
+    slot->name = name;
+    slot->category = category;
+    slot->ts_ns = at.count();
+    slot->dur_ns = 0;
+    FillArgs(*slot, args, string_key, string_value);
+    Publish();
+}
+
 TraceRecorder*
 CurrentThreadRecorder()
 {

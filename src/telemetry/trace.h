@@ -151,6 +151,16 @@ class TraceRecorder
                  const char* string_key = nullptr,
                  std::string_view string_value = {});
 
+    /** Records a point event with an explicit timestamp (producer
+     *  only). For producers that already know the virtual time of the
+     *  moment they mark — the fleet track's alert instants land at the
+     *  sampling boundary even though that track has no clock. */
+    void InstantAt(const char* name, const char* category,
+                   sim::TimePoint at,
+                   std::initializer_list<TraceArg> args = {},
+                   const char* string_key = nullptr,
+                   std::string_view string_value = {});
+
     /** Events accepted into the ring so far (relaxed; producer-exact). */
     std::uint64_t
     recorded() const

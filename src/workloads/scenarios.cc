@@ -1,5 +1,6 @@
 #include "workloads/scenarios.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "core/runtime_stats.h"
@@ -49,6 +50,7 @@ BuildLibrary()
             d.curve = {DemandCurveKind::kFlat, 1.0, 1.0};
             return d;
         };
+        s.expect_silent = true;
         library.push_back(std::move(s));
     }
 
@@ -71,6 +73,7 @@ BuildLibrary()
             d.curve = {DemandCurveKind::kFlat, 1.0, 1.0};
             return d;
         };
+        s.expected_alerts = {"epoch_p99_high"};
         library.push_back(std::move(s));
     }
 
@@ -154,6 +157,7 @@ BuildLibrary()
             d.storms.push_back(storm);
             return d;
         };
+        s.expected_alerts = {"epoch_p99_high"};
         library.push_back(std::move(s));
     }
 
@@ -198,6 +202,8 @@ BuildLibrary()
                             : core::ActuationDomain::kCpuCores;
                 };
         };
+        s.expected_alerts = {"arbiter_denial_ratio", "halted_time_burn",
+                             "safeguard_trip_rate"};
         library.push_back(std::move(s));
     }
 
@@ -227,6 +233,7 @@ BuildLibrary()
             d.storms.push_back(storm);
             return d;
         };
+        s.expected_alerts = {"model_failure_rate"};
         library.push_back(std::move(s));
     }
 
@@ -244,6 +251,20 @@ ScenarioResult::Counter(const std::string& key) const
         }
     }
     return 0;
+}
+
+std::vector<std::string>
+ScenarioResult::FiredRules() const
+{
+    std::vector<std::string> fired;
+    for (const telemetry::AlertEvent& event : alerts) {
+        if (event.firing) {
+            fired.push_back(event.rule);
+        }
+    }
+    std::sort(fired.begin(), fired.end());
+    fired.erase(std::unique(fired.begin(), fired.end()), fired.end());
+    return fired;
 }
 
 const std::vector<Scenario>&
@@ -290,6 +311,14 @@ RunScenario(const Scenario& scenario, const ScenarioOptions& options)
     fleet.node.trace_driver = &driver;
     if (scenario.customize_node) {
         scenario.customize_node(fleet.node);
+    }
+
+    telemetry::TimeSeriesStore health;
+    telemetry::AlertEngine engine;
+    if (options.health) {
+        engine.AddRules(telemetry::DefaultFleetAlertRules());
+        fleet.health = &health;
+        fleet.alerts = &engine;
     }
 
     fleet::ShardedFleetRunner runner(fleet);
@@ -365,6 +394,14 @@ RunScenario(const Scenario& scenario, const ScenarioOptions& options)
         {"epoch_p99_ns", latency.p99_ns},
         {"epoch_p999_ns", latency.p999_ns},
     };
+    if (options.health) {
+        result.timeline_hash = health.timeline_hash();
+        result.health_samples = health.total_appended();
+        result.alerts = engine.events();
+        result.slos = engine.SloStatuses(health);
+        result.health_json = telemetry::HealthReportWriter::ToString(
+            "scenario_" + scenario.name, health, engine);
+    }
     return result;
 }
 
@@ -375,6 +412,13 @@ SameBehavior(const ScenarioResult& a, const ScenarioResult& b)
            a.fleet_trace_hash == b.fleet_trace_hash &&
            a.driver_hash == b.driver_hash &&
            a.total_events == b.total_events && a.behavior == b.behavior;
+}
+
+bool
+SameHealth(const ScenarioResult& a, const ScenarioResult& b)
+{
+    return a.timeline_hash == b.timeline_hash &&
+           a.health_samples == b.health_samples && a.alerts == b.alerts;
 }
 
 }  // namespace sol::workloads

@@ -33,6 +33,8 @@
 
 #include "cluster/multi_agent_node.h"
 #include "sim/time.h"
+#include "telemetry/alerting.h"
+#include "telemetry/timeseries.h"
 #include "workloads/trace_driver.h"
 
 namespace sol::workloads {
@@ -67,6 +69,20 @@ struct Scenario {
     /** Optional extra node-template customization (synthetic cadence,
      *  conflict domains, runtime options) applied after the defaults. */
     std::function<void(cluster::MultiAgentNodeConfig&)> customize_node;
+
+    /**
+     * Alert rules from telemetry::DefaultFleetAlertRules() that MUST
+     * fire at least once when this scenario runs in smoke mode with
+     * health sampling on, and — by omission — the rules that must stay
+     * silent. steady_state expects none: the default pack is
+     * calibrated so the control scenario never pages.
+     */
+    std::vector<std::string> expected_alerts;
+
+    /** True when the scenario must produce NO alert transitions at
+     *  all (the steady_state control). Stronger than an empty
+     *  expected_alerts, which only means "nothing required". */
+    bool expect_silent = false;
 };
 
 /** Execution options for one scenario run. */
@@ -74,6 +90,10 @@ struct ScenarioOptions {
     std::size_t num_threads = 1;
     /** True runs the smoke shape (the committed-baseline mode). */
     bool smoke = false;
+    /** Sample fleet health timelines and evaluate the default alert
+     *  pack at every window barrier. Observe-only: the fleet trace
+     *  hash and behavior vector are identical either way. */
+    bool health = true;
 };
 
 /** Machine-readable outcome of one scenario run. */
@@ -97,6 +117,20 @@ struct ScenarioResult {
 
     /** Value of one behavior counter (0 when absent). */
     std::uint64_t Counter(const std::string& key) const;
+
+    /** FNV-1a hash of every health sample (0 when health was off). */
+    std::uint64_t timeline_hash = 0;
+    /** Total health samples appended across all series. */
+    std::uint64_t health_samples = 0;
+    /** Every alert transition, in virtual-time order. */
+    std::vector<telemetry::AlertEvent> alerts;
+    /** Per-SLO budget accounting at end of run. */
+    std::vector<telemetry::SloStatus> slos;
+    /** Full HEALTH_<name>.json document (empty when health was off). */
+    std::string health_json;
+
+    /** Sorted, deduplicated names of rules that fired at least once. */
+    std::vector<std::string> FiredRules() const;
 };
 
 /** The scenario library (>= 6 scenarios, >= 3 adversarial). */
@@ -112,5 +146,9 @@ ScenarioResult RunScenario(const Scenario& scenario,
 /** True when two runs agree on every determinism-gated field: trace
  *  hashes, event totals, and the full behavior vector. */
 bool SameBehavior(const ScenarioResult& a, const ScenarioResult& b);
+
+/** True when two runs agree on the health timeline hash, the sample
+ *  count, and the full alert transition log (timestamps included). */
+bool SameHealth(const ScenarioResult& a, const ScenarioResult& b);
 
 }  // namespace sol::workloads

@@ -13,11 +13,17 @@
  *      model-degradation interceptions) relative to the steady-state
  *      control, and the flat control itself is bit-identical to an
  *      entirely unmodulated fleet.
+ *   4. Health — the sampled fleet health timeline and alert transition
+ *      log are part of the determinism contract, each scenario fires
+ *      its expected_alerts signature at the committed smoke shape, and
+ *      the steady_state control stays silent.
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "fleet/fleet_runner.h"
 #include "workloads/scenarios.h"
@@ -88,14 +94,24 @@ TEST_P(ScenarioDeterminismTest, BehaviorIdenticalAcrossRunsAndThreads)
                   base.Counter("short_circuit_epochs"));
     EXPECT_FALSE(base.behavior.empty());
 
+    EXPECT_GT(base.health_samples, 0u);
+    EXPECT_NE(base.timeline_hash, 0u);
+    EXPECT_FALSE(base.health_json.empty());
+
     const ScenarioResult again = RunSmoke(shrunk, 1);
     EXPECT_TRUE(SameBehavior(base, again))
         << "repeat run diverged for " << shrunk.name;
+    EXPECT_TRUE(SameHealth(base, again))
+        << "repeat health timeline diverged for " << shrunk.name;
+    EXPECT_EQ(base.health_json, again.health_json);
 
     for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
         const ScenarioResult run = RunSmoke(shrunk, threads);
         EXPECT_TRUE(SameBehavior(base, run))
             << shrunk.name << " diverged at " << threads << " threads";
+        EXPECT_TRUE(SameHealth(base, run))
+            << shrunk.name << " health diverged at " << threads
+            << " threads";
     }
 }
 
@@ -170,6 +186,55 @@ TEST(ScenarioBehavior, AdversarialSignaturesShowAgainstControl)
               3 * steady.Counter("failed_assessments"));
     EXPECT_EQ(degraded.Counter("failed_assessments"),
               degraded.Counter("intercepted_predictions"));
+}
+
+TEST(ScenarioHealth, AlertSignaturesMatchAtCommittedSmokeShape)
+{
+    // The committed smoke shape is where the default alert pack is
+    // calibrated: every scenario's expected_alerts must fire, nothing
+    // may fire on the silent control, and the health JSON must carry
+    // the full transition log the HEALTH goldens lock.
+    for (const Scenario& scenario : ScenarioLibrary()) {
+        const ScenarioResult run = RunSmoke(scenario, 1);
+        const std::vector<std::string> fired = run.FiredRules();
+        for (const std::string& rule : scenario.expected_alerts) {
+            EXPECT_NE(std::find(fired.begin(), fired.end(), rule),
+                      fired.end())
+                << scenario.name << " did not fire " << rule;
+        }
+        if (scenario.expect_silent) {
+            EXPECT_TRUE(run.alerts.empty())
+                << scenario.name << " must stay silent but fired "
+                << run.alerts.size() << " transitions";
+        }
+        for (const telemetry::AlertEvent& event : run.alerts) {
+            EXPECT_NE(run.health_json.find("\"" + event.rule + "\""),
+                      std::string::npos)
+                << event.rule << " missing from health report";
+        }
+    }
+}
+
+TEST(ScenarioHealth, DisablingHealthKeepsBehaviorByteIdentical)
+{
+    // Observe-only end to end: the sampler and alert engine must not
+    // perturb the simulation they watch.
+    const Scenario* scenario = FindScenario("cascading_safeguards");
+    ASSERT_NE(scenario, nullptr);
+    const Scenario shrunk = Shrunk(*scenario);
+
+    ScenarioOptions with;
+    with.smoke = true;
+    ScenarioOptions without;
+    without.smoke = true;
+    without.health = false;
+
+    const ScenarioResult on = RunScenario(shrunk, with);
+    const ScenarioResult off = RunScenario(shrunk, without);
+    EXPECT_TRUE(SameBehavior(on, off));
+    EXPECT_EQ(off.health_samples, 0u);
+    EXPECT_EQ(off.timeline_hash, 0u);
+    EXPECT_TRUE(off.health_json.empty());
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 #include <cmath>
 #include <cstdint>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "telemetry/latency_histogram.h"
 #include "telemetry/metric_registry.h"
@@ -585,6 +587,201 @@ TEST(MetricScopeTest, HistogramCallsPrefix)
     EXPECT_EQ(registry.Histogram("arbiter.lock_wait_ns").count(), 2u);
     scope.MergeHistogram("lock_wait_ns", replacement);
     EXPECT_EQ(registry.Histogram("arbiter.lock_wait_ns").count(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// OnlineStats::Merge (Chan et al. parallel combination)
+// ---------------------------------------------------------------------------
+
+TEST(OnlineStatsMergeTest, MergeMatchesSequentialAccumulation)
+{
+    OnlineStats left;
+    OnlineStats right;
+    OnlineStats sequential;
+    for (int i = 0; i < 50; ++i) {
+        const double x = 3.5 * i - 40.0;
+        left.Add(x);
+        sequential.Add(x);
+    }
+    for (int i = 0; i < 37; ++i) {
+        const double x = -0.25 * i * i + 7.0;
+        right.Add(x);
+        sequential.Add(x);
+    }
+
+    left.Merge(right);
+    EXPECT_EQ(left.count(), sequential.count());
+    EXPECT_NEAR(left.mean(), sequential.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), sequential.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(left.min(), sequential.min());
+    EXPECT_DOUBLE_EQ(left.max(), sequential.max());
+    EXPECT_NEAR(left.sum(), sequential.sum(), 1e-9);
+}
+
+TEST(OnlineStatsMergeTest, MergingEmptyIsIdentityBothWays)
+{
+    OnlineStats stats;
+    stats.Add(1.0);
+    stats.Add(3.0);
+
+    OnlineStats empty;
+    stats.Merge(empty);  // Right identity.
+    EXPECT_EQ(stats.count(), 2u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+
+    OnlineStats target;
+    target.Merge(stats);  // Left identity: adopt other's state.
+    EXPECT_EQ(target.count(), 2u);
+    EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(target.min(), 1.0);
+    EXPECT_DOUBLE_EQ(target.max(), 3.0);
+
+    OnlineStats a;
+    OnlineStats b;
+    a.Merge(b);  // Empty + empty stays empty.
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(OnlineStatsMergeTest, DistantMeansStayNumericallyStable)
+{
+    // The naive sum-of-squares formulation loses catastrophically when
+    // two shards observe well-separated clusters; Chan's delta term
+    // must not.
+    OnlineStats low;
+    OnlineStats high;
+    OnlineStats sequential;
+    for (int i = 0; i < 100; ++i) {
+        low.Add(1e6 + i);
+        sequential.Add(1e6 + i);
+    }
+    for (int i = 0; i < 100; ++i) {
+        high.Add(-1e6 + i);
+        sequential.Add(-1e6 + i);
+    }
+    low.Merge(high);
+    EXPECT_NEAR(low.variance(), sequential.variance(),
+                sequential.variance() * 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// WindowPercentile edge cases
+// ---------------------------------------------------------------------------
+
+TEST(WindowPercentileTest, SingleSampleAnswersEveryQuantile)
+{
+    WindowPercentile tracker(Seconds(1));
+    tracker.Add(TimePoint(Millis(100)), 42.0);
+    EXPECT_DOUBLE_EQ(tracker.Quantile(TimePoint(Millis(100)), 0.0), 42.0);
+    EXPECT_DOUBLE_EQ(tracker.Quantile(TimePoint(Millis(100)), 0.5), 42.0);
+    EXPECT_DOUBLE_EQ(tracker.Quantile(TimePoint(Millis(100)), 1.0), 42.0);
+    EXPECT_EQ(tracker.Count(TimePoint(Millis(100))), 1u);
+}
+
+TEST(WindowPercentileTest, EvictionBoundaryIsExclusive)
+{
+    // The window is (now - window, now]: a sample exactly `window` old
+    // is evicted, one nanosecond younger survives.
+    WindowPercentile tracker(Millis(100));
+    tracker.Add(TimePoint(Millis(100)), 1.0);
+    EXPECT_EQ(tracker.Count(TimePoint(Millis(200))), 1u);
+    EXPECT_EQ(tracker.Count(TimePoint(Millis(200)) + sim::Duration(1)), 0u);
+}
+
+TEST(WindowPercentileTest, CountEvictsBeforeCounting)
+{
+    WindowPercentile tracker(Millis(100));
+    for (int i = 0; i < 10; ++i) {
+        tracker.Add(TimePoint(Millis(10 * i)), i);
+    }
+    // At 250ms only samples newer than 150ms remain: 160..190ms.
+    EXPECT_EQ(tracker.Count(TimePoint(Millis(250))), 0u);
+    tracker.Reset();
+    for (int i = 0; i < 10; ++i) {
+        tracker.Add(TimePoint(Millis(10 * i)), i);
+    }
+    EXPECT_EQ(tracker.Count(TimePoint(Millis(150))), 5u);
+}
+
+TEST(WindowPercentileTest, ExtremeValuesSurviveQuantiles)
+{
+    WindowPercentile tracker(Seconds(10));
+    const double huge = 1e300;
+    tracker.Add(TimePoint(Millis(1)), -huge);
+    tracker.Add(TimePoint(Millis(2)), 0.0);
+    tracker.Add(TimePoint(Millis(3)), huge);
+    EXPECT_DOUBLE_EQ(tracker.Quantile(TimePoint(Millis(3)), 0.0), -huge);
+    EXPECT_DOUBLE_EQ(tracker.Quantile(TimePoint(Millis(3)), 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(tracker.Quantile(TimePoint(Millis(3)), 1.0), huge);
+}
+
+// ---------------------------------------------------------------------------
+// Metric name sanitization & registry visitation
+// ---------------------------------------------------------------------------
+
+TEST(MetricNameTest, SanitizeMapsDotsAndInvalidRunsToUnderscores)
+{
+    EXPECT_EQ(SanitizeMetricName("fleet.data.invalid"),
+              "fleet_data_invalid");
+    EXPECT_EQ(SanitizeMetricName("epoch-latency.p99_ns"),
+              "epoch_latency_p99_ns");
+    EXPECT_EQ(SanitizeMetricName("already_valid:name"),
+              "already_valid:name");
+    EXPECT_EQ(SanitizeMetricName("9leading"), "_9leading");
+    EXPECT_EQ(SanitizeMetricName(""), "_");
+}
+
+TEST(MetricNameTest, ValidityMatchesSanitizedFixedPoint)
+{
+    EXPECT_TRUE(IsValidMetricName("fleet_epochs"));
+    EXPECT_TRUE(IsValidMetricName("_private:scope"));
+    EXPECT_FALSE(IsValidMetricName("fleet.epochs"));
+    EXPECT_FALSE(IsValidMetricName("9digit"));
+    EXPECT_FALSE(IsValidMetricName(""));
+    // Sanitize is idempotent and always lands on a valid name.
+    for (const char* name :
+         {"fleet.data.invalid", "9leading", "weird name!", "ok_name"}) {
+        const std::string sanitized = SanitizeMetricName(name);
+        EXPECT_TRUE(IsValidMetricName(sanitized)) << name;
+        EXPECT_EQ(SanitizeMetricName(sanitized), sanitized) << name;
+    }
+}
+
+TEST(MetricRegistryTest, VisitHooksWalkNameOrdered)
+{
+    MetricRegistry registry;
+    registry.Increment("b.count", 2);
+    registry.Increment("a.count", 1);
+    registry.SetGauge("z.load", 0.5);
+    LatencyHistogram hist;
+    hist.Record(100);
+    registry.MergeHistogram("m.latency", hist);
+
+    std::vector<std::string> counters;
+    registry.VisitCounters(
+        [&](const std::string& name, std::uint64_t value) {
+            counters.push_back(name + "=" + std::to_string(value));
+        });
+    ASSERT_EQ(counters.size(), 2u);
+    EXPECT_EQ(counters[0], "a.count=1");
+    EXPECT_EQ(counters[1], "b.count=2");
+
+    std::size_t gauges = 0;
+    registry.VisitGauges([&](const std::string& name, double value) {
+        EXPECT_EQ(name, "z.load");
+        EXPECT_DOUBLE_EQ(value, 0.5);
+        ++gauges;
+    });
+    EXPECT_EQ(gauges, 1u);
+
+    std::size_t histograms = 0;
+    registry.VisitHistograms(
+        [&](const std::string& name, const LatencyHistogram& h) {
+            EXPECT_EQ(name, "m.latency");
+            EXPECT_EQ(h.count(), 1u);
+            ++histograms;
+        });
+    EXPECT_EQ(histograms, 1u);
 }
 
 }  // namespace
