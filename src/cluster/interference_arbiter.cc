@@ -1,3 +1,7 @@
+// determinism-lint: allow-file(wall-clock) -- contention timing is
+// observe-only and gated behind config.track_contention (off in every
+// deterministic run); it feeds the lock_wait/admit histograms, never an
+// admission decision.
 #include "cluster/interference_arbiter.h"
 
 #include <algorithm>
@@ -85,13 +89,13 @@ InterferenceArbiter::AgentAccount&
 InterferenceArbiter::AccountFor(const std::string& agent)
 {
     {
-        std::shared_lock<std::shared_mutex> read(accounts_mutex_);
+        core::ReaderLock read(accounts_mutex_);
         const auto it = accounts_.find(agent);
         if (it != accounts_.end()) {
             return *it->second;
         }
     }
-    std::unique_lock<std::shared_mutex> write(accounts_mutex_);
+    core::WriterLock write(accounts_mutex_);
     auto& slot = accounts_[agent];
     if (!slot) {
         slot = std::make_unique<AgentAccount>();
@@ -126,7 +130,7 @@ InterferenceArbiter::Admit(const core::ActuationRequest& request)
     if (is_restore) {
         {
             DomainSlot& slot = domains_[DomainIndex(request.domain)];
-            std::lock_guard<std::mutex> lock(slot.mutex);
+            core::MutexLock lock(slot.mutex);
             if (slot.hold.has_value() &&
                 slot.hold->agent == request.agent) {
                 slot.hold.reset();
@@ -141,6 +145,26 @@ InterferenceArbiter::Admit(const core::ActuationRequest& request)
         return {true, ""};
     }
 
+    const core::ActuationDecision decision =
+        ExpandUnderClosure(request, account);
+
+    span.AddArg("admitted", decision.admitted ? 1 : 0);
+    if (!decision.admitted && recorder != nullptr) {
+        recorder->Instant("deny", "arbiter",
+                          {{"domain", static_cast<std::int64_t>(
+                                          DomainIndex(request.domain))}},
+                          "holder", decision.conflicting_agent);
+    }
+    if (config_.track_contention) {
+        admit_hist_.Record(ElapsedNs(admit_start));
+    }
+    return decision;
+}
+
+core::ActuationDecision
+InterferenceArbiter::ExpandUnderClosure(const core::ActuationRequest& request,
+                                        AgentAccount& account)
+{
     // Lock the whole coupling closure in ascending index order, so
     // overlapping closures serialize instead of deadlocking. Holding
     // every coupled slot makes "scan for a blocking hold, then grant"
@@ -165,7 +189,7 @@ InterferenceArbiter::Admit(const core::ActuationRequest& request)
     if (blocking != nullptr) {
         conflicts_observed_.fetch_add(1, std::memory_order_relaxed);
         {
-            std::lock_guard<std::mutex> lock(account.denial_mutex);
+            core::MutexLock lock(account.denial_mutex);
             ++account.denied_by[blocking->agent];
         }
         if (config_.enabled) {
@@ -189,17 +213,6 @@ InterferenceArbiter::Admit(const core::ActuationRequest& request)
     for (auto it = closure.rbegin(); it != closure.rend(); ++it) {
         domains_[*it].mutex.unlock();
     }
-
-    span.AddArg("admitted", decision.admitted ? 1 : 0);
-    if (!decision.admitted && recorder != nullptr) {
-        recorder->Instant("deny", "arbiter",
-                          {{"domain", static_cast<std::int64_t>(
-                                          DomainIndex(request.domain))}},
-                          "holder", decision.conflicting_agent);
-    }
-    if (config_.track_contention) {
-        admit_hist_.Record(ElapsedNs(admit_start));
-    }
     return decision;
 }
 
@@ -207,7 +220,7 @@ std::optional<std::string>
 InterferenceArbiter::HolderOf(core::ActuationDomain domain) const
 {
     const DomainSlot& slot = domains_[DomainIndex(domain)];
-    std::lock_guard<std::mutex> lock(slot.mutex);
+    core::MutexLock lock(slot.mutex);
     if (!slot.hold.has_value()) {
         return std::nullopt;
     }
@@ -217,7 +230,7 @@ InterferenceArbiter::HolderOf(core::ActuationDomain domain) const
 void
 InterferenceArbiter::WriteMetrics()
 {
-    std::shared_lock<std::shared_mutex> read(accounts_mutex_);
+    core::ReaderLock read(accounts_mutex_);
     std::uint64_t conflicts = 0;
     for (auto& [agent, account] : accounts_) {
         scope_.SetCounter(
@@ -232,7 +245,7 @@ InterferenceArbiter::WriteMetrics()
         scope_.SetCounter(
             agent + ".restores",
             account->restores.load(std::memory_order_relaxed));
-        std::lock_guard<std::mutex> lock(account->denial_mutex);
+        core::MutexLock lock(account->denial_mutex);
         for (const auto& [holder, count] : account->denied_by) {
             scope_.SetCounter("denial." + agent + ".by." + holder,
                               count);

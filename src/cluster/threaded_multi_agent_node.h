@@ -52,7 +52,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -66,6 +65,8 @@
 #include "cluster/multi_agent_node.h"
 #include "cluster/synthetic_agent.h"
 #include "core/agent_registry.h"
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 #include "core/threaded_runtime.h"
 #include "node/channel_array.h"
 #include "node/node.h"
@@ -112,7 +113,7 @@ template <typename D, typename P>
 class LockedModel : public core::Model<D, P>
 {
   public:
-    LockedModel(core::Model<D, P>& inner, std::mutex& mutex)
+    LockedModel(core::Model<D, P>& inner, core::Mutex& mutex)
         : inner_(inner), mutex_(mutex)
     {
     }
@@ -120,62 +121,62 @@ class LockedModel : public core::Model<D, P>
     D
     CollectData() override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         return inner_.CollectData();
     }
 
     bool
     ValidateData(const D& data) override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         return inner_.ValidateData(data);
     }
 
     void
     CommitData(sim::TimePoint time, const D& data) override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         inner_.CommitData(time, data);
     }
 
     void
     UpdateModel() override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         inner_.UpdateModel();
     }
 
     core::Prediction<P>
     ModelPredict() override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         return inner_.ModelPredict();
     }
 
     core::Prediction<P>
     DefaultPredict() override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         return inner_.DefaultPredict();
     }
 
     bool
     AssessModel() override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         return inner_.AssessModel();
     }
 
     bool
     ShortCircuitEpoch() override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         return inner_.ShortCircuitEpoch();
     }
 
   private:
     core::Model<D, P>& inner_;
-    std::mutex& mutex_;
+    core::Mutex& mutex_;
 };
 
 /** Actuator decorator, same discipline as LockedModel. The governor is
@@ -185,7 +186,7 @@ template <typename P>
 class LockedActuator : public core::Actuator<P>
 {
   public:
-    LockedActuator(core::Actuator<P>& inner, std::mutex& mutex)
+    LockedActuator(core::Actuator<P>& inner, core::Mutex& mutex)
         : inner_(inner), mutex_(mutex)
     {
     }
@@ -193,34 +194,34 @@ class LockedActuator : public core::Actuator<P>
     void
     TakeAction(std::optional<core::Prediction<P>> pred) override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         inner_.TakeAction(std::move(pred));
     }
 
     bool
     AssessPerformance() override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         return inner_.AssessPerformance();
     }
 
     void
     Mitigate() override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         inner_.Mitigate();
     }
 
     void
     CleanUp() override
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         inner_.CleanUp();
     }
 
   private:
     core::Actuator<P>& inner_;
-    std::mutex& mutex_;
+    core::Mutex& mutex_;
 };
 
 /** One synthetic agent hosted on a ThreadedRuntime: the same
@@ -401,7 +402,7 @@ class ThreadedMultiAgentNode
 
         telemetry::MetricScope node_scope(metrics_, "node");
         if (has_real_agents_) {
-            std::lock_guard<std::mutex> lock(substrate_mutex_);
+            core::MutexLock lock(substrate_mutex_);
             node_scope.SetGauge("primary_p99_ms",
                                 primary_workload_->PerformanceValue());
             node_scope.SetGauge(
@@ -766,6 +767,7 @@ class ThreadedMultiAgentNode
     DriverLoop()
     {
         telemetry::trace::ScopedThreadRecorder bind(driver_trace_);
+        // determinism-lint: allow(wall-clock) -- driver pacing only.
         auto last = std::chrono::steady_clock::now();
         sim::Duration memory_accum{0};
         sim::Duration channel_accum{0};
@@ -773,13 +775,14 @@ class ThreadedMultiAgentNode
         while (driver_running_.load()) {
             std::this_thread::sleep_for(
                 std::chrono::nanoseconds(config_.node_tick));
+            // determinism-lint: allow(wall-clock) -- driver pacing only.
             const auto wall = std::chrono::steady_clock::now();
             const auto elapsed =
                 std::chrono::duration_cast<sim::Duration>(wall - last);
             last = wall;
             telemetry::trace::TraceSpan tick_span(driver_trace_,
                                                   "node_tick", "node");
-            std::lock_guard<std::mutex> lock(substrate_mutex_);
+            core::MutexLock lock(substrate_mutex_);
             const sim::TimePoint start = substrate_now_;
             substrate_now_ += elapsed;
             node_.Advance(substrate_now_, elapsed);
@@ -830,7 +833,7 @@ class ThreadedMultiAgentNode
     telemetry::trace::TraceRecorder* control_trace_ = nullptr;
 
     /** Serializes all real-agent and driver substrate access. */
-    std::mutex substrate_mutex_;
+    core::Mutex substrate_mutex_;
 
     // Substrate (construction order matters: agents reference these).
     node::Node node_;

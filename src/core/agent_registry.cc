@@ -6,14 +6,14 @@ void
 AgentRegistry::Register(const std::string& name,
                         std::function<void()> cleanup)
 {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     agents_[name] = std::move(cleanup);
 }
 
 void
 AgentRegistry::Unregister(const std::string& name)
 {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     agents_.erase(name);
 }
 
@@ -22,7 +22,7 @@ AgentRegistry::CleanUp(const std::string& name)
 {
     std::function<void()> fn;
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         const auto it = agents_.find(name);
         if (it == agents_.end()) {
             return false;
@@ -38,7 +38,7 @@ AgentRegistry::CleanUpAll()
 {
     std::vector<std::function<void()>> fns;
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         fns.reserve(agents_.size());
         for (const auto& [name, fn] : agents_) {
             fns.push_back(fn);
@@ -52,7 +52,7 @@ AgentRegistry::CleanUpAll()
 std::vector<std::string>
 AgentRegistry::Names() const
 {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<std::string> names;
     names.reserve(agents_.size());
     for (const auto& [name, fn] : agents_) {
@@ -64,14 +64,14 @@ AgentRegistry::Names() const
 bool
 AgentRegistry::Contains(const std::string& name) const
 {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return agents_.count(name) > 0;
 }
 
 std::size_t
 AgentRegistry::size() const
 {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return agents_.size();
 }
 

@@ -12,9 +12,11 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 
 namespace sol::core {
 
@@ -35,14 +37,17 @@ class AgentRegistry
     void Unregister(const std::string& name);
 
     /**
-     * Runs an agent's cleanup.
+     * Runs an agent's cleanup. The callback runs *outside* the
+     * registry lock (SOL_EXCLUDES documents the other direction: a
+     * cleanup callback may re-enter the registry, so no caller may
+     * hold the lock across this call).
      *
      * @return false if no such agent is registered.
      */
-    bool CleanUp(const std::string& name);
+    bool CleanUp(const std::string& name) SOL_EXCLUDES(mutex_);
 
     /** Runs every registered agent's cleanup (incident response). */
-    void CleanUpAll();
+    void CleanUpAll() SOL_EXCLUDES(mutex_);
 
     /** Names of all registered agents. */
     std::vector<std::string> Names() const;
@@ -54,8 +59,9 @@ class AgentRegistry
     static AgentRegistry& Global();
 
   private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::function<void()>> agents_;
+    mutable Mutex mutex_;
+    std::map<std::string, std::function<void()>> agents_
+        SOL_GUARDED_BY(mutex_);
 };
 
 /**

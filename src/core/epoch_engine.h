@@ -44,7 +44,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -55,18 +54,13 @@
 #include "core/runtime_options.h"
 #include "core/runtime_stats.h"
 #include "core/schedule.h"
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 #include "sim/time.h"
 #include "telemetry/latency_histogram.h"
 #include "telemetry/trace.h"
 
 namespace sol::core {
-
-/** Lockable that does nothing: the simulation backend is single-
- *  threaded, so the engine's queue guard compiles away. */
-struct NullMutex {
-    void lock() {}
-    void unlock() {}
-};
 
 /** Counter operations over plain RuntimeStats (single-threaded). */
 struct PlainStatsOps {
@@ -138,7 +132,7 @@ struct SimEnginePolicy {
  *  queue mutex, and atomic flags for cross-thread accessors. */
 struct ThreadedEnginePolicy {
     using StatsOps = AtomicStatsOps;
-    using Mutex = std::mutex;
+    using Mutex = core::Mutex;
     using Flag = std::atomic<bool>;
 
     static bool
@@ -234,7 +228,7 @@ class EpochEngine
     void
     OnStart(sim::TimePoint now)
     {
-        std::lock_guard<typename Policy::Mutex> lock(mutex_);
+        ScopedLock<typename Policy::Mutex> lock(mutex_);
         if (Policy::Get(halted_)) {
             halt_start_ = now;
         }
@@ -245,7 +239,7 @@ class EpochEngine
     void
     OnStop(sim::TimePoint now)
     {
-        std::lock_guard<typename Policy::Mutex> lock(mutex_);
+        ScopedLock<typename Policy::Mutex> lock(mutex_);
         if (Policy::Get(halted_)) {
             StatsOps::AddHaltedTime(stats_, now - halt_start_);
             halt_start_ = now;
@@ -364,7 +358,7 @@ class EpochEngine
                  {"short_circuit", enough_data ? 0 : 1}});
         }
         {
-            std::lock_guard<typename Policy::Mutex> lock(mutex_);
+            ScopedLock<typename Policy::Mutex> lock(mutex_);
             epoch_hist_.Record(duration_ns);
         }
         return pred;
@@ -388,7 +382,7 @@ class EpochEngine
         if (pred.is_default) {
             StatsOps::Inc(stats_.default_predictions);
         }
-        std::lock_guard<typename Policy::Mutex> lock(mutex_);
+        ScopedLock<typename Policy::Mutex> lock(mutex_);
         ++delivery_seq_;
         if (Policy::Get(halted_)) {
             StatsOps::Inc(stats_.dropped_while_halted);
@@ -425,7 +419,7 @@ class EpochEngine
         span.AddArg("from_timeout", from_timeout ? 1 : 0);
         std::optional<Prediction<P>> pred;
         {
-            std::lock_guard<typename Policy::Mutex> lock(mutex_);
+            ScopedLock<typename Policy::Mutex> lock(mutex_);
             if (Policy::Get(halted_)) {
                 // Deliveries while halted never queue and the trigger
                 // flushed the queue, so there is nothing to consume.
@@ -479,7 +473,7 @@ class EpochEngine
         if (!ok) {
             bool newly_halted = false;
             {
-                std::lock_guard<typename Policy::Mutex> lock(mutex_);
+                ScopedLock<typename Policy::Mutex> lock(mutex_);
                 if (!Policy::Get(halted_)) {
                     Policy::Set(halted_, true);
                     halt_start_ = now;
@@ -501,7 +495,7 @@ class EpochEngine
             }
             return false;
         }
-        std::lock_guard<typename Policy::Mutex> lock(mutex_);
+        ScopedLock<typename Policy::Mutex> lock(mutex_);
         if (Policy::Get(halted_)) {
             Policy::Set(halted_, false);
             StatsOps::AddHaltedTime(stats_, now - halt_start_);
@@ -562,7 +556,7 @@ class EpochEngine
     telemetry::LatencyHistogram
     EpochLatencyHistogram() const
     {
-        std::lock_guard<typename Policy::Mutex> lock(mutex_);
+        ScopedLock<typename Policy::Mutex> lock(mutex_);
         return epoch_hist_;
     }
 
@@ -580,28 +574,38 @@ class EpochEngine
     std::size_t
     queued_predictions() const
     {
-        std::lock_guard<typename Policy::Mutex> lock(mutex_);
+        ScopedLock<typename Policy::Mutex> lock(mutex_);
         return pending_.size();
     }
 
     /** The queue guard, exposed so the blocking backend can run its
      *  condition-variable wait against the same mutex. */
-    typename Policy::Mutex& queue_mutex() const { return mutex_; }
+    typename Policy::Mutex& queue_mutex() const
+        SOL_RETURN_CAPABILITY(mutex_)
+    {
+        return mutex_;
+    }
 
     /** Must hold queue_mutex(): whether a prediction is queued. */
-    bool has_queued_locked() const { return !pending_.empty(); }
+    bool has_queued_locked() const SOL_REQUIRES(mutex_)
+    {
+        return !pending_.empty();
+    }
 
     /** Must hold queue_mutex(): bumped on every delivery, including
      *  ones dropped while halted — the blocking backend's wait
      *  predicate compares it so a while-halted delivery still wakes
      *  the actuator to re-assess the safeguard. */
-    std::uint64_t delivery_seq_locked() const { return delivery_seq_; }
+    std::uint64_t delivery_seq_locked() const SOL_REQUIRES(mutex_)
+    {
+        return delivery_seq_;
+    }
 
   private:
     /** Must hold mutex_: flushes the queue, counting each prediction
      *  as dropped while halted. */
     void
-    DropPendingLocked()
+    DropPendingLocked() SOL_REQUIRES(mutex_)
     {
         while (!pending_.empty()) {
             pending_.pop_front();
@@ -629,12 +633,15 @@ class EpochEngine
     // Prediction queue + halt state + epoch histogram (guarded by
     // mutex_; the histogram rides the existing guard because it is
     // written by the model thread and copied out by any thread).
+    // halted_ is Policy::Flag — an atomic under the threaded policy —
+    // because actuator_halted() reads it lock-free; the mutex still
+    // orders every *write* against the queue state it gates.
     mutable typename Policy::Mutex mutex_;
-    std::deque<Prediction<P>> pending_;
-    std::uint64_t delivery_seq_ = 0;
+    std::deque<Prediction<P>> pending_ SOL_GUARDED_BY(mutex_);
+    std::uint64_t delivery_seq_ SOL_GUARDED_BY(mutex_) = 0;
     typename Policy::Flag halted_{false};
-    sim::TimePoint halt_start_{0};
-    telemetry::LatencyHistogram epoch_hist_;
+    sim::TimePoint halt_start_ SOL_GUARDED_BY(mutex_){0};
+    telemetry::LatencyHistogram epoch_hist_ SOL_GUARDED_BY(mutex_);
 
     Stats stats_;
 };

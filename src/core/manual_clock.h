@@ -25,12 +25,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <utility>
 
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 #include "sim/time.h"
 
 namespace sol::core {
@@ -46,7 +46,7 @@ class ManualClock
     void
     OnStart()
     {
-        std::lock_guard<std::mutex> lock(m_);
+        MutexLock lock(m_);
         aborted_ = false;
     }
 
@@ -54,7 +54,7 @@ class ManualClock
     Interrupt()
     {
         {
-            std::lock_guard<std::mutex> lock(m_);
+            MutexLock lock(m_);
             aborted_ = true;
         }
         cv_.notify_all();
@@ -70,7 +70,7 @@ class ManualClock
     void
     SleepFor(sim::Duration d)
     {
-        std::unique_lock<std::mutex> lock(m_);
+        MutexLock lock(m_);
         ++sleepers_;
         // Polling wait: the gate flips when the actuator thread bumps
         // counters, which does not notify this cv.
@@ -86,11 +86,12 @@ class ManualClock
         now_ns_.fetch_add(d.count(), std::memory_order_release);
     }
 
-    /** Blocking wait until `ready` (the blocking-actuator ablation). */
-    template <typename Ready>
+    /** Blocking wait until `ready` (the blocking-actuator ablation).
+     *  `lock` is the runtime's held ScopedLock over its queue mutex —
+     *  a different capability than m_, so no annotation applies. */
+    template <typename Lock, typename Ready>
     void
-    Wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
-         Ready ready)
+    Wait(ConditionVariable& cv, Lock& lock, Ready ready)
     {
         cv.wait(lock, ready);
     }
@@ -100,10 +101,9 @@ class ManualClock
      *
      * @return false when the wait timed out with `ready` still false.
      */
-    template <typename Ready>
+    template <typename Lock, typename Ready>
     bool
-    WaitFor(std::condition_variable& cv,
-            std::unique_lock<std::mutex>& lock, sim::Duration timeout,
+    WaitFor(ConditionVariable& cv, Lock& lock, sim::Duration timeout,
             Ready ready)
     {
         return cv.wait_for(lock, std::chrono::nanoseconds(timeout),
@@ -115,7 +115,7 @@ class ManualClock
     GrantTicks(std::size_t n)
     {
         {
-            std::lock_guard<std::mutex> lock(m_);
+            MutexLock lock(m_);
             ticks_remaining_ += n;
         }
         cv_.notify_all();
@@ -127,7 +127,7 @@ class ManualClock
     void
     SetGate(std::function<bool()> gate)
     {
-        std::lock_guard<std::mutex> lock(m_);
+        MutexLock lock(m_);
         gate_ = std::move(gate);
     }
 
@@ -135,18 +135,18 @@ class ManualClock
     bool
     Parked() const
     {
-        std::lock_guard<std::mutex> lock(m_);
+        MutexLock lock(m_);
         return sleepers_ > 0 && ticks_remaining_ == 0;
     }
 
   private:
-    mutable std::mutex m_;
-    std::condition_variable cv_;
+    mutable Mutex m_;
+    ConditionVariable cv_;
     std::atomic<std::int64_t> now_ns_{0};
-    std::size_t ticks_remaining_ = 0;
-    int sleepers_ = 0;
-    bool aborted_ = false;
-    std::function<bool()> gate_;
+    std::size_t ticks_remaining_ SOL_GUARDED_BY(m_) = 0;
+    int sleepers_ SOL_GUARDED_BY(m_) = 0;
+    bool aborted_ SOL_GUARDED_BY(m_) = false;
+    std::function<bool()> gate_ SOL_GUARDED_BY(m_);
 };
 
 }  // namespace sol::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Portable Clang Thread Safety Analysis annotations.
+ *
+ * Layer 1 of the static-analysis pass (docs/STATIC_ANALYSIS.md): every
+ * mutex-guarded structure in the tree declares *which* lock guards
+ * *which* state, and Clang's -Wthread-safety proves the discipline at
+ * compile time — an unguarded read of arbiter accounting or registry
+ * state becomes a build error instead of a TSan lottery ticket. Under
+ * GCC (the tier-1 toolchain) every macro expands to nothing, so the
+ * annotations cost nothing and the tree stays buildable everywhere;
+ * the `static-analysis` CI leg builds with Clang and
+ * -DSOL_THREAD_SAFETY_ANALYSIS=ON to enforce them.
+ *
+ * The macro set mirrors the Clang documentation's canonical names
+ * (capability/guarded_by/requires_capability/...), prefixed SOL_ to
+ * avoid collisions with abseil or system headers. Use them through the
+ * annotated primitives in core/sync.h (sol::core::Mutex, ScopedLock)
+ * rather than raw std::mutex: libstdc++'s mutexes carry no capability
+ * attributes, so the analysis cannot see through std::lock_guard.
+ */
+#pragma once
+
+#if defined(__clang__) && (!defined(SOL_NO_THREAD_SAFETY_ATTRIBUTES))
+#define SOL_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SOL_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+/** Declares a type to be a capability (a lock). */
+#define SOL_CAPABILITY(x) SOL_THREAD_ANNOTATION_(capability(x))
+
+/** Declares an RAII type that acquires in its constructor and releases
+ *  in its destructor. */
+#define SOL_SCOPED_CAPABILITY SOL_THREAD_ANNOTATION_(scoped_lockable)
+
+/** Data member readable/writable only while holding `x`. */
+#define SOL_GUARDED_BY(x) SOL_THREAD_ANNOTATION_(guarded_by(x))
+
+/** Pointer member whose *pointee* is guarded by `x`. */
+#define SOL_PT_GUARDED_BY(x) SOL_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/** Function callable only while holding the given capabilities
+ *  exclusively ("_locked" suffix functions). */
+#define SOL_REQUIRES(...) \
+    SOL_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/** Function callable while holding the capabilities at least shared. */
+#define SOL_REQUIRES_SHARED(...) \
+    SOL_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/** Function that acquires the capability and holds it on return. */
+#define SOL_ACQUIRE(...) \
+    SOL_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define SOL_ACQUIRE_SHARED(...) \
+    SOL_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/** Function that releases the capability (generic: releases whatever
+ *  mode is held — the documented form for scoped-lock destructors). */
+#define SOL_RELEASE(...) \
+    SOL_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define SOL_RELEASE_SHARED(...) \
+    SOL_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/** Function that acquires the capability iff it returns `b`. */
+#define SOL_TRY_ACQUIRE(...) \
+    SOL_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/** Function that must NOT be called while holding the capability
+ *  (deadlock prevention: e.g. callbacks that re-enter the registry). */
+#define SOL_EXCLUDES(...) SOL_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/** Asserts (at runtime boundaries the analysis cannot see across) that
+ *  the calling thread already holds the capability. */
+#define SOL_ASSERT_CAPABILITY(x) \
+    SOL_THREAD_ANNOTATION_(assert_capability(x))
+
+/** Getter returning a reference to the capability itself. */
+#define SOL_RETURN_CAPABILITY(x) SOL_THREAD_ANNOTATION_(lock_returned(x))
+
+/**
+ * Escape hatch: disables the analysis for one function. Reserved for
+ * code whose locking discipline is real but inexpressible — e.g. the
+ * arbiter's expand path, which acquires a *runtime-computed set* of
+ * per-domain locks in ascending index order. Every use must carry a
+ * comment explaining why the discipline is safe and why the analysis
+ * cannot follow it (docs/STATIC_ANALYSIS.md, "escape-hatch etiquette").
+ */
+#define SOL_NO_THREAD_SAFETY_ANALYSIS \
+    SOL_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -132,7 +132,7 @@ ShardedFleetRunner::WorkerMain(std::size_t worker_index)
             // an exception escaping a thread function would terminate
             // the process. First failure wins; the worker still
             // arrives at the done barrier so the window completes.
-            std::lock_guard<std::mutex> lock(failure_mutex_);
+            core::MutexLock lock(failure_mutex_);
             if (!failure_) {
                 failure_ = std::current_exception();
             }
@@ -158,13 +158,16 @@ ShardedFleetRunner::MergeShardWindowMetrics(std::size_t shard_index)
 void
 ShardedFleetRunner::Run(sim::Duration span)
 {
-    if (failed_) {
-        // A previous window rethrew a shard exception: the shards are
-        // at inconsistent virtual times, so continuing would silently
-        // void the determinism guarantee.
-        throw std::logic_error(
-            "ShardedFleetRunner::Run after a shard failure; destroy "
-            "the runner instead");
+    {
+        core::MutexLock lock(failure_mutex_);
+        if (failed_) {
+            // A previous window rethrew a shard exception: the shards
+            // are at inconsistent virtual times, so continuing would
+            // silently void the determinism guarantee.
+            throw std::logic_error(
+                "ShardedFleetRunner::Run after a shard failure; destroy "
+                "the runner instead");
+        }
     }
     const sim::TimePoint end = now_ + span;
     while (now_ < end) {
@@ -177,12 +180,19 @@ ShardedFleetRunner::Run(sim::Duration span)
             window_index_ % config_.metrics_every_n_windows == 0;
         start_barrier_.arrive_and_wait();
         done_barrier_.arrive_and_wait();
-        // Workers are parked at the start barrier again; failure_ is
-        // stable and the barrier ordered their writes before our read.
-        if (failure_) {
-            std::exception_ptr failure = failure_;
-            failure_ = nullptr;
-            failed_ = true;
+        // Workers are parked at the start barrier again, so the lock
+        // is uncontended; the barrier already ordered their writes
+        // before our read.
+        std::exception_ptr failure;
+        {
+            core::MutexLock lock(failure_mutex_);
+            if (failure_) {
+                failure = failure_;
+                failure_ = nullptr;
+                failed_ = true;
+            }
+        }
+        if (failure) {
             std::rethrow_exception(failure);
         }
         if (fleet_trace_ != nullptr) {

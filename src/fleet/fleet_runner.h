@@ -38,11 +38,12 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "cluster/cluster_driver.h"
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 #include "cluster/node_shard.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -272,10 +273,13 @@ class ShardedFleetRunner
 
     // First exception raised inside any shard this window; rethrown by
     // Run() at the window boundary. Once that happens the shards are at
-    // mixed horizons and `failed_` poisons every further Run().
-    std::mutex failure_mutex_;
-    std::exception_ptr failure_;
-    bool failed_ = false;
+    // mixed horizons and `failed_` poisons every further Run(). The
+    // barriers already order the workers' writes before Run()'s reads,
+    // but Run() takes the (uncontended) lock anyway so the guarded-by
+    // discipline holds everywhere.
+    core::Mutex failure_mutex_;
+    std::exception_ptr failure_ SOL_GUARDED_BY(failure_mutex_);
+    bool failed_ SOL_GUARDED_BY(failure_mutex_) = false;
 
     std::barrier<> start_barrier_;
     std::barrier<> done_barrier_;

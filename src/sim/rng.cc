@@ -1,3 +1,8 @@
+// determinism-lint: allow-file(libm-transcendental) -- the Gaussian /
+// exponential / gamma draws use libm by design; runs are bit-identical
+// on one platform (fixed seed, fixed evaluation order) but goldens that
+// fingerprint these streams are only portable across identical libm
+// builds. Documented hazard: docs/STATIC_ANALYSIS.md#libm.
 #include "sim/rng.h"
 
 #include <cassert>

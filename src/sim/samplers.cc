@@ -1,3 +1,6 @@
+// determinism-lint: allow-file(libm-transcendental) -- Zipf CDF
+// normalization uses std::pow; same documented libm portability hazard
+// as sim/rng.cc (docs/STATIC_ANALYSIS.md#libm).
 #include "sim/samplers.h"
 
 #include <algorithm>

@@ -30,7 +30,9 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
+
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 
 namespace sol::telemetry {
 
@@ -110,7 +112,7 @@ class SharedLatencyHistogram
     void
     Record(std::uint64_t value_ns)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         histogram_.Record(value_ns);
     }
 
@@ -118,27 +120,27 @@ class SharedLatencyHistogram
     LatencyHistogram
     Histogram() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         return histogram_;
     }
 
     LatencySnapshot
     Snapshot() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         return histogram_.Snapshot();
     }
 
     void
     Reset()
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         histogram_.Reset();
     }
 
   private:
-    mutable std::mutex mutex_;
-    LatencyHistogram histogram_;
+    mutable core::Mutex mutex_;
+    LatencyHistogram histogram_ SOL_GUARDED_BY(mutex_);
 };
 
 }  // namespace sol::telemetry

@@ -23,12 +23,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 #include "telemetry/latency_histogram.h"
 
 namespace sol::telemetry {
@@ -196,7 +197,7 @@ class SharedMetricRegistry
     void
     MergeFrom(const MetricRegistry& other, const std::string& prefix)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         registry_.MergeFrom(other, prefix);
     }
 
@@ -204,7 +205,7 @@ class SharedMetricRegistry
     void
     Increment(const std::string& name, std::uint64_t delta = 1)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         registry_.Increment(name, delta);
     }
 
@@ -212,7 +213,7 @@ class SharedMetricRegistry
     MetricRegistry
     Snapshot() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         return registry_;
     }
 
@@ -220,13 +221,13 @@ class SharedMetricRegistry
     void
     Clear()
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         registry_.Clear();
     }
 
   private:
-    mutable std::mutex mutex_;
-    MetricRegistry registry_;
+    mutable core::Mutex mutex_;
+    MetricRegistry registry_ SOL_GUARDED_BY(mutex_);
 };
 
 /**

@@ -38,10 +38,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 #include "sim/time.h"
 
 namespace sol::telemetry {
@@ -203,7 +204,7 @@ class SharedTimeSeriesStore
     void
     Append(const std::string& name, sim::TimePoint at, std::int64_t value)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         store_.Append(name, at, value);
     }
 
@@ -211,7 +212,7 @@ class SharedTimeSeriesStore
     SampleRegistry(const MetricRegistry& registry,
                    const std::string& prefix, sim::TimePoint at)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         store_.SampleRegistry(registry, prefix, at);
     }
 
@@ -219,27 +220,27 @@ class SharedTimeSeriesStore
     TimeSeriesStore
     Snapshot() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         return store_;
     }
 
     std::uint64_t
     timeline_hash() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         return store_.timeline_hash();
     }
 
     void
     Clear()
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        core::MutexLock lock(mutex_);
         store_.Clear();
     }
 
   private:
-    mutable std::mutex mutex_;
-    TimeSeriesStore store_;
+    mutable core::Mutex mutex_;
+    TimeSeriesStore store_ SOL_GUARDED_BY(mutex_);
 };
 
 }  // namespace sol::telemetry

@@ -242,7 +242,7 @@ TraceRecorder*
 TraceSession::NewRecorder(std::string track, const sim::Clock* clock,
                           std::size_t capacity)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     recorders_.push_back(std::make_unique<TraceRecorder>(
         std::move(track), clock,
         capacity == 0 ? default_capacity_ : capacity));
@@ -252,21 +252,21 @@ TraceSession::NewRecorder(std::string track, const sim::Clock* clock,
 std::size_t
 TraceSession::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     return recorders_.size();
 }
 
 TraceRecorder&
 TraceSession::recorder(std::size_t index)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     return *recorders_[index];
 }
 
 std::uint64_t
 TraceSession::total_recorded() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     std::uint64_t total = 0;
     for (const auto& recorder : recorders_) {
         total += recorder->recorded();
@@ -277,7 +277,7 @@ TraceSession::total_recorded() const
 std::uint64_t
 TraceSession::total_dropped() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    core::MutexLock lock(mutex_);
     std::uint64_t total = 0;
     for (const auto& recorder : recorders_) {
         total += recorder->dropped();

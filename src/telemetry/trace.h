@@ -44,12 +44,13 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 #include "sim/time.h"
 
 namespace sol::telemetry::trace {
@@ -341,9 +342,12 @@ class TraceSession
     std::uint64_t total_dropped() const;
 
   private:
-    mutable std::mutex mutex_;
+    mutable core::Mutex mutex_;
     std::size_t default_capacity_;
-    std::vector<std::unique_ptr<TraceRecorder>> recorders_;
+    /** Pointers are stable and recorders are internally SPSC; the
+     *  lock guards only the vector of tracks. */
+    std::vector<std::unique_ptr<TraceRecorder>> recorders_
+        SOL_GUARDED_BY(mutex_);
 };
 
 /**

@@ -1,3 +1,6 @@
+// determinism-lint: allow-file(wall-clock) -- the two steady_clock
+// reads time the run for the human-facing report only; wall_seconds is
+// excluded from the behavior vector that SameBehavior() compares.
 #include "workloads/scenarios.h"
 
 #include <algorithm>

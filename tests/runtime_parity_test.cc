@@ -33,15 +33,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/manual_clock.h"
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 #include "core/sim_runtime.h"
 #include "core/threaded_runtime.h"
 #include "sim/event_queue.h"
@@ -156,7 +156,7 @@ class ScriptedModel : public Model<int, int>
     {
         std::function<void()> barrier;
         {
-            std::lock_guard<std::mutex> lock(barrier_mutex_);
+            core::MutexLock lock(barrier_mutex_);
             barrier = assess_barrier_;
         }
         if (barrier) {
@@ -175,7 +175,7 @@ class ScriptedModel : public Model<int, int>
     void
     SetAssessBarrier(std::function<void()> barrier)
     {
-        std::lock_guard<std::mutex> lock(barrier_mutex_);
+        core::MutexLock lock(barrier_mutex_);
         assess_barrier_ = std::move(barrier);
     }
 
@@ -188,8 +188,8 @@ class ScriptedModel : public Model<int, int>
     std::atomic<std::size_t> assessments_{0};
     std::atomic<std::uint64_t> commits_{0};
     bool short_circuit_ = false;  // Model-loop thread only.
-    std::mutex barrier_mutex_;
-    std::function<void()> assess_barrier_;
+    core::Mutex barrier_mutex_;
+    std::function<void()> assess_barrier_ SOL_GUARDED_BY(barrier_mutex_);
 };
 
 class ScriptedActuator : public Actuator<int>

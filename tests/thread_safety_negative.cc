@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Compile-time proof that the thread-safety analysis is armed.
+ *
+ * A static-analysis gate that silently stops firing is worse than no
+ * gate, so the static-analysis CI leg compiles this TU twice with
+ * Clang and -Werror=thread-safety:
+ *
+ *   1. without SOL_EXPECT_THREAD_SAFETY_ERROR — must COMPILE: the
+ *      correctly-locked twin below follows the annotation discipline;
+ *   2. with    SOL_EXPECT_THREAD_SAFETY_ERROR — must NOT compile: each
+ *      guarded block commits a canonical locking bug (guarded read
+ *      without the lock, missing SOL_REQUIRES on a *_locked helper,
+ *      unreleased capability) that -Wthread-safety must reject.
+ *
+ * The two ctests (`thread_safety_negative_compiles` and
+ * `thread_safety_negative_fires`, tests/CMakeLists.txt) only exist
+ * under SOL_THREAD_SAFETY_ANALYSIS=ON; elsewhere the annotations
+ * expand to nothing and this file is not part of any build.
+ */
+#include <cstdint>
+
+#include "core/sync.h"
+#include "core/thread_annotations.h"
+
+namespace sol::core {
+namespace {
+
+/** Minimal guarded structure mirroring the repo's annotated types. */
+class GuardedCounter
+{
+  public:
+    void
+    Increment()
+    {
+        MutexLock lock(mutex_);
+        ++value_;
+    }
+
+    std::uint64_t
+    value() const
+    {
+        MutexLock lock(mutex_);
+        return value_;
+    }
+
+    /** The *_locked idiom used by EpochEngine::has_queued_locked(). */
+    std::uint64_t value_locked() const SOL_REQUIRES(mutex_)
+    {
+        return value_;
+    }
+
+    Mutex& mutex() SOL_RETURN_CAPABILITY(mutex_) { return mutex_; }
+
+  private:
+    mutable Mutex mutex_;
+    std::uint64_t value_ SOL_GUARDED_BY(mutex_) = 0;
+};
+
+#if defined(SOL_EXPECT_THREAD_SAFETY_ERROR)
+
+/** BUG 1: guarded read without the lock. */
+std::uint64_t
+ReadWithoutLock(GuardedCounter& counter)
+{
+    return counter.value_locked();  // expected-error: requires mutex
+}
+
+/** BUG 2: capability acquired and never released. */
+class LeakyLocker
+{
+  public:
+    void
+    LockForever()
+    {
+        mutex_.lock();  // expected-error: still held at end of function
+    }
+
+  private:
+    Mutex mutex_;
+};
+
+/** BUG 3: double acquisition of a non-reentrant capability. */
+void
+DoubleLock(GuardedCounter& counter)
+{
+    MutexLock outer(counter.mutex());
+    MutexLock inner(counter.mutex());  // expected-error: already held
+}
+
+#else
+
+/** The correctly-locked twin: same shapes, discipline followed. */
+std::uint64_t
+ReadWithLock(GuardedCounter& counter)
+{
+    MutexLock lock(counter.mutex());
+    return counter.value_locked();
+}
+
+void
+Exercise(GuardedCounter& counter)
+{
+    counter.Increment();
+    (void)counter.value();
+}
+
+#endif
+
+}  // namespace
+}  // namespace sol::core
+
+int
+main()
+{
+    return 0;
+}

@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint_determinism.py.
+
+Each rule gets a known-bad fixture (must fire), a pragma'd twin (must
+not), and — where the rule has scoping or a sanctioned idiom — a
+fixture proving the carve-out. Runs as the `determinism_lint_selftest`
+ctest, so a linter regression shows up next to the code it guards.
+"""
+
+from __future__ import annotations
+
+import sys
+import unittest
+
+sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+import lint_determinism as lint  # noqa: E402
+
+
+def rules_hit(rel_path: str, text: str):
+    return sorted({f.rule for f in lint.lint_text(rel_path, text)})
+
+
+class WallClockRule(unittest.TestCase):
+    BAD = "auto t = std::chrono::steady_clock::now();\n"
+
+    def test_fires_outside_clock_policy(self):
+        self.assertEqual(rules_hit("src/core/foo.cc", self.BAD),
+                         ["wall-clock"])
+
+    def test_all_wall_clock_apis_fire(self):
+        for snippet in (
+            "std::chrono::system_clock::to_time_t(x);",
+            "std::chrono::high_resolution_clock::now();",
+            "gettimeofday(&tv, nullptr);",
+            "clock_gettime(CLOCK_MONOTONIC, &ts);",
+        ):
+            self.assertIn("wall-clock",
+                          rules_hit("src/core/foo.cc", snippet + "\n"),
+                          snippet)
+
+    def test_clock_policy_files_exempt(self):
+        for rel in sorted(lint.CLOCK_POLICY_FILES):
+            self.assertEqual(rules_hit(rel, self.BAD), [])
+
+    def test_line_pragma_suppresses(self):
+        text = ("auto t = std::chrono::steady_clock::now();"
+                "  // determinism-lint: allow(wall-clock)\n")
+        self.assertEqual(rules_hit("src/core/foo.cc", text), [])
+
+    def test_preceding_comment_pragma_suppresses_next_line(self):
+        text = ("// determinism-lint: allow(wall-clock) -- pacing only\n"
+                "auto t = std::chrono::steady_clock::now();\n")
+        self.assertEqual(rules_hit("src/core/foo.cc", text), [])
+
+    def test_file_pragma_needs_reason(self):
+        text = ("// determinism-lint: allow-file(wall-clock)\n" +
+                self.BAD)
+        self.assertEqual(rules_hit("src/core/foo.cc", text),
+                         ["pragma", "wall-clock"])
+
+    def test_file_pragma_with_reason_suppresses(self):
+        text = ("// determinism-lint: allow-file(wall-clock) -- report "
+                "timing only\n" + self.BAD)
+        self.assertEqual(rules_hit("src/core/foo.cc", text), [])
+
+    def test_match_in_comment_ignored(self):
+        text = "// steady_clock::now() would be wrong here\nint x = 0;\n"
+        self.assertEqual(rules_hit("src/core/foo.cc", text), [])
+
+
+class UnseededRandomRule(unittest.TestCase):
+    def test_each_entropy_source_fires(self):
+        for snippet in (
+            "std::random_device rd;",
+            "int r = rand();",
+            "srand(42);",
+        ):
+            self.assertEqual(rules_hit("src/sim/foo.cc", snippet + "\n"),
+                             ["unseeded-random"], snippet)
+
+    def test_seeded_rng_clean(self):
+        self.assertEqual(
+            rules_hit("src/sim/foo.cc",
+                      "sim::Rng rng(seed);\nauto r = rng.NextU64();\n"),
+            [])
+
+    def test_operand_named_rand_clean(self):
+        # Word boundaries: `grand()` or `rand(x)` (seeded helper) differ.
+        self.assertEqual(rules_hit("src/sim/foo.cc", "grand();\n"), [])
+
+
+class LibmTranscendentalRule(unittest.TestCase):
+    BAD = "double y = std::pow(x, 2.5) + std::log(x);\n"
+
+    def test_fires_in_sim_and_workloads(self):
+        for rel in ("src/sim/foo.cc", "src/workloads/foo.cc"):
+            self.assertEqual(rules_hit(rel, self.BAD),
+                             ["libm-transcendental"], rel)
+
+    def test_fires_in_hash_named_file(self):
+        self.assertEqual(rules_hit("src/telemetry/trace_hash.cc", self.BAD),
+                         ["libm-transcendental"])
+
+    def test_out_of_scope_paths_exempt(self):
+        # Agents may use libm; their outputs are not golden-hashed.
+        self.assertEqual(rules_hit("src/agents/foo.cc", self.BAD), [])
+
+    def test_sqrt_exempt(self):
+        # IEEE-754 requires sqrt correctly rounded: it is portable.
+        self.assertEqual(
+            rules_hit("src/sim/foo.cc", "double s = std::sqrt(x);\n"), [])
+
+    def test_file_pragma_suppresses(self):
+        text = ("// determinism-lint: allow-file(libm-transcendental) -- "
+                "quantized before hashing\n" + self.BAD)
+        self.assertEqual(rules_hit("src/sim/foo.cc", text), [])
+
+
+class FloatFingerprintRule(unittest.TestCase):
+    BAD = (
+        "std::uint64_t\n"
+        "TraceHash(const Samples& samples)\n"
+        "{\n"
+        "    std::uint64_t hash = kFnvOffset;\n"
+        "    for (double v : samples) {\n"
+        "        hash ^= static_cast<std::uint64_t>(v * 1000.0);\n"
+        "    }\n"
+        "    return hash;\n"
+        "}\n"
+    )
+
+    def test_fires_inside_fingerprint_function(self):
+        self.assertEqual(rules_hit("src/telemetry/foo.cc", self.BAD),
+                         ["float-fingerprint"])
+
+    def test_llround_quantization_sanctioned(self):
+        text = (
+            "std::uint64_t\n"
+            "TraceHash(double v)\n"
+            "{\n"
+            "    return std::llround(v * 1000.0);\n"
+            "}\n"
+        )
+        self.assertEqual(rules_hit("src/telemetry/foo.cc", text), [])
+
+    def test_float_outside_fingerprint_function_clean(self):
+        text = (
+            "double\n"
+            "Mean(const Samples& samples)\n"
+            "{\n"
+            "    double total = 0.0;\n"
+            "    return total / samples.size();\n"
+            "}\n"
+        )
+        self.assertEqual(rules_hit("src/telemetry/foo.cc", text), [])
+
+    def test_hashed_consumer_function_exempt(self):
+        # Add*Hashed() consumes a precomputed hash; it is not a
+        # fingerprint producer.
+        text = (
+            "void\n"
+            "AddHashed(std::uint32_t index, double value)\n"
+            "{\n"
+            "    features_.push_back(Feature{index, value});\n"
+            "}\n"
+        )
+        self.assertEqual(rules_hit("src/ml/foo.cc", text), [])
+
+
+class UnorderedIterationRule(unittest.TestCase):
+    def test_range_for_over_unordered_fires(self):
+        text = (
+            "std::unordered_map<std::string, int> counts_;\n"
+            "void Dump() {\n"
+            "    for (const auto& [k, v] : counts_) {\n"
+            "        out << k << v;\n"
+            "    }\n"
+            "}\n"
+        )
+        self.assertEqual(rules_hit("src/telemetry/foo.cc", text),
+                         ["unordered-iteration"])
+
+    def test_membership_use_clean(self):
+        text = (
+            "std::unordered_set<int> seen_;\n"
+            "bool Contains(int id) { return seen_.count(id) > 0; }\n"
+        )
+        self.assertEqual(rules_hit("src/telemetry/foo.cc", text), [])
+
+    def test_ordered_map_iteration_clean(self):
+        text = (
+            "std::map<std::string, int> counts_;\n"
+            "void Dump() {\n"
+            "    for (const auto& [k, v] : counts_) {\n"
+            "        out << k << v;\n"
+            "    }\n"
+            "}\n"
+        )
+        self.assertEqual(rules_hit("src/telemetry/foo.cc", text), [])
+
+
+class PragmaHygiene(unittest.TestCase):
+    def test_unknown_rule_in_file_pragma_flagged(self):
+        text = ("// determinism-lint: allow-file(no-such-rule) -- oops\n"
+                "int x = 0;\n")
+        self.assertEqual(rules_hit("src/core/foo.cc", text), ["pragma"])
+
+    def test_pragma_for_one_rule_does_not_mute_others(self):
+        text = ("// determinism-lint: allow-file(wall-clock) -- timing\n"
+                "std::random_device rd;\n")
+        self.assertEqual(rules_hit("src/core/foo.cc", text),
+                         ["unseeded-random"])
+
+
+class RepoTreeIsClean(unittest.TestCase):
+    def test_src_tree_has_no_findings(self):
+        # The tree itself is the last fixture: every exception in src/
+        # must be a reviewed pragma, never an unexplained finding.
+        self.assertEqual(lint.main([]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

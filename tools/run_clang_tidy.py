@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Ratcheted clang-tidy runner: counts can only go down.
+
+Runs clang-tidy (config from the repo's .clang-tidy) over every src/
+translation unit in compile_commands.json and compares per-check
+finding counts against the committed baseline
+(tools/clang_tidy_baseline.json):
+
+  - a check whose count EXCEEDS its baseline fails the run (new debt);
+  - a check whose count DROPPED below baseline also fails, with
+    instructions to re-ratchet — otherwise the headroom silently
+    becomes room for new findings of the same check;
+  - `--update` rewrites the baseline, but refuses to raise any count:
+    lowering the bar is a reviewed edit to the JSON, never a flag.
+
+Results are cached per file under --cache-dir keyed on a content hash
+of (file bytes, .clang-tidy, compiler flags, clang-tidy version), so an
+incremental CI run re-analyzes only what changed.
+
+Usage:
+  python3 tools/run_clang_tidy.py --compile-commands build/compile_commands.json \
+      [--cache-dir .cache/clang-tidy] [--report report.txt] [--update] [--jobs N]
+
+Stdlib-only; exits non-zero on ratchet violations or clang-tidy crashes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import concurrent.futures
+import hashlib
+import json
+import os
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+FINDING_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<message>.*?) \[(?P<check>[\w.,-]+)\]$"
+)
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "clang_tidy_baseline.json"
+
+
+def find_clang_tidy() -> str | None:
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                 "clang-tidy-16", "clang-tidy-15", "clang-tidy-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_compile_commands(path: pathlib.Path, root: pathlib.Path):
+    """(file, directory, command) for every src/ TU."""
+    entries = []
+    src = (root / "src").resolve()
+    for entry in json.loads(path.read_text()):
+        f = pathlib.Path(entry["file"])
+        if not f.is_absolute():
+            f = pathlib.Path(entry["directory"]) / f
+        f = f.resolve()
+        try:
+            if f.is_relative_to(src):
+                entries.append((f, entry["directory"],
+                                entry.get("command")
+                                or " ".join(entry["arguments"])))
+        except (OSError, ValueError):
+            continue
+    return sorted(entries)
+
+
+def cache_key(tidy: str, tidy_version: str, config: str, file: pathlib.Path,
+              command: str) -> str:
+    h = hashlib.sha256()
+    for part in (tidy_version, config, command):
+        h.update(part.encode())
+        h.update(b"\0")
+    h.update(file.read_bytes())
+    return h.hexdigest()
+
+
+def run_one(tidy: str, file: pathlib.Path, build_dir: str):
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", str(file)],
+        capture_output=True, text=True, check=False)
+    findings = []
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            for check in m.group("check").split(","):
+                findings.append({
+                    "path": m.group("path"),
+                    "line": int(m.group("line")),
+                    "check": check,
+                    "message": m.group("message"),
+                })
+    # clang-tidy exits 1 when it emits warnings; a crash or config error
+    # surfaces on stderr with no parseable findings.
+    crashed = proc.returncode not in (0, 1) and not findings
+    return findings, crashed, proc.stderr
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--compile-commands", required=True)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--report", default=None,
+                        help="write the full finding list to this file")
+    parser.add_argument("--update", action="store_true",
+                        help="re-ratchet the baseline downward")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+    tidy = find_clang_tidy()
+    if tidy is None:
+        print("run_clang_tidy: no clang-tidy on PATH", file=sys.stderr)
+        return 2
+    tidy_version = subprocess.run([tidy, "--version"], capture_output=True,
+                                  text=True, check=False).stdout.strip()
+    config = (root / ".clang-tidy").read_text()
+
+    cc_path = pathlib.Path(args.compile_commands).resolve()
+    entries = load_compile_commands(cc_path, root)
+    if not entries:
+        print("run_clang_tidy: no src/ entries in compile_commands.json",
+              file=sys.stderr)
+        return 2
+    build_dir = str(cc_path.parent)
+
+    cache_dir = pathlib.Path(args.cache_dir) if args.cache_dir else None
+    if cache_dir:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+
+    all_findings = []
+    crashes = []
+
+    def analyze(entry):
+        file, _, command = entry
+        key = None
+        if cache_dir:
+            key = cache_key(tidy, tidy_version, config, file, command)
+            cached = cache_dir / f"{key}.json"
+            if cached.is_file():
+                return json.loads(cached.read_text()), False, ""
+        findings, crashed, stderr = run_one(tidy, file, build_dir)
+        if cache_dir and key and not crashed:
+            (cache_dir / f"{key}.json").write_text(json.dumps(findings))
+        return findings, crashed, stderr
+
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for (file, _, _), (findings, crashed, stderr) in zip(
+                entries, pool.map(analyze, entries)):
+            if crashed:
+                crashes.append((file, stderr))
+            all_findings.extend(findings)
+
+    if crashes:
+        for file, stderr in crashes:
+            print(f"run_clang_tidy: clang-tidy failed on {file}:\n{stderr}",
+                  file=sys.stderr)
+        return 2
+
+    # Dedupe (headers analyzed from several TUs report repeats).
+    unique = {(f["path"], f["line"], f["check"], f["message"])
+              for f in all_findings}
+    counts = collections.Counter(check for _, _, check, _ in unique)
+
+    if args.report:
+        lines = [f"{p}:{ln}: {msg} [{chk}]"
+                 for p, ln, chk, msg in sorted(unique)]
+        pathlib.Path(args.report).write_text(
+            "\n".join(lines) + ("\n" if lines else ""))
+
+    baseline = {}
+    bootstrap = True
+    if BASELINE_PATH.is_file():
+        data = json.loads(BASELINE_PATH.read_text())
+        baseline = data.get("checks", {})
+        bootstrap = bool(data.get("bootstrap", False))
+
+    if args.update:
+        # Establishing the first real baseline (bootstrap) may record
+        # any counts; after that, --update can only lower them.
+        raised = {} if bootstrap else {
+            c: (baseline.get(c, 0), n) for c, n in counts.items()
+            if n > baseline.get(c, 0)}
+        if raised:
+            for check, (old, new) in sorted(raised.items()):
+                print(f"refusing to raise baseline: {check} {old} -> {new}",
+                      file=sys.stderr)
+            return 1
+        BASELINE_PATH.write_text(json.dumps(
+            {"_comment": "Ratcheted clang-tidy baseline: counts may only "
+                         "decrease. Regenerate with tools/run_clang_tidy.py "
+                         "--update after paying down findings.",
+             "checks": dict(sorted(counts.items()))}, indent=2) + "\n")
+        print(f"baseline updated: {sum(counts.values())} finding(s) across "
+              f"{len(counts)} check(s)")
+        return 0
+
+    if bootstrap:
+        # The committed baseline was seeded before any clang-tidy run
+        # existed (the repo is built with GCC locally). Report counts
+        # and pass; committing `--update` output replaces this with the
+        # real ratchet.
+        for check, n in sorted(counts.items()):
+            print(f"bootstrap: {check}: {n} finding(s)")
+        print(f"clang-tidy bootstrap: {sum(counts.values())} finding(s) "
+              f"across {len(entries)} TU(s); run with --update and commit "
+              "tools/clang_tidy_baseline.json to arm the ratchet")
+        return 0
+
+    failed = False
+    for check in sorted(set(counts) | set(baseline)):
+        have, allowed = counts.get(check, 0), baseline.get(check, 0)
+        if have > allowed:
+            failed = True
+            print(f"RATCHET: {check}: {have} finding(s), baseline allows "
+                  f"{allowed}")
+            for p, ln, chk, msg in sorted(unique):
+                if chk == check:
+                    print(f"  {p}:{ln}: {msg}")
+        elif have < allowed:
+            failed = True
+            print(f"RATCHET: {check}: improved to {have} (baseline "
+                  f"{allowed}); run tools/run_clang_tidy.py --update to "
+                  "lock in the gain")
+    if not failed:
+        print(f"clang-tidy ratchet OK: {sum(counts.values())} finding(s) "
+              f"across {len(entries)} TU(s), all within baseline")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
